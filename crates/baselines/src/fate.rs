@@ -1,0 +1,90 @@
+//! A FATE-style comparator (§8.4).
+//!
+//! FATE [Gunawi et al., NSDI '11] assigns *failure IDs* to distinct fault
+//! scenarios and explores new IDs first, prioritizing coverage over any
+//! specific failure. Our adaptation: every fault site in the *whole
+//! program* (no causal pruning) crossed with its declared exception types
+//! forms the ID space; the occurrence dimension is explored breadth-first
+//! (all sites at occurrence 0, then occurrence 1, …), which is exactly the
+//! "cover new scenarios first" policy — and exactly wrong for failures
+//! that need a *late* occurrence of an already-seen fault.
+
+use std::collections::HashSet;
+
+use anduril_core::{RoundOutcome, SearchContext, Strategy};
+use anduril_ir::{ExceptionType, SiteId};
+use anduril_sim::Candidate;
+
+/// The FATE-style strategy.
+#[derive(Debug)]
+pub struct Fate {
+    /// Candidates in breadth-first (occurrence-major) order.
+    order: Vec<(SiteId, u32, ExceptionType)>,
+    tried: HashSet<(SiteId, u32, ExceptionType)>,
+    /// Candidates armed per round.
+    pub window: usize,
+}
+
+impl Fate {
+    /// Creates a FATE explorer with the default window.
+    pub fn new() -> Self {
+        Fate {
+            order: Vec::new(),
+            tried: HashSet::new(),
+            window: 10,
+        }
+    }
+}
+
+impl Default for Fate {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Strategy for Fate {
+    fn name(&self) -> &'static str {
+        "fate"
+    }
+
+    fn init(&mut self, ctx: &SearchContext) {
+        self.order.clear();
+        self.tried.clear();
+        let program = &ctx.scenario.program;
+        let max_occ = ctx.site_instances.iter().map(Vec::len).max().unwrap_or(1) as u32;
+        // Breadth-first over occurrences: every distinct failure ID (site ×
+        // exception) at occurrence o before any ID at occurrence o+1.
+        for occ in 0..max_occ.max(1) {
+            for site in &program.sites {
+                if (occ as usize) < ctx.site_instances[site.id.index()].len().max(1) {
+                    for &exc in &site.exceptions {
+                        self.order.push((site.id, occ, exc));
+                    }
+                }
+            }
+        }
+    }
+
+    fn plan_round(&mut self, _ctx: &SearchContext, _round: usize) -> Vec<Candidate> {
+        self.order
+            .iter()
+            .filter(|c| !self.tried.contains(c))
+            .take(self.window)
+            .map(|&(site, occ, exc)| Candidate {
+                site,
+                occurrence: Some(occ),
+                exc,
+                stack: None,
+            })
+            .collect()
+    }
+
+    fn feedback(&mut self, _ctx: &SearchContext, outcome: &RoundOutcome) {
+        if let Some(rec) = &outcome.result.injected {
+            self.tried
+                .insert((rec.candidate.site, rec.occurrence, rec.candidate.exc));
+        } else {
+            self.window = (self.window * 2).min(4_096);
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! The stacktrace-injector baseline (§8.4).
+//!
+//! Extracts every warning/error record in the failure log that carries a
+//! throwable, and injects only at fault sites inside the innermost stack
+//! frame, guarded on the runtime stack matching the logged one. Performs
+//! well when the failure log is clean and the root-cause fault is logged
+//! with its stack; fails when the root cause never reached a log, and
+//! wastes rounds when the logged site executes frequently.
+
+use std::collections::HashSet;
+
+use anduril_core::{RoundOutcome, SearchContext, Strategy};
+use anduril_ir::{ExceptionType, FuncId, Level, SiteId};
+use anduril_sim::Candidate;
+
+/// One extracted `(site, stack)` injection target.
+#[derive(Debug, Clone)]
+struct Target {
+    site: SiteId,
+    exc: ExceptionType,
+    stack: Vec<FuncId>,
+    next_occ: u32,
+    max_occ: u32,
+}
+
+/// The stacktrace-injector strategy.
+#[derive(Debug, Default)]
+pub struct StacktraceInjector {
+    targets: Vec<Target>,
+    tried: HashSet<(SiteId, u32)>,
+}
+
+impl StacktraceInjector {
+    /// Creates an empty injector; targets are extracted in `init`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of static targets extracted from the failure log.
+    pub fn target_count(&self) -> usize {
+        self.targets.len()
+    }
+}
+
+impl Strategy for StacktraceInjector {
+    fn name(&self) -> &'static str {
+        "stacktrace-injector"
+    }
+
+    fn init(&mut self, ctx: &SearchContext) {
+        self.targets.clear();
+        self.tried.clear();
+        let program = &ctx.scenario.program;
+        let mut seen: HashSet<(SiteId, Vec<FuncId>)> = HashSet::new();
+        for entry in &ctx.failure {
+            if entry.level < Level::Warn || entry.stack.is_empty() {
+                continue;
+            }
+            // Parse the exception class from the rendered throwable line.
+            let exc = entry
+                .exc
+                .as_deref()
+                .and_then(|e| ExceptionType::parse(e.split(':').next().unwrap_or(e)));
+            let Some(exc) = exc else { continue };
+            // Resolve logged frame names to function ids (innermost first).
+            let stack: Vec<FuncId> = entry
+                .stack
+                .iter()
+                .filter_map(|f| program.func_named(f))
+                .collect();
+            let Some(&innermost) = stack.first() else {
+                continue;
+            };
+            // Candidate sites: fault sites inside the innermost frame that
+            // can throw the logged exception type.
+            for site in &program.sites {
+                if site.func == innermost && site.exceptions.contains(&exc) {
+                    let key = (site.id, stack.clone());
+                    if seen.insert(key) {
+                        let max_occ = ctx.site_instances[site.id.index()].len().max(1) as u32;
+                        self.targets.push(Target {
+                            site: site.id,
+                            exc,
+                            stack: stack.clone(),
+                            next_occ: 0,
+                            max_occ,
+                        });
+                    }
+                }
+            }
+        }
+        self.targets.sort_by_key(|t| t.site);
+    }
+
+    fn plan_round(&mut self, _ctx: &SearchContext, _round: usize) -> Vec<Candidate> {
+        // Arm every target at its next untried occurrence, stack-guarded.
+        let mut out = Vec::new();
+        for t in &self.targets {
+            if t.next_occ < t.max_occ {
+                out.push(Candidate {
+                    site: t.site,
+                    occurrence: Some(t.next_occ),
+                    exc: t.exc,
+                    stack: Some(t.stack.clone()),
+                });
+            }
+        }
+        out
+    }
+
+    fn feedback(&mut self, _ctx: &SearchContext, outcome: &RoundOutcome) {
+        match &outcome.result.injected {
+            Some(rec) => {
+                for t in &mut self.targets {
+                    if t.site == rec.candidate.site && t.next_occ == rec.occurrence {
+                        t.next_occ += 1;
+                    }
+                }
+            }
+            None => {
+                // Nothing in this round's plan occurred: advance every
+                // target so the search makes progress.
+                for t in &mut self.targets {
+                    if t.next_occ < t.max_occ {
+                        t.next_occ += 1;
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Unit-level behaviour of the baseline strategies on a controlled
+//! scenario.
+
+use anduril_baselines::{table2_strategies, CrashTuner, Fate, StacktraceInjector};
+use anduril_core::{Oracle, RoundOutcome, Scenario, SearchContext, Strategy};
+use anduril_ir::builder::ProgramBuilder;
+use anduril_ir::expr::build as e;
+use anduril_ir::{ExceptionType, Level, Value};
+use anduril_sim::{InjectionPlan, NodeSpec, SimConfig, Topology};
+
+/// A scenario with one logged-with-stack fault path, one silent fault
+/// path, and one meta-info-adjacent fault path.
+fn scenario() -> (Scenario, anduril_ir::SiteId, anduril_ir::SiteId) {
+    let mut pb = ProgramBuilder::new("baseline-unit");
+    let leader = pb.meta_global("leader", Value::str("n1"));
+    let failed = pb.global("failed", Value::Bool(false));
+    let logged_site = std::cell::Cell::new(anduril_ir::SiteId(0));
+    let silent_site = std::cell::Cell::new(anduril_ir::SiteId(0));
+    let logged_op = pb.declare("loggedOp", 0);
+    let silent_op = pb.declare("silentOp", 0);
+    let main = pb.declare("main", 0);
+    pb.body(logged_op, |b| {
+        b.try_catch(
+            |b| {
+                logged_site.set(b.external("logged.op", &[ExceptionType::Io]));
+            },
+            ExceptionType::Io,
+            |b| {
+                // Logs the throwable with its stack.
+                b.log_exc(Level::Warn, "logged op failed", vec![]);
+                b.set_global(failed, e::bool_(true));
+            },
+        );
+    });
+    pb.body(silent_op, |b| {
+        b.try_catch(
+            |b| {
+                silent_site.set(b.external("silent.op", &[ExceptionType::Io]));
+            },
+            ExceptionType::Io,
+            |b| {
+                // Message only, no stack.
+                b.log(Level::Warn, "silent op failed", vec![]);
+                b.set_global(failed, e::bool_(true));
+            },
+        );
+    });
+    pb.body(main, |b| {
+        b.set_global(leader, e::self_node());
+        let i = b.local();
+        b.assign(i, e::int(0));
+        b.while_(e::lt(e::var(i), e::int(6)), |b| {
+            b.call(logged_op, vec![]);
+            b.call(silent_op, vec![]);
+            b.sleep(e::rand(2, 8));
+            b.assign(i, e::add(e::var(i), e::int(1)));
+        });
+        b.log(Level::Info, "done", vec![]);
+    });
+    let program = pb.finish().unwrap();
+    let topo = Topology::new(vec![NodeSpec::new(
+        "n1",
+        program.func_named("main").unwrap(),
+        vec![],
+    )]);
+    (
+        Scenario {
+            name: "baseline-unit".into(),
+            program,
+            topology: topo,
+            config: SimConfig::default(),
+        },
+        logged_site.get(),
+        silent_site.get(),
+    )
+}
+
+fn ctx_for(root: anduril_ir::SiteId, scenario: &Scenario) -> SearchContext {
+    let failure = scenario
+        .run(999, InjectionPlan::exact(root, 3, ExceptionType::Io))
+        .unwrap();
+    SearchContext::prepare(scenario.clone(), &failure.log_text(), 1_000).unwrap()
+}
+
+#[test]
+fn stacktrace_injector_extracts_only_stacked_throwables() {
+    let (scenario, logged, silent) = scenario();
+    // Failure caused by the *logged* path: the injector finds a target.
+    let ctx = ctx_for(logged, &scenario);
+    let mut st = StacktraceInjector::new();
+    st.init(&ctx);
+    assert!(st.target_count() >= 1);
+    let plan = st.plan_round(&ctx, 0);
+    assert!(plan.iter().all(|c| c.site == logged));
+    assert!(plan.iter().all(|c| c.stack.is_some()));
+
+    // Failure caused by the *silent* path: nothing to extract for it.
+    let ctx = ctx_for(silent, &scenario);
+    let mut st = StacktraceInjector::new();
+    st.init(&ctx);
+    let plan = st.plan_round(&ctx, 0);
+    assert!(
+        plan.iter().all(|c| c.site != silent),
+        "the silent site has no logged stack to target"
+    );
+}
+
+#[test]
+fn fate_explores_occurrences_breadth_first() {
+    let (scenario, logged, _) = scenario();
+    let ctx = ctx_for(logged, &scenario);
+    let mut fate = Fate::new();
+    fate.init(&ctx);
+    let plan = fate.plan_round(&ctx, 0);
+    assert!(!plan.is_empty());
+    // Breadth-first: occurrences are non-decreasing through the window
+    // (every site's occurrence 0 precedes any occurrence 1, and so on).
+    let occs: Vec<u32> = plan.iter().filter_map(|c| c.occurrence).collect();
+    assert!(occs.windows(2).all(|w| w[0] <= w[1]), "order: {occs:?}");
+    assert_eq!(occs[0], 0);
+    // Feedback on an injected round removes the candidate.
+    let result = ctx
+        .scenario
+        .run(1_001, InjectionPlan::window(plan.clone()))
+        .unwrap();
+    assert!(result.injected.is_some());
+    let outcome = RoundOutcome::new(&ctx, result);
+    fate.feedback(&ctx, &outcome);
+    let next = fate.plan_round(&ctx, 1);
+    let injected = outcome.result.injected.as_ref().unwrap();
+    assert!(!next.iter().any(|c| {
+        c.site == injected.candidate.site && c.occurrence == Some(injected.occurrence)
+    }));
+}
+
+#[test]
+fn crashtuner_crash_mode_emits_crash_plans() {
+    let (scenario, logged, _) = scenario();
+    let ctx = ctx_for(logged, &scenario);
+    let mut ct = CrashTuner::crashes();
+    ct.init(&ctx);
+    let plan = ct.plan_injection(&ctx, 0).expect("a crash plan");
+    assert!(plan.candidates.is_empty());
+    assert!(plan.crash_at.is_some());
+    // The crash plan actually crashes the node when run.
+    let r = ctx.scenario.run(1_001, plan).unwrap();
+    assert!(r.crashed);
+    assert!(r.has_log("Node n1 crashed"));
+    assert!(!r.node_alive("n1"));
+}
+
+#[test]
+fn crashtuner_queue_is_finite() {
+    let (scenario, logged, _) = scenario();
+    let ctx = ctx_for(logged, &scenario);
+    let mut ct = CrashTuner::crashes();
+    ct.init(&ctx);
+    let mut rounds = 0;
+    while ct.plan_injection(&ctx, rounds).is_some() {
+        rounds += 1;
+        assert!(rounds < 10_000, "crash queue never exhausts");
+    }
+    assert!(rounds > 0);
+}
+
+#[test]
+fn table2_strategy_registry_is_complete() {
+    let names: Vec<&str> = table2_strategies().iter().map(|(n, _)| *n).collect();
+    assert_eq!(names.len(), 9);
+    assert_eq!(names[0], "full-feedback");
+    assert!(names.contains(&"exhaustive"));
+    assert!(names.contains(&"fate"));
+    assert!(names.contains(&"crashtuner"));
+    // Names are unique and match the strategy's own name().
+    for (name, strategy) in table2_strategies() {
+        assert_eq!(name, strategy.name());
+    }
+}
+
+#[test]
+fn all_external_strategies_terminate_on_unsatisfiable_oracles() {
+    let (scenario, logged, _) = scenario();
+    let ctx = ctx_for(logged, &scenario);
+    let oracle = Oracle::LogContains("never happens".into());
+    let cfg = anduril_core::ExplorerConfig {
+        max_rounds: 5_000,
+        ..anduril_core::ExplorerConfig::default()
+    };
+    for mut strategy in [
+        Box::new(StacktraceInjector::new()) as Box<dyn Strategy>,
+        Box::new(Fate::new()),
+        Box::new(CrashTuner::crashes()),
+        Box::new(CrashTuner::meta_exceptions()),
+    ] {
+        let r = anduril_core::explore(&ctx, &oracle, strategy.as_mut(), &cfg, None).unwrap();
+        assert!(!r.success);
+        assert!(
+            r.rounds < 5_000,
+            "{} did not terminate on its own",
+            r.strategy
+        );
+    }
+}

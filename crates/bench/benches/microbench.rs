@@ -1,0 +1,110 @@
+//! Criterion microbenchmarks for ANDURIL's building blocks: the per-thread
+//! Myers diff, log parsing, causal-graph construction, priority planning
+//! (the Explorer's decision latency), and raw simulator throughput.
+
+use anduril_bench::prepare;
+use anduril_core::{FeedbackConfig, FeedbackStrategy, Strategy};
+use anduril_failures::case_by_id;
+use anduril_logdiff::{compare, myers_matches, parse_log, Alignment};
+use anduril_sim::InjectionPlan;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+/// Synthetic log-like sequences with ~5% divergence.
+fn divergent_seqs(n: usize) -> (Vec<u32>, Vec<u32>) {
+    let a: Vec<u32> = (0..n as u32).map(|i| i % 97).collect();
+    let mut b = a.clone();
+    let mut i = 7;
+    while i < b.len() {
+        b[i] = 1_000 + i as u32;
+        i += 20;
+    }
+    (a, b)
+}
+
+fn bench_myers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("myers_diff");
+    for n in [100usize, 400, 1_600] {
+        let (a, b) = divergent_seqs(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| black_box(myers_matches(&a, &b).len()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_log_pipeline(c: &mut Criterion) {
+    let prepared = prepare(case_by_id("f17").expect("f17"));
+    let normal_text = prepared.ctx.normal.log_text();
+    c.bench_function("parse_log_f17", |b| {
+        b.iter(|| black_box(parse_log(&normal_text).len()));
+    });
+    let normal = parse_log(&normal_text);
+    let failure = parse_log(&prepared.failure_log);
+    c.bench_function("per_thread_compare_f17", |b| {
+        b.iter(|| black_box(compare(&normal, &failure).missing.len()));
+    });
+    let diff = compare(&normal, &failure);
+    c.bench_function("alignment_build_f17", |b| {
+        b.iter(|| {
+            let a = Alignment::build(&diff.matches, normal.len(), failure.len());
+            black_box(a.map(17.0))
+        });
+    });
+}
+
+fn bench_causal_graph(c: &mut Criterion) {
+    let mut g = c.benchmark_group("causal_graph_build");
+    for id in ["f3", "f10", "f17"] {
+        let prepared = prepare(case_by_id(id).expect("case"));
+        let program = prepared.ctx.scenario.program.clone();
+        let observables: Vec<anduril_causal::Observable> = prepared
+            .ctx
+            .observables
+            .iter()
+            .map(|o| anduril_causal::Observable {
+                template: o.template,
+            })
+            .collect();
+        let roots = prepared.ctx.scenario.roots();
+        g.bench_with_input(BenchmarkId::from_parameter(id), &id, |bench, _| {
+            bench.iter(|| {
+                let (graph, _) = anduril_causal::build_graph(&program, &observables, &roots);
+                black_box(graph.node_count())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_round_planning(c: &mut Criterion) {
+    // The Explorer's per-round initialization (priority recomputation) —
+    // the cost Table 4 calls "Round Init".
+    let prepared = prepare(case_by_id("f17").expect("f17"));
+    let mut strategy = FeedbackStrategy::new(FeedbackConfig::full());
+    strategy.init(&prepared.ctx);
+    c.bench_function("round_planning_f17", |b| {
+        b.iter(|| black_box(strategy.plan_round(&prepared.ctx, 0).len()));
+    });
+}
+
+fn bench_sim_throughput(c: &mut Criterion) {
+    let prepared = prepare(case_by_id("f17").expect("f17"));
+    let scenario = prepared.ctx.scenario.clone();
+    c.bench_function("workload_run_f17", |b| {
+        b.iter(|| {
+            let r = scenario.run(7, InjectionPlan::none()).expect("run");
+            black_box(r.steps)
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_myers,
+    bench_log_pipeline,
+    bench_causal_graph,
+    bench_round_planning,
+    bench_sim_throughput
+);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Extended ablations beyond Table 2 (DESIGN.md §6): min-vs-sum
+//! aggregation, message-count vs instance-order temporal distance, and
+//! per-thread vs global log diff.
+
+use anduril_bench::{cell, prepare, run_strategy, TextTable};
+use anduril_core::{FeedbackConfig, FeedbackStrategy};
+use anduril_failures::all_cases;
+
+fn main() {
+    let configs = [
+        FeedbackConfig::full(),
+        FeedbackConfig::sum_aggregate(),
+        FeedbackConfig::order_distance(),
+        FeedbackConfig::global_diff(),
+    ];
+    let mut header = vec!["Failure"];
+    header.extend(configs.iter().map(|c| c.name));
+    let mut t = TextTable::new(&header);
+    let mut totals = vec![0usize; configs.len()];
+    let mut failures = vec![0usize; configs.len()];
+    for case in all_cases() {
+        let p = prepare(case);
+        let mut row = vec![format!("{} ({})", p.case.ticket, p.case.id)];
+        for (i, cfg) in configs.iter().enumerate() {
+            let mut s = FeedbackStrategy::new(cfg.clone());
+            let r = run_strategy(&p, &mut s, 400);
+            if r.success {
+                totals[i] += r.rounds;
+            } else {
+                failures[i] += 1;
+                totals[i] += 400;
+            }
+            row.push(cell(&r));
+        }
+        t.row(row);
+    }
+    let mut total_row = vec!["TOTAL rounds (fail=400)".to_string()];
+    for (i, _) in configs.iter().enumerate() {
+        total_row.push(format!("{} ({} failed)", totals[i], failures[i]));
+    }
+    t.row(total_row);
+    println!(
+        "Extended ablations (DESIGN.md section 6): design choices of the feedback algorithm\n"
+    );
+    println!("{}", t.render());
+}

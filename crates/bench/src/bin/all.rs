@@ -1,0 +1,43 @@
+//! Runs the complete evaluation and writes every table and figure under
+//! `results/`.
+//!
+//! `cargo run --release -p anduril-bench --bin all`
+
+use std::process::Command;
+
+fn main() {
+    std::fs::create_dir_all("results").expect("create results dir");
+    let bins = [
+        "table1",
+        "table2",
+        "table3",
+        "table4",
+        "table5",
+        "table6",
+        "table7",
+        "table8",
+        "figure6",
+        "ablations",
+        "scale",
+        "workloads",
+        "seed_sweep",
+    ];
+    for bin in bins {
+        eprintln!("running {bin}...");
+        // Going through cargo keeps the sibling binaries fresh even when
+        // only `all` itself was rebuilt.
+        let out = Command::new(env!("CARGO"))
+            .args(["run", "--release", "-p", "anduril-bench", "--bin", bin])
+            .output()
+            .unwrap_or_else(|e| panic!("spawn {bin}: {e}"));
+        assert!(
+            out.status.success(),
+            "{bin} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let path = format!("results/{bin}.txt");
+        std::fs::write(&path, &out.stdout).expect("write result");
+        eprintln!("wrote {path}");
+    }
+    eprintln!("all artifacts written under results/");
+}

@@ -1,0 +1,42 @@
+//! Base-seed sweep: the Explorer's normal-run seed must not be special.
+//! Reproduces every case under several Explorer base seeds and reports
+//! rounds per seed (a flakiness audit, not a paper artifact).
+
+use anduril_bench::TextTable;
+use anduril_core::{explore, ExplorerConfig, FeedbackConfig, FeedbackStrategy, SearchContext};
+use anduril_failures::all_cases;
+
+fn main() {
+    let seeds = [1_000u64, 5_000, 12_345, 777_777];
+    let mut header = vec!["Case".to_string()];
+    header.extend(seeds.iter().map(|s| format!("base {s}")));
+    let mut t = TextTable::new(&header.iter().map(String::as_str).collect::<Vec<_>>());
+    let mut failures = 0;
+    for case in all_cases() {
+        let gt = case.ground_truth().expect("ground truth");
+        let failure_log = case.failure_log().expect("failure log");
+        let mut row = vec![case.id.to_string()];
+        for &base in &seeds {
+            let ctx =
+                SearchContext::prepare(case.scenario.clone(), &failure_log, base).expect("context");
+            let mut s = FeedbackStrategy::new(FeedbackConfig::full());
+            let cfg = ExplorerConfig {
+                base_seed: base,
+                max_rounds: 2_000,
+                ..ExplorerConfig::default()
+            };
+            let r = explore(&ctx, &case.oracle, &mut s, &cfg, Some(gt.site)).expect("explore");
+            if r.success {
+                row.push(r.rounds.to_string());
+            } else {
+                row.push("-".into());
+                failures += 1;
+            }
+        }
+        t.row(row);
+    }
+    println!("Base-seed sweep: rounds to reproduce under different Explorer seeds\n");
+    println!("{}", t.render());
+    println!("total misses: {failures}");
+    assert_eq!(failures, 0, "some case failed under some base seed");
+}

@@ -1,0 +1,39 @@
+//! Table 2: reproduction efficacy of ANDURIL, its ablation variants, and
+//! the external comparators on all 22 failures.
+//!
+//! Cells are `rounds / simulated kiloticks / host ms`, or `-` when the
+//! failure was not reproduced within the round cap.
+
+use anduril_baselines::{table2_strategies, StacktraceInjector};
+use anduril_bench::{cell, prepare, run_strategy, TextTable};
+use anduril_failures::all_cases;
+
+fn main() {
+    let cap: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300);
+    let names: Vec<&str> = table2_strategies().iter().map(|(n, _)| *n).collect();
+    let mut header = vec!["Failure"];
+    header.extend(names.iter().copied());
+    header.push("stacktrace-injector");
+    let mut t = TextTable::new(&header);
+
+    for case in all_cases() {
+        let prepared = prepare(case);
+        let mut row = vec![format!("{} ({})", prepared.case.ticket, prepared.case.id)];
+        for (_, mut strategy) in table2_strategies() {
+            let r = run_strategy(&prepared, strategy.as_mut(), cap);
+            row.push(cell(&r));
+        }
+        let mut st = StacktraceInjector::new();
+        let r = run_strategy(&prepared, &mut st, cap);
+        row.push(cell(&r));
+        t.row(row);
+        eprintln!("done: {}", prepared.case.id);
+    }
+    println!(
+        "Table 2: rounds / sim-kiloticks / wall-ms per failure and strategy (cap {cap} rounds)\n"
+    );
+    println!("{}", t.render());
+}

@@ -1,0 +1,45 @@
+//! Table 3: sensitivity of the initial window size `k` and the observable
+//! priority adjustment `s`.
+
+use anduril_bench::{prepare, run_strategy, TextTable};
+use anduril_core::{FeedbackConfig, FeedbackStrategy};
+use anduril_failures::all_cases;
+
+fn main() {
+    let ks = [1usize, 3, 10];
+    let ss = [1.0f64, 2.0, 10.0];
+    let prepared: Vec<_> = all_cases().into_iter().map(prepare).collect();
+
+    let mut header = vec!["Param".to_string()];
+    header.extend(prepared.iter().map(|p| p.case.id.to_string()));
+    let mut t = TextTable::new(&header.iter().map(String::as_str).collect::<Vec<_>>());
+
+    for &k in &ks {
+        let mut row = vec![format!("k={k} (s=+1)")];
+        for p in &prepared {
+            let mut s = FeedbackStrategy::new(FeedbackConfig::full_with(k, 1.0));
+            let r = run_strategy(p, &mut s, 400);
+            row.push(if r.success {
+                r.rounds.to_string()
+            } else {
+                "-".into()
+            });
+        }
+        t.row(row);
+    }
+    for &sv in &ss {
+        let mut row = vec![format!("s=+{sv} (k=10)")];
+        for p in &prepared {
+            let mut s = FeedbackStrategy::new(FeedbackConfig::full_with(10, sv));
+            let r = run_strategy(p, &mut s, 400);
+            row.push(if r.success {
+                r.rounds.to_string()
+            } else {
+                "-".into()
+            });
+        }
+        t.row(row);
+    }
+    println!("Table 3: rounds to reproduce under different k and s settings\n");
+    println!("{}", t.render());
+}

@@ -1,0 +1,37 @@
+//! Table 5: the 22 failures, injected fault types, and the
+//! stacktrace-injector's per-case results.
+
+use anduril_baselines::StacktraceInjector;
+use anduril_bench::{prepare, run_strategy, TextTable};
+use anduril_failures::all_cases;
+
+fn main() {
+    let mut t = TextTable::new(&[
+        "Id",
+        "Ticket",
+        "Injected Fault",
+        "ST-inj Rnd",
+        "ST-inj time",
+        "Description",
+    ]);
+    for case in all_cases() {
+        let p = prepare(case);
+        let mut st = StacktraceInjector::new();
+        let r = run_strategy(&p, &mut st, 300);
+        let (rounds, time) = if r.success {
+            (r.rounds.to_string(), format!("{}ms", r.wall.as_millis()))
+        } else {
+            ("-".into(), "-".into())
+        };
+        t.row(vec![
+            p.case.id.to_string(),
+            p.case.ticket.to_string(),
+            p.gt.exc.name().to_string(),
+            rounds,
+            time,
+            p.case.description.chars().take(60).collect(),
+        ]);
+    }
+    println!("Table 5: failures, injected fault types, stacktrace-injector results\n");
+    println!("{}", t.render());
+}

@@ -1,0 +1,30 @@
+//! Table 7: static-analysis time breakdown per failure.
+
+use anduril_bench::{prepare, TextTable};
+use anduril_failures::all_cases;
+
+fn main() {
+    let mut t = TextTable::new(&[
+        "Failure",
+        "LOC (IR stmts)",
+        "Exception",
+        "Slicing",
+        "Chaining",
+        "Total",
+    ]);
+    for case in all_cases() {
+        let p = prepare(case);
+        let tm = p.ctx.timings;
+        let us = |ns: u64| format!("{:.1} us", ns as f64 / 1e3);
+        t.row(vec![
+            format!("{} ({})", p.case.ticket, p.case.id),
+            p.ctx.scenario.program.stmt_count().to_string(),
+            us(tm.exception_ns),
+            us(tm.slicing_ns),
+            us(tm.chaining_ns),
+            us(tm.total_ns),
+        ]);
+    }
+    println!("Table 7: static causal-graph analysis time breakdown\n");
+    println!("{}", t.render());
+}

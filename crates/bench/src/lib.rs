@@ -1,0 +1,178 @@
+//! Shared harness for regenerating every table and figure of the paper's
+//! evaluation.
+//!
+//! Each `table*` / `figure6` binary in `src/bin` prints one artifact; the
+//! `all` binary runs the full evaluation and writes the outputs under
+//! `results/`. Absolute numbers differ from the paper (the substrate is a
+//! discrete-event simulator, not a 20-core testbed); the *shape* — who
+//! reproduces what, in how many rounds, and where the orderings cross — is
+//! the reproduction target.
+
+use std::fmt::Write as _;
+
+use anduril_core::{explore, ExplorerConfig, Reproduction, SearchContext, Strategy};
+use anduril_failures::{FailureCase, GroundTruth};
+
+/// A failure case prepared for exploration: failure log generated, context
+/// (normal run + causal graph) built, ground truth resolved.
+pub struct PreparedCase {
+    /// The case definition.
+    pub case: FailureCase,
+    /// The rendered "production" failure log.
+    pub failure_log: String,
+    /// The prepared search context.
+    pub ctx: SearchContext,
+    /// The known root cause.
+    pub gt: GroundTruth,
+}
+
+/// Prepares a case end to end.
+///
+/// # Panics
+///
+/// Panics if the case's ground truth cannot be resolved — that is a bug in
+/// the failure definition, not an expected runtime condition.
+pub fn prepare(case: FailureCase) -> PreparedCase {
+    let gt = case
+        .ground_truth()
+        .unwrap_or_else(|e| panic!("{}: ground truth: {e}", case.id));
+    let failure_log = case
+        .failure_log()
+        .unwrap_or_else(|e| panic!("{}: failure log: {e}", case.id));
+    let ctx = SearchContext::prepare(case.scenario.clone(), &failure_log, 1_000)
+        .unwrap_or_else(|e| panic!("{}: context: {e}", case.id));
+    PreparedCase {
+        case,
+        failure_log,
+        ctx,
+        gt,
+    }
+}
+
+/// Runs one strategy against a prepared case with a round cap.
+pub fn run_strategy(
+    prepared: &PreparedCase,
+    strategy: &mut dyn Strategy,
+    max_rounds: usize,
+) -> Reproduction {
+    let cfg = ExplorerConfig {
+        max_rounds,
+        ..ExplorerConfig::default()
+    };
+    explore(
+        &prepared.ctx,
+        &prepared.case.oracle,
+        strategy,
+        &cfg,
+        Some(prepared.gt.site),
+    )
+    .expect("exploration runs do not hit simulator errors")
+}
+
+/// Formats rounds + time for one table cell; `-` when not reproduced.
+pub fn cell(r: &Reproduction) -> String {
+    if r.success {
+        format!(
+            "{} / {}kt / {}ms",
+            r.rounds,
+            r.sim_time_total / 1_000,
+            r.wall.as_millis()
+        )
+    } else {
+        "-".to_string()
+    }
+}
+
+/// A minimal fixed-width text table writer.
+#[derive(Debug, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        TextTable {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = h.len();
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                if i < cols {
+                    widths[i] = widths[i].max(c.len());
+                }
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(
+                    out,
+                    "{:width$}",
+                    c,
+                    width = widths.get(i).copied().unwrap_or(0)
+                );
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.header);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Median of a slice (0 if empty); the slice is sorted in place.
+pub fn median(values: &mut [u64]) -> u64 {
+    if values.is_empty() {
+        return 0;
+    }
+    values.sort_unstable();
+    values[values.len() / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_table_aligns_columns() {
+        let mut t = TextTable::new(&["id", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["long-id".into(), "22".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("id"));
+        assert!(lines[2].starts_with("a      "));
+    }
+
+    #[test]
+    fn median_of_odd_and_even() {
+        assert_eq!(median(&mut [3, 1, 2]), 2);
+        assert_eq!(median(&mut [4, 1, 3, 2]), 3);
+        assert_eq!(median(&mut []), 0);
+    }
+}

@@ -1,0 +1,635 @@
+//! Interprocedural exception analysis (§4.1, "Exception Analysis").
+//!
+//! For every function this computes which exception types can *escape* it
+//! and through which local statements, propagating summaries over the call
+//! graph to a fixpoint. Cross-thread propagation through future semantics
+//! is modelled: a task submitted to an executor that can fail makes the
+//! corresponding `Await` a thrower of `ExecutionException` wrapping the
+//! task's own exceptions — the paper's motivating case for analysing "the
+//! inner scheduled code".
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use anduril_ir::{
+    BlockId, ExceptionPattern, ExceptionType, FuncId, Program, SiteId, Stmt, StmtRef, VarId,
+};
+
+/// How a statement can raise an exception.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ThrowKind {
+    /// A fault site (external call or `throw new`) raising it directly.
+    Site(SiteId),
+    /// A call to an internal function from which the exception propagates.
+    Call(FuncId),
+    /// An `Await` whose linked tasks can fail (the raised type is
+    /// [`ExceptionType::Execution`] wrapping the task's exception).
+    AwaitTask(Vec<FuncId>),
+    /// An environmental timeout (`Recv` / `Await` with a timeout).
+    Env,
+}
+
+/// One statement that can raise a given exception type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThrowPoint {
+    /// The raising statement.
+    pub stmt: StmtRef,
+    /// The exception type raised *at this statement* (for `AwaitTask` this
+    /// is `Execution`, not the wrapped type).
+    pub ty: ExceptionType,
+    /// How the statement raises it.
+    pub kind: ThrowKind,
+}
+
+/// Per-program exception summaries.
+#[derive(Debug)]
+pub struct ExcAnalysis {
+    /// Types that can escape each function.
+    pub escapes: Vec<BTreeSet<ExceptionType>>,
+    /// Local statements through which exceptions escape each function.
+    pub escape_points: Vec<Vec<ThrowPoint>>,
+    /// `Submit` statements linked to each future-holding local, per
+    /// function: `(func, var) -> task functions`.
+    pub future_tasks: HashMap<(FuncId, VarId), Vec<FuncId>>,
+}
+
+/// Computes exception summaries for a program.
+pub fn analyze(program: &Program) -> ExcAnalysis {
+    let n = program.funcs.len();
+    let future_tasks = collect_future_tasks(program);
+
+    // Fixpoint on escape sets.
+    let mut escapes: Vec<BTreeSet<ExceptionType>> = vec![BTreeSet::new(); n];
+    loop {
+        let mut changed = false;
+        for f in 0..n {
+            let fid = FuncId(f as u32);
+            let entry = program.funcs[f].entry;
+            let mut esc = BTreeSet::new();
+            escaping_types_of_block(program, entry, &[], &escapes, &future_tasks, fid, &mut esc);
+            if esc != escapes[f] {
+                escapes[f] = esc;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Escape points per function, given converged summaries.
+    let mut escape_points = Vec::with_capacity(n);
+    for f in 0..n {
+        let fid = FuncId(f as u32);
+        let entry = program.funcs[f].entry;
+        let mut points = Vec::new();
+        collect_points(
+            program,
+            entry,
+            &[],
+            &escapes,
+            &future_tasks,
+            fid,
+            &ExceptionPattern::Any,
+            &mut points,
+        );
+        escape_points.push(points);
+    }
+
+    ExcAnalysis {
+        escapes,
+        escape_points,
+        future_tasks,
+    }
+}
+
+impl ExcAnalysis {
+    /// Statements within `block`'s subtree whose exceptions of a type
+    /// matching `pattern` can reach a handler attached *around* that block
+    /// (i.e. they are not caught by any `try` nested inside it).
+    pub fn points_reaching(
+        &self,
+        program: &Program,
+        block: BlockId,
+        func: FuncId,
+        pattern: &ExceptionPattern,
+    ) -> Vec<ThrowPoint> {
+        let mut points = Vec::new();
+        collect_points(
+            program,
+            block,
+            &[],
+            &self.escapes,
+            &self.future_tasks,
+            func,
+            pattern,
+            &mut points,
+        );
+        points
+    }
+}
+
+/// Maps each future-holding local to the task functions whose `Submit`
+/// stores into it (intra-procedural, which matches how our targets use
+/// futures).
+fn collect_future_tasks(program: &Program) -> HashMap<(FuncId, VarId), Vec<FuncId>> {
+    let mut map: HashMap<(FuncId, VarId), Vec<FuncId>> = HashMap::new();
+    for (sref, stmt) in program.all_stmts() {
+        if let Stmt::Submit {
+            func,
+            future: Some(var),
+            ..
+        } = stmt
+        {
+            let owner = program.func_of_stmt(sref);
+            map.entry((owner, *var)).or_default().push(*func);
+        }
+    }
+    map
+}
+
+/// Raw exception types a single statement can raise (before any handler
+/// filtering), as `(type, kind)` pairs.
+fn stmt_raises(
+    program: &Program,
+    sref: StmtRef,
+    stmt: &Stmt,
+    escapes: &[BTreeSet<ExceptionType>],
+    future_tasks: &HashMap<(FuncId, VarId), Vec<FuncId>>,
+    func: FuncId,
+) -> Vec<(ExceptionType, ThrowKind)> {
+    match stmt {
+        Stmt::External { site } => program.sites[site.index()]
+            .exceptions
+            .iter()
+            .map(|t| (*t, ThrowKind::Site(*site)))
+            .collect(),
+        Stmt::ThrowNew { site } => {
+            let ty = program.sites[site.index()].exceptions[0];
+            vec![(ty, ThrowKind::Site(*site))]
+        }
+        Stmt::Call { func: callee, .. } => escapes[callee.index()]
+            .iter()
+            .map(|t| (*t, ThrowKind::Call(*callee)))
+            .collect(),
+        Stmt::Await {
+            future, timeout, ..
+        } => {
+            let mut out = Vec::new();
+            let tasks: Vec<FuncId> = future_tasks
+                .get(&(func, *future))
+                .cloned()
+                .unwrap_or_default();
+            let failing: Vec<FuncId> = tasks
+                .into_iter()
+                .filter(|g| !escapes[g.index()].is_empty())
+                .collect();
+            if !failing.is_empty() {
+                out.push((ExceptionType::Execution, ThrowKind::AwaitTask(failing)));
+            }
+            if timeout.is_some() {
+                out.push((ExceptionType::Timeout, ThrowKind::Env));
+            }
+            out
+        }
+        Stmt::Recv { timeout, .. } => {
+            if timeout.is_some() {
+                vec![(ExceptionType::Timeout, ThrowKind::Env)]
+            } else {
+                Vec::new()
+            }
+        }
+        // `Rethrow` re-raises whatever the enclosing handler caught; the
+        // conservative approximation is the handler's own pattern, handled
+        // by the caller via handler-context tracking. To stay simple (and
+        // sound for our targets) treat it as raising every type its
+        // innermost enclosing handler can catch.
+        Stmt::Rethrow => {
+            let mut out = Vec::new();
+            if let Some(pattern) = enclosing_handler_pattern(program, sref) {
+                for ty in pattern.types() {
+                    out.push((ty, ThrowKind::Env));
+                }
+            }
+            out
+        }
+        _ => Vec::new(),
+    }
+}
+
+/// Finds the pattern of the innermost handler block enclosing a statement.
+fn enclosing_handler_pattern(program: &Program, sref: StmtRef) -> Option<ExceptionPattern> {
+    let mut block = sref.block;
+    loop {
+        let parent = program.block_parent(block);
+        match (parent.stmt, parent.role) {
+            (Some(owner), anduril_ir::BlockRole::Handler(i)) => {
+                if let Stmt::Try { handlers, .. } = program.stmt(owner) {
+                    return Some(handlers[i as usize].pattern.clone());
+                }
+                return None;
+            }
+            (Some(owner), _) => block = owner.block,
+            (None, _) => return None,
+        }
+    }
+}
+
+/// Accumulates the exception types escaping `block`'s subtree given the
+/// handler `protection` patterns between the subtree and the function
+/// boundary.
+fn escaping_types_of_block(
+    program: &Program,
+    block: BlockId,
+    protection: &[&ExceptionPattern],
+    escapes: &[BTreeSet<ExceptionType>],
+    future_tasks: &HashMap<(FuncId, VarId), Vec<FuncId>>,
+    func: FuncId,
+    out: &mut BTreeSet<ExceptionType>,
+) {
+    for (idx, stmt) in program.blocks[block.index()].iter().enumerate() {
+        let sref = StmtRef::new(block, idx as u32);
+        for (ty, _) in stmt_raises(program, sref, stmt, escapes, future_tasks, func) {
+            if !protection.iter().any(|p| p.matches(ty)) {
+                out.insert(ty);
+            }
+        }
+        match stmt {
+            Stmt::If {
+                then_blk, else_blk, ..
+            } => {
+                escaping_types_of_block(
+                    program,
+                    *then_blk,
+                    protection,
+                    escapes,
+                    future_tasks,
+                    func,
+                    out,
+                );
+                if let Some(e) = else_blk {
+                    escaping_types_of_block(
+                        program,
+                        *e,
+                        protection,
+                        escapes,
+                        future_tasks,
+                        func,
+                        out,
+                    );
+                }
+            }
+            Stmt::While { body, .. } => {
+                escaping_types_of_block(
+                    program,
+                    *body,
+                    protection,
+                    escapes,
+                    future_tasks,
+                    func,
+                    out,
+                );
+            }
+            Stmt::Try {
+                body,
+                handlers,
+                finally,
+            } => {
+                let mut inner: Vec<&ExceptionPattern> = protection.to_vec();
+                for h in handlers {
+                    inner.push(&h.pattern);
+                }
+                escaping_types_of_block(program, *body, &inner, escapes, future_tasks, func, out);
+                for h in handlers {
+                    escaping_types_of_block(
+                        program,
+                        h.block,
+                        protection,
+                        escapes,
+                        future_tasks,
+                        func,
+                        out,
+                    );
+                }
+                if let Some(f) = finally {
+                    escaping_types_of_block(
+                        program,
+                        *f,
+                        protection,
+                        escapes,
+                        future_tasks,
+                        func,
+                        out,
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Collects the throw points within `block`'s subtree whose types match
+/// `pattern` and escape the subtree (are not caught by nested handlers).
+#[allow(clippy::too_many_arguments)]
+fn collect_points(
+    program: &Program,
+    block: BlockId,
+    protection: &[&ExceptionPattern],
+    escapes: &[BTreeSet<ExceptionType>],
+    future_tasks: &HashMap<(FuncId, VarId), Vec<FuncId>>,
+    func: FuncId,
+    pattern: &ExceptionPattern,
+    out: &mut Vec<ThrowPoint>,
+) {
+    for (idx, stmt) in program.blocks[block.index()].iter().enumerate() {
+        let sref = StmtRef::new(block, idx as u32);
+        for (ty, kind) in stmt_raises(program, sref, stmt, escapes, future_tasks, func) {
+            if pattern.matches(ty) && !protection.iter().any(|p| p.matches(ty)) {
+                out.push(ThrowPoint {
+                    stmt: sref,
+                    ty,
+                    kind,
+                });
+            }
+        }
+        match stmt {
+            Stmt::If {
+                then_blk, else_blk, ..
+            } => {
+                collect_points(
+                    program,
+                    *then_blk,
+                    protection,
+                    escapes,
+                    future_tasks,
+                    func,
+                    pattern,
+                    out,
+                );
+                if let Some(e) = else_blk {
+                    collect_points(
+                        program,
+                        *e,
+                        protection,
+                        escapes,
+                        future_tasks,
+                        func,
+                        pattern,
+                        out,
+                    );
+                }
+            }
+            Stmt::While { body, .. } => {
+                collect_points(
+                    program,
+                    *body,
+                    protection,
+                    escapes,
+                    future_tasks,
+                    func,
+                    pattern,
+                    out,
+                );
+            }
+            Stmt::Try {
+                body,
+                handlers,
+                finally,
+            } => {
+                let mut inner: Vec<&ExceptionPattern> = protection.to_vec();
+                for h in handlers {
+                    inner.push(&h.pattern);
+                }
+                collect_points(
+                    program,
+                    *body,
+                    &inner,
+                    escapes,
+                    future_tasks,
+                    func,
+                    pattern,
+                    out,
+                );
+                for h in handlers {
+                    collect_points(
+                        program,
+                        h.block,
+                        protection,
+                        escapes,
+                        future_tasks,
+                        func,
+                        pattern,
+                        out,
+                    );
+                }
+                if let Some(f) = finally {
+                    collect_points(
+                        program,
+                        *f,
+                        protection,
+                        escapes,
+                        future_tasks,
+                        func,
+                        pattern,
+                        out,
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Builds the reverse call graph: for every function, the statements that
+/// invoke it (`Call`, `Submit`, `Spawn`).
+pub fn reverse_call_graph(program: &Program) -> BTreeMap<FuncId, Vec<StmtRef>> {
+    let mut map: BTreeMap<FuncId, Vec<StmtRef>> = BTreeMap::new();
+    for (sref, stmt) in program.all_stmts() {
+        let callee = match stmt {
+            Stmt::Call { func, .. } | Stmt::Submit { func, .. } | Stmt::Spawn { func, .. } => {
+                Some(*func)
+            }
+            _ => None,
+        };
+        if let Some(f) = callee {
+            map.entry(f).or_default().push(sref);
+        }
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anduril_ir::builder::ProgramBuilder;
+    use anduril_ir::{expr::build as e, Level, Value};
+
+    #[test]
+    fn direct_external_escapes() {
+        let mut pb = ProgramBuilder::new("t");
+        let f = pb.declare("f", 0);
+        pb.body(f, |b| {
+            b.external("io.op", &[ExceptionType::Io, ExceptionType::Socket]);
+        });
+        let p = pb.finish().unwrap();
+        let a = analyze(&p);
+        assert!(a.escapes[0].contains(&ExceptionType::Io));
+        assert!(a.escapes[0].contains(&ExceptionType::Socket));
+        assert_eq!(a.escape_points[0].len(), 2);
+    }
+
+    #[test]
+    fn caught_exceptions_do_not_escape() {
+        let mut pb = ProgramBuilder::new("t");
+        let f = pb.declare("f", 0);
+        pb.body(f, |b| {
+            b.try_catch(
+                |b| {
+                    b.external("io.op", &[ExceptionType::Io]);
+                },
+                ExceptionType::Io,
+                |b| {
+                    b.log(Level::Warn, "handled", vec![]);
+                },
+            );
+        });
+        let p = pb.finish().unwrap();
+        let a = analyze(&p);
+        assert!(a.escapes[0].is_empty());
+    }
+
+    #[test]
+    fn propagation_through_calls_fixpoint() {
+        let mut pb = ProgramBuilder::new("t");
+        let leaf = pb.declare("leaf", 0);
+        let mid = pb.declare("mid", 0);
+        let top = pb.declare("top", 0);
+        pb.body(leaf, |b| {
+            b.external("io.op", &[ExceptionType::Io]);
+        });
+        pb.body(mid, |b| {
+            b.call(leaf, vec![]);
+        });
+        pb.body(top, |b| {
+            b.try_catch(
+                |b| {
+                    b.call(mid, vec![]);
+                },
+                ExceptionType::Io,
+                |b| {
+                    b.log(Level::Warn, "caught", vec![]);
+                },
+            );
+        });
+        let p = pb.finish().unwrap();
+        let a = analyze(&p);
+        assert!(a.escapes[leaf.index()].contains(&ExceptionType::Io));
+        assert!(a.escapes[mid.index()].contains(&ExceptionType::Io));
+        assert!(a.escapes[top.index()].is_empty());
+        // mid's escape point is the Call statement, attributed to `leaf`.
+        assert!(matches!(
+            a.escape_points[mid.index()][0].kind,
+            ThrowKind::Call(f) if f == leaf
+        ));
+    }
+
+    #[test]
+    fn await_wraps_task_exceptions_in_execution() {
+        let mut pb = ProgramBuilder::new("t");
+        let exec = pb.executor("pool");
+        let task = pb.declare("task", 0);
+        let main = pb.declare("main", 0);
+        pb.body(task, |b| {
+            b.external("hdfs.write", &[ExceptionType::Io]);
+        });
+        pb.body(main, |b| {
+            let f = b.local();
+            b.submit(exec, task, vec![], f);
+            b.await_(f, None, None);
+        });
+        let p = pb.finish().unwrap();
+        let a = analyze(&p);
+        assert!(a.escapes[main.index()].contains(&ExceptionType::Execution));
+        assert!(!a.escapes[main.index()].contains(&ExceptionType::Io));
+        let point = a.escape_points[main.index()]
+            .iter()
+            .find(|p| p.ty == ExceptionType::Execution)
+            .expect("await point");
+        assert!(matches!(&point.kind, ThrowKind::AwaitTask(ts) if ts.contains(&task)));
+    }
+
+    #[test]
+    fn recursion_terminates() {
+        let mut pb = ProgramBuilder::new("t");
+        let f = pb.declare("f", 0);
+        pb.body(f, |b| {
+            b.if_(e::gt(e::rand(0, 10), e::int(5)), |b| {
+                b.call(f, vec![]);
+            });
+            b.external("io.op", &[ExceptionType::Io]);
+        });
+        let p = pb.finish().unwrap();
+        let a = analyze(&p);
+        assert!(a.escapes[0].contains(&ExceptionType::Io));
+    }
+
+    #[test]
+    fn points_reaching_respects_nested_handlers() {
+        let mut pb = ProgramBuilder::new("t");
+        let f = pb.declare("f", 0);
+        pb.body(f, |b| {
+            b.try_catch(
+                |b| {
+                    // Inner try catches Io; only Socket reaches the outer
+                    // handler.
+                    b.try_catch(
+                        |b| {
+                            b.external("a", &[ExceptionType::Io]);
+                        },
+                        ExceptionType::Io,
+                        |b| {
+                            b.log(Level::Warn, "inner", vec![]);
+                        },
+                    );
+                    b.external("b", &[ExceptionType::Socket]);
+                },
+                ExceptionPattern::Any,
+                |b| {
+                    b.log(Level::Warn, "outer", vec![]);
+                },
+            );
+        });
+        let p = pb.finish().unwrap();
+        let a = analyze(&p);
+        // The outer try body is block of the first Try stmt.
+        let (try_ref, _) = p
+            .all_stmts()
+            .find(|(_, s)| matches!(s, Stmt::Try { .. }))
+            .unwrap();
+        let Stmt::Try { body, .. } = p.stmt(try_ref) else {
+            unreachable!()
+        };
+        let pts = a.points_reaching(&p, *body, f, &ExceptionPattern::Any);
+        assert_eq!(pts.len(), 1);
+        assert_eq!(pts[0].ty, ExceptionType::Socket);
+    }
+
+    #[test]
+    fn reverse_call_graph_collects_all_invocation_kinds() {
+        let mut pb = ProgramBuilder::new("t");
+        let _g = pb.global("x", Value::Int(0));
+        let exec = pb.executor("pool");
+        let callee = pb.declare("callee", 0);
+        let main = pb.declare("main", 0);
+        pb.body(callee, |b| {
+            b.halt();
+        });
+        pb.body(main, |b| {
+            b.call(callee, vec![]);
+            b.spawn("t", callee, vec![]);
+            b.submit_forget(exec, callee, vec![]);
+        });
+        let p = pb.finish().unwrap();
+        let rcg = reverse_call_graph(&p);
+        assert_eq!(rcg.get(&callee).map(Vec::len), Some(3));
+    }
+}

@@ -1,0 +1,445 @@
+//! Static causal graph construction (Algorithm 1).
+//!
+//! Starting from the relevant observables' log statements (sinks), the
+//! builder walks *causally prior* nodes backwards until it reaches
+//! new-exception or external-exception nodes — the fault-site sources.
+//! Node kinds follow §4.1: location, condition, invocation, handler,
+//! internal-exception, new-exception, external-exception; we add a virtual
+//! `UncaughtRoot` sink for the runtime's "Uncaught exception in thread"
+//! message, whose priors are the exceptions escaping thread entry points.
+//!
+//! The analysis is deliberately conservative (the Pensieve-style "jumping"
+//! strategy introduces false dependencies); the Explorer's dynamic feedback
+//! is what prunes them — exactly the trade-off the paper makes.
+
+use std::collections::{HashMap, VecDeque};
+use std::time::Instant;
+
+use anduril_ir::builder::{TMPL_ABORT, TMPL_UNCAUGHT};
+use anduril_ir::{
+    BlockRole, ChanId, CondId, ExceptionPattern, ExceptionType, Expr, FuncId, GlobalId, Program,
+    SiteId, SiteKind, Stmt, StmtRef, TemplateId, VarId,
+};
+
+use crate::exceptions::{reverse_call_graph, ExcAnalysis, ThrowKind, ThrowPoint};
+
+/// A causal-graph node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeKey {
+    /// A program point being executed.
+    Location(StmtRef),
+    /// A branch/loop condition being satisfied.
+    Condition(StmtRef),
+    /// A function being invoked.
+    Invocation(FuncId),
+    /// Entry of the `i`-th handler of a `try`.
+    Handler(StmtRef, u32),
+    /// An exception of a type propagating out of an invocation statement.
+    InternalExc(StmtRef, ExceptionType),
+    /// A `throw new` fault site — a source node.
+    NewExc(SiteId),
+    /// An external-call fault site — a source node.
+    ExternalExc(SiteId),
+    /// Virtual sink: an exception escaping a thread entry function.
+    UncaughtRoot(FuncId),
+}
+
+/// An observable the graph is built for (one per relevant log message).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Observable {
+    /// The message template the observable was matched to.
+    pub template: TemplateId,
+}
+
+/// Phase timings of one graph construction (regenerates Table 7).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BuildTimings {
+    /// Exception-analysis time (nanoseconds).
+    pub exception_ns: u64,
+    /// Slicing (condition writer search) time.
+    pub slicing_ns: u64,
+    /// Chain construction (worklist) time, excluding slicing.
+    pub chaining_ns: u64,
+    /// End-to-end build time.
+    pub total_ns: u64,
+}
+
+/// The static causal graph.
+#[derive(Debug)]
+pub struct CausalGraph {
+    /// Interned nodes.
+    pub nodes: Vec<NodeKey>,
+    index: HashMap<NodeKey, u32>,
+    /// `priors[n]` = causally prior nodes of `n`.
+    pub priors: Vec<Vec<u32>>,
+    /// Sink node ids per observable (same order as the build input).
+    pub sinks: Vec<Vec<u32>>,
+    site_nodes: HashMap<SiteId, u32>,
+}
+
+impl CausalGraph {
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.priors.iter().map(Vec::len).sum()
+    }
+
+    /// The fault sites present as source nodes — the paper's *inferred*
+    /// fault sites (Table 1).
+    pub fn sources(&self) -> Vec<SiteId> {
+        let mut v: Vec<SiteId> = self.site_nodes.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Shortest causal distance from every fault-site source to observable
+    /// `k` (the spatial distance `L_{i,k}` of §5.2.2).
+    pub fn distances(&self, k: usize) -> HashMap<SiteId, u32> {
+        let mut dist = vec![u32::MAX; self.nodes.len()];
+        let mut queue = VecDeque::new();
+        for &s in &self.sinks[k] {
+            dist[s as usize] = 0;
+            queue.push_back(s);
+        }
+        while let Some(n) = queue.pop_front() {
+            let d = dist[n as usize];
+            for &p in &self.priors[n as usize] {
+                if dist[p as usize] == u32::MAX {
+                    dist[p as usize] = d + 1;
+                    queue.push_back(p);
+                }
+            }
+        }
+        self.site_nodes
+            .iter()
+            .filter(|(_, &n)| dist[n as usize] != u32::MAX)
+            .map(|(&site, &n)| (site, dist[n as usize]))
+            .collect()
+    }
+}
+
+/// Precomputed program-wide lookup tables for prior computation.
+struct Tables {
+    /// Writers of each local: `(func, var) -> stmts`.
+    local_writers: HashMap<(FuncId, VarId), Vec<StmtRef>>,
+    /// Writers of each global, program-wide.
+    global_writers: HashMap<GlobalId, Vec<StmtRef>>,
+    /// `Send` statements per channel.
+    chan_senders: HashMap<ChanId, Vec<StmtRef>>,
+    /// `SignalCond` statements per condition variable.
+    cond_signalers: HashMap<CondId, Vec<StmtRef>>,
+    /// Reverse call graph.
+    callers: std::collections::BTreeMap<FuncId, Vec<StmtRef>>,
+}
+
+fn build_tables(program: &Program) -> Tables {
+    let mut local_writers: HashMap<(FuncId, VarId), Vec<StmtRef>> = HashMap::new();
+    let mut global_writers: HashMap<GlobalId, Vec<StmtRef>> = HashMap::new();
+    let mut chan_senders: HashMap<ChanId, Vec<StmtRef>> = HashMap::new();
+    let mut cond_signalers: HashMap<CondId, Vec<StmtRef>> = HashMap::new();
+    for (sref, stmt) in program.all_stmts() {
+        let func = program.func_of_stmt(sref);
+        let wrote_local = |v: VarId, map: &mut HashMap<(FuncId, VarId), Vec<StmtRef>>| {
+            map.entry((func, v)).or_default().push(sref);
+        };
+        match stmt {
+            Stmt::Assign { var, .. } => wrote_local(*var, &mut local_writers),
+            Stmt::PopFront { global, var } => {
+                wrote_local(*var, &mut local_writers);
+                global_writers.entry(*global).or_default().push(sref);
+            }
+            Stmt::Call { ret: Some(v), .. } => wrote_local(*v, &mut local_writers),
+            Stmt::Recv { var, .. } => wrote_local(*var, &mut local_writers),
+            Stmt::Await { ret: Some(v), .. } => wrote_local(*v, &mut local_writers),
+            Stmt::WaitCond { ok: Some(v), .. } => wrote_local(*v, &mut local_writers),
+            Stmt::Submit {
+                future: Some(v), ..
+            } => wrote_local(*v, &mut local_writers),
+            Stmt::SetGlobal { global, .. } | Stmt::PushBack { global, .. } => {
+                global_writers.entry(*global).or_default().push(sref);
+            }
+            Stmt::Send { chan, .. } => chan_senders.entry(*chan).or_default().push(sref),
+            Stmt::SignalCond { cond } => cond_signalers.entry(*cond).or_default().push(sref),
+            _ => {}
+        }
+    }
+    Tables {
+        local_writers,
+        global_writers,
+        chan_senders,
+        cond_signalers,
+        callers: reverse_call_graph(program),
+    }
+}
+
+/// Builds the causal graph for a list of observables.
+///
+/// `roots` are thread entry functions (node mains and spawn targets are
+/// derived automatically; pass the topology's mains) used as sinks for the
+/// runtime "Uncaught exception" observable.
+pub fn build(
+    program: &Program,
+    analysis: &ExcAnalysis,
+    observables: &[Observable],
+    roots: &[FuncId],
+    timings: &mut BuildTimings,
+) -> CausalGraph {
+    let total_start = Instant::now();
+    let tables = build_tables(program);
+
+    let mut g = CausalGraph {
+        nodes: Vec::new(),
+        index: HashMap::new(),
+        priors: Vec::new(),
+        sinks: Vec::new(),
+        site_nodes: HashMap::new(),
+    };
+    let mut queue: VecDeque<u32> = VecDeque::new();
+
+    // Thread entry functions: explicit roots plus every Spawn target.
+    let mut all_roots: Vec<FuncId> = roots.to_vec();
+    for (_, stmt) in program.all_stmts() {
+        if let Stmt::Spawn { func, .. } = stmt {
+            all_roots.push(*func);
+        }
+    }
+    all_roots.sort_unstable();
+    all_roots.dedup();
+
+    // Seed sinks.
+    for obs in observables {
+        let mut sinks = Vec::new();
+        if obs.template == TMPL_UNCAUGHT {
+            for &f in &all_roots {
+                if !analysis.escapes[f.index()].is_empty() {
+                    sinks.push(intern(&mut g, &mut queue, NodeKey::UncaughtRoot(f)));
+                }
+            }
+        } else if obs.template == TMPL_ABORT {
+            for (sref, stmt) in program.all_stmts() {
+                if matches!(stmt, Stmt::Abort { .. }) {
+                    sinks.push(intern(&mut g, &mut queue, NodeKey::Location(sref)));
+                }
+            }
+        } else {
+            for sref in program.log_stmts_of_template(obs.template) {
+                sinks.push(intern(&mut g, &mut queue, NodeKey::Location(sref)));
+            }
+        }
+        g.sinks.push(sinks);
+    }
+
+    // Worklist (Algorithm 1).
+    while let Some(n) = queue.pop_front() {
+        let key = g.nodes[n as usize];
+        // Source nodes terminate the recursion.
+        if matches!(key, NodeKey::NewExc(_) | NodeKey::ExternalExc(_)) {
+            continue;
+        }
+        let chain_start = Instant::now();
+        let priors = causally_prior(program, analysis, &tables, key, timings);
+        timings.chaining_ns += chain_start.elapsed().as_nanos() as u64;
+        for p in priors {
+            let pid = intern(&mut g, &mut queue, p);
+            g.priors[n as usize].push(pid);
+        }
+        g.priors[n as usize].sort_unstable();
+        g.priors[n as usize].dedup();
+    }
+
+    timings.total_ns += total_start.elapsed().as_nanos() as u64;
+    g
+}
+
+fn intern(g: &mut CausalGraph, queue: &mut VecDeque<u32>, key: NodeKey) -> u32 {
+    if let Some(&id) = g.index.get(&key) {
+        return id;
+    }
+    let id = g.nodes.len() as u32;
+    g.nodes.push(key);
+    g.priors.push(Vec::new());
+    g.index.insert(key, id);
+    if let NodeKey::NewExc(site) | NodeKey::ExternalExc(site) = key {
+        g.site_nodes.insert(site, id);
+    }
+    queue.push_back(id);
+    id
+}
+
+/// The structural prior of a statement: the condition, handler, or
+/// invocation that dominates its execution.
+fn structural_prior(program: &Program, sref: StmtRef) -> NodeKey {
+    let parent = program.block_parent(sref.block);
+    match (parent.stmt, parent.role) {
+        (None, _) => NodeKey::Invocation(parent.func),
+        (Some(owner), BlockRole::Then | BlockRole::Else) => NodeKey::Condition(owner),
+        (Some(owner), BlockRole::LoopBody) => NodeKey::Condition(owner),
+        (Some(owner), BlockRole::Handler(i)) => NodeKey::Handler(owner, i),
+        (Some(owner), BlockRole::TryBody | BlockRole::Finally) => NodeKey::Location(owner),
+        (Some(owner), BlockRole::Entry) => NodeKey::Location(owner),
+    }
+}
+
+/// Maps a throw point to its prior nodes for handler / internal-exception
+/// expansion, applying the paper's new-exception downgrade rule.
+fn throw_point_nodes(program: &Program, point: &ThrowPoint, out: &mut Vec<NodeKey>) {
+    match &point.kind {
+        ThrowKind::Site(site) => {
+            let info = &program.sites[site.index()];
+            match info.kind {
+                SiteKind::External => out.push(NodeKey::ExternalExc(*site)),
+                SiteKind::ThrowNew => {
+                    // Downgrade: a `throw new` inside a catch block is
+                    // propagating a caught (possibly external) fault, so it
+                    // is treated as internal and the analysis continues
+                    // through the handler's own priors.
+                    if !inside_handler(program, point.stmt) {
+                        out.push(NodeKey::NewExc(*site));
+                    }
+                }
+            }
+            // Reaching the throwing statement has its own causal story
+            // (guards, callers), so keep analysing its location.
+            out.push(NodeKey::Location(point.stmt));
+        }
+        ThrowKind::Call(_) | ThrowKind::AwaitTask(_) => {
+            out.push(NodeKey::InternalExc(point.stmt, point.ty));
+            out.push(NodeKey::Location(point.stmt));
+        }
+        ThrowKind::Env => out.push(NodeKey::Location(point.stmt)),
+    }
+}
+
+fn inside_handler(program: &Program, sref: StmtRef) -> bool {
+    let mut block = sref.block;
+    loop {
+        let parent = program.block_parent(block);
+        match (parent.stmt, parent.role) {
+            (Some(_), BlockRole::Handler(_)) => return true,
+            (Some(owner), _) => block = owner.block,
+            (None, _) => return false,
+        }
+    }
+}
+
+fn causally_prior(
+    program: &Program,
+    analysis: &ExcAnalysis,
+    tables: &Tables,
+    key: NodeKey,
+    timings: &mut BuildTimings,
+) -> Vec<NodeKey> {
+    let mut out = Vec::new();
+    match key {
+        NodeKey::Location(sref) => {
+            out.push(structural_prior(program, sref));
+            // The previous statement in the block dominates this one.
+            if sref.idx > 0 {
+                out.push(NodeKey::Location(StmtRef::new(sref.block, sref.idx - 1)));
+            }
+            // Statement-specific cross-resource dependencies.
+            match program.stmt(sref) {
+                // Reaching (or passing) a fault site is causally tied to
+                // the site's outcome; this is the conservative inclusion
+                // that makes the paper's graphs large and its feedback
+                // loop necessary.
+                Stmt::External { site } => {
+                    out.push(NodeKey::ExternalExc(*site));
+                }
+                Stmt::ThrowNew { site } if !inside_handler(program, sref) => {
+                    out.push(NodeKey::NewExc(*site));
+                }
+                _ => {}
+            }
+            match program.stmt(sref) {
+                Stmt::Recv { chan, .. } => {
+                    if let Some(senders) = tables.chan_senders.get(chan) {
+                        out.extend(senders.iter().map(|&s| NodeKey::Location(s)));
+                    }
+                }
+                Stmt::WaitCond { cond, .. } => {
+                    if let Some(signals) = tables.cond_signalers.get(cond) {
+                        out.extend(signals.iter().map(|&s| NodeKey::Location(s)));
+                    }
+                }
+                Stmt::Await { future, .. } => {
+                    let func = program.func_of_stmt(sref);
+                    if let Some(tasks) = analysis.future_tasks.get(&(func, *future)) {
+                        out.extend(tasks.iter().map(|&f| NodeKey::Invocation(f)));
+                    }
+                }
+                _ => {}
+            }
+        }
+        NodeKey::Condition(sref) => {
+            out.push(structural_prior(program, sref));
+            let slice_start = Instant::now();
+            let cond = match program.stmt(sref) {
+                Stmt::If { cond, .. } | Stmt::While { cond, .. } => cond.clone(),
+                _ => Expr::Const(anduril_ir::Value::Unit),
+            };
+            let mut vars = Vec::new();
+            let mut globals = Vec::new();
+            cond.reads(&mut vars, &mut globals);
+            let func = program.func_of_stmt(sref);
+            for v in vars {
+                if let Some(writers) = tables.local_writers.get(&(func, v)) {
+                    out.extend(writers.iter().map(|&w| NodeKey::Location(w)));
+                }
+            }
+            for gl in globals {
+                if let Some(writers) = tables.global_writers.get(&gl) {
+                    out.extend(writers.iter().map(|&w| NodeKey::Location(w)));
+                }
+            }
+            timings.slicing_ns += slice_start.elapsed().as_nanos() as u64;
+        }
+        NodeKey::Invocation(f) => {
+            if let Some(callers) = tables.callers.get(&f) {
+                out.extend(callers.iter().map(|&c| NodeKey::Location(c)));
+            }
+        }
+        NodeKey::Handler(try_ref, i) => {
+            let Stmt::Try { body, handlers, .. } = program.stmt(try_ref) else {
+                return out;
+            };
+            let pattern = &handlers[i as usize].pattern;
+            let func = program.func_of_stmt(try_ref);
+            for point in analysis.points_reaching(program, *body, func, pattern) {
+                throw_point_nodes(program, &point, &mut out);
+            }
+        }
+        NodeKey::InternalExc(sref, ty) => match program.stmt(sref) {
+            Stmt::Call { func: callee, .. } => {
+                let entry = program.funcs[callee.index()].entry;
+                let pattern = ExceptionPattern::Only(ty);
+                for point in analysis.points_reaching(program, entry, *callee, &pattern) {
+                    throw_point_nodes(program, &point, &mut out);
+                }
+            }
+            Stmt::Await { future, .. } => {
+                let func = program.func_of_stmt(sref);
+                if let Some(tasks) = analysis.future_tasks.get(&(func, *future)) {
+                    for &task in tasks {
+                        for point in &analysis.escape_points[task.index()] {
+                            throw_point_nodes(program, point, &mut out);
+                        }
+                    }
+                }
+            }
+            _ => {}
+        },
+        NodeKey::UncaughtRoot(f) => {
+            for point in &analysis.escape_points[f.index()] {
+                throw_point_nodes(program, point, &mut out);
+            }
+            out.push(NodeKey::Invocation(f));
+        }
+        NodeKey::NewExc(_) | NodeKey::ExternalExc(_) => {}
+    }
+    out
+}

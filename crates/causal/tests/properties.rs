@@ -1,0 +1,157 @@
+//! Property-based tests: causal-graph invariants over randomized
+//! structured programs.
+
+use anduril_causal::{analyze, build_graph, Observable};
+use anduril_ir::builder::{BodyBuilder, ProgramBuilder};
+use anduril_ir::expr::build as e;
+use anduril_ir::{ExceptionType, Level, Program};
+use proptest::prelude::*;
+
+/// A tiny recipe language for generating structured function bodies.
+#[derive(Debug, Clone)]
+enum Step {
+    External(u8),
+    TryExternal(u8),
+    LogWarn(u8),
+    IfExternal(u8),
+    CallPrev,
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0u8..4).prop_map(Step::External),
+        (0u8..4).prop_map(Step::TryExternal),
+        (0u8..4).prop_map(Step::LogWarn),
+        (0u8..4).prop_map(Step::IfExternal),
+        Just(Step::CallPrev),
+    ]
+}
+
+fn apply_step(b: &mut BodyBuilder<'_>, step: &Step, prev: Option<anduril_ir::FuncId>) {
+    match step {
+        Step::External(i) => {
+            b.external(&format!("ext{i}"), &[ExceptionType::Io]);
+        }
+        Step::TryExternal(i) => {
+            let desc = format!("flaky{i}");
+            let warn = format!("warn template {i}");
+            b.try_catch(
+                move |b| {
+                    b.external(&desc, &[ExceptionType::Io]);
+                },
+                ExceptionType::Io,
+                move |b| {
+                    b.log(Level::Warn, &warn, vec![]);
+                },
+            );
+        }
+        Step::LogWarn(i) => {
+            b.log(Level::Warn, &format!("warn template {i}"), vec![]);
+        }
+        Step::IfExternal(i) => {
+            let desc = format!("cond-ext{i}");
+            b.if_(e::gt(e::rand(0, 10), e::int(*i as i64)), move |b| {
+                b.external(&desc, &[ExceptionType::Socket]);
+            });
+        }
+        Step::CallPrev => {
+            if let Some(f) = prev {
+                b.call(f, vec![]);
+            }
+        }
+    }
+}
+
+fn build_program(funcs: &[Vec<Step>]) -> Program {
+    let mut pb = ProgramBuilder::new("prop");
+    let ids: Vec<_> = (0..funcs.len())
+        .map(|i| pb.declare(&format!("f{i}"), 0))
+        .collect();
+    for (i, steps) in funcs.iter().enumerate() {
+        let prev = if i > 0 { Some(ids[i - 1]) } else { None };
+        pb.body(ids[i], |b| {
+            for s in steps {
+                apply_step(b, s, prev);
+            }
+        });
+    }
+    pb.finish().expect("generated programs are valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The graph's sources are always real program fault sites, and every
+    /// observable distance refers to a source.
+    #[test]
+    fn sources_are_program_sites(
+        funcs in prop::collection::vec(
+            prop::collection::vec(step_strategy(), 1..6),
+            1..4,
+        ),
+    ) {
+        let p = build_program(&funcs);
+        let main = p.func_named(&format!("f{}", funcs.len() - 1)).unwrap();
+        let observables: Vec<Observable> = (0..p.templates.len())
+            .map(|t| Observable { template: anduril_ir::TemplateId(t as u32) })
+            .collect();
+        let (g, _) = build_graph(&p, &observables, &[main]);
+        let site_ids: std::collections::HashSet<_> =
+            p.sites.iter().map(|s| s.id).collect();
+        for s in g.sources() {
+            prop_assert!(site_ids.contains(&s));
+        }
+        for k in 0..observables.len() {
+            for (site, d) in g.distances(k) {
+                prop_assert!(g.sources().contains(&site));
+                prop_assert!(d as usize <= g.node_count());
+            }
+        }
+    }
+
+    /// Graph construction is deterministic.
+    #[test]
+    fn build_is_deterministic(
+        funcs in prop::collection::vec(
+            prop::collection::vec(step_strategy(), 1..5),
+            1..4,
+        ),
+    ) {
+        let p = build_program(&funcs);
+        let main = p.func_named("f0").unwrap();
+        let observables: Vec<Observable> = (0..p.templates.len())
+            .map(|t| Observable { template: anduril_ir::TemplateId(t as u32) })
+            .collect();
+        let (g1, _) = build_graph(&p, &observables, &[main]);
+        let (g2, _) = build_graph(&p, &observables, &[main]);
+        prop_assert_eq!(g1.node_count(), g2.node_count());
+        prop_assert_eq!(g1.edge_count(), g2.edge_count());
+        prop_assert_eq!(g1.sources(), g2.sources());
+    }
+
+    /// Exception analysis: a handler-protected site never escapes its
+    /// function; an unprotected one always does.
+    #[test]
+    fn escape_analysis_respects_handlers(protected in any::<bool>()) {
+        let mut pb = ProgramBuilder::new("esc");
+        let f = pb.declare("f", 0);
+        pb.body(f, |b| {
+            if protected {
+                b.try_catch(
+                    |b| {
+                        b.external("op", &[ExceptionType::Io]);
+                    },
+                    ExceptionType::Io,
+                    |b| {
+                        b.log(Level::Warn, "handled", vec![]);
+                    },
+                );
+            } else {
+                b.external("op", &[ExceptionType::Io]);
+            }
+        });
+        let p = pb.finish().unwrap();
+        let a = analyze(&p);
+        prop_assert_eq!(a.escapes[0].contains(&ExceptionType::Io), !protected);
+    }
+}

@@ -1,0 +1,201 @@
+//! Search context shared by every exploration strategy.
+//!
+//! Preparing a context performs the Explorer's step 1 and the Instrumenter
+//! analysis (§3): run the workload fault-free, diff against the failure
+//! log to identify relevant observables (§5.1), build the causal graph for
+//! them, precompute per-observable distances, and map the fault-instance
+//! distribution from the normal run's timeline onto the failure log's
+//! timeline (§5.2.3).
+
+use std::collections::{HashMap, HashSet};
+
+use anduril_causal::{build_graph, BuildTimings, CausalGraph, Observable};
+use anduril_ir::{ExceptionType, SiteId, TemplateId};
+use anduril_logdiff::{compare, parse_log, Alignment, ParsedEntry};
+use anduril_sim::{RunResult, SimError};
+
+use crate::scenario::Scenario;
+
+/// One relevant observable with its failure-log positions.
+#[derive(Debug, Clone)]
+pub struct ObservableInfo {
+    /// The matched template.
+    pub template: TemplateId,
+    /// Indices of this observable's failure-only entries in the failure
+    /// log (its positions on the failure timeline).
+    pub positions: Vec<usize>,
+}
+
+/// A `(site, exception)` static fault candidate — the unit the paper calls
+/// `f_i`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FaultUnit {
+    /// The fault site.
+    pub site: SiteId,
+    /// The exception type to inject.
+    pub exc: ExceptionType,
+}
+
+/// Everything a strategy can read when planning rounds.
+#[derive(Debug)]
+pub struct SearchContext {
+    /// The scenario under reproduction.
+    pub scenario: Scenario,
+    /// Parsed failure log (from the uninstrumented production system).
+    pub failure: Vec<ParsedEntry>,
+    /// The fault-free run.
+    pub normal: RunResult,
+    /// Relevant observables (failure-only messages).
+    pub observables: Vec<ObservableInfo>,
+    /// The static causal graph for those observables.
+    pub graph: CausalGraph,
+    /// Causal-graph build timings (Table 7).
+    pub timings: BuildTimings,
+    /// `distances[k][site]` = spatial distance `L_{i,k}`.
+    pub distances: Vec<HashMap<SiteId, u32>>,
+    /// Per-site dynamic instances from the normal run, as
+    /// `(occurrence, mapped failure-log position)`.
+    pub site_instances: Vec<Vec<(u32, f64)>>,
+    /// The static fault candidates (graph sources × declared exceptions).
+    pub units: Vec<FaultUnit>,
+    /// Seed used for the normal run (rounds use `base_seed + 1 + round`).
+    pub base_seed: u64,
+}
+
+impl SearchContext {
+    /// Prepares a context: normal run, observable identification, causal
+    /// graph, distances, and instance alignment.
+    pub fn prepare(
+        scenario: Scenario,
+        failure_log_text: &str,
+        base_seed: u64,
+    ) -> Result<SearchContext, SimError> {
+        let normal = scenario.run(base_seed, anduril_sim::InjectionPlan::none())?;
+        let failure = parse_log(failure_log_text);
+        let normal_parsed = parse_log(&normal.log_text());
+        let diff = compare(&normal_parsed, &failure);
+
+        // Map failure-only entries to templates; one observable per
+        // template, holding every position it is missing at.
+        let program = &scenario.program;
+        let mut by_template: HashMap<TemplateId, Vec<usize>> = HashMap::new();
+        for &idx in &diff.missing {
+            if let Some(t) = best_template(program, &failure[idx].body) {
+                by_template.entry(t).or_default().push(idx);
+            }
+        }
+        let mut observables: Vec<ObservableInfo> = by_template
+            .into_iter()
+            .map(|(template, positions)| ObservableInfo {
+                template,
+                positions,
+            })
+            .collect();
+        observables.sort_by_key(|o| o.template);
+
+        let obs_inputs: Vec<Observable> = observables
+            .iter()
+            .map(|o| Observable {
+                template: o.template,
+            })
+            .collect();
+        let (graph, timings) = build_graph(program, &obs_inputs, &scenario.roots());
+        let distances: Vec<HashMap<SiteId, u32>> =
+            (0..observables.len()).map(|k| graph.distances(k)).collect();
+
+        // Fault-instance distribution mapped onto the failure timeline.
+        let alignment = Alignment::build(&diff.matches, normal_parsed.len(), failure.len());
+        let mut site_instances: Vec<Vec<(u32, f64)>> = vec![Vec::new(); program.sites.len()];
+        for t in &normal.trace {
+            let mapped = alignment.map(t.log_pos as f64);
+            site_instances[t.site.index()].push((t.occurrence, mapped));
+        }
+
+        let mut units = Vec::new();
+        for site in graph.sources() {
+            for &exc in &program.sites[site.index()].exceptions {
+                units.push(FaultUnit { site, exc });
+            }
+        }
+
+        Ok(SearchContext {
+            scenario,
+            failure,
+            normal,
+            observables,
+            graph,
+            timings,
+            distances,
+            site_instances,
+            units,
+            base_seed,
+        })
+    }
+
+    /// The temporal distance `T_{i,j,k}`: messages between instance
+    /// position `pos` (already mapped to the failure timeline) and the
+    /// nearest position of observable `k`.
+    pub fn temporal_distance(&self, pos: f64, k: usize) -> f64 {
+        self.observables[k]
+            .positions
+            .iter()
+            .map(|&p| (pos - p as f64).abs())
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Observables present in a round's log: those whose failure entries
+    /// are matched by the per-thread diff.
+    pub fn present_observables(&self, round_log_text: &str) -> Vec<usize> {
+        self.present_observables_with(round_log_text, false)
+    }
+
+    /// Presence computation with a choice of diff: per-thread (the paper's
+    /// method) or global (the naive ablation of §5.1.1).
+    pub fn present_observables_with(&self, round_log_text: &str, global: bool) -> Vec<usize> {
+        let parsed = parse_log(round_log_text);
+        let diff = if global {
+            anduril_logdiff::compare_global(&parsed, &self.failure)
+        } else {
+            compare(&parsed, &self.failure)
+        };
+        let missing: HashSet<usize> = diff.missing.iter().copied().collect();
+        self.observables
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.positions.iter().any(|p| !missing.contains(p)))
+            .map(|(k, _)| k)
+            .collect()
+    }
+}
+
+/// Picks the most specific template whose rendered form matches `body`
+/// (longest literal text wins; ties broken by id for determinism).
+fn best_template(program: &anduril_ir::Program, body: &str) -> Option<TemplateId> {
+    program
+        .templates_matching(body)
+        .into_iter()
+        .max_by_key(|t| {
+            let text = &program.templates[t.index()].text;
+            (
+                text.len() - 2 * text.matches("{}").count(),
+                std::cmp::Reverse(t.0),
+            )
+        })
+}
+
+/// Outcome of one injection round, as seen by strategies.
+#[derive(Debug)]
+pub struct RoundOutcome {
+    /// The run's result.
+    pub result: RunResult,
+    /// Indices of observables present in the round's log.
+    pub present: Vec<usize>,
+}
+
+impl RoundOutcome {
+    /// Builds the outcome, computing observable presence via the log diff.
+    pub fn new(ctx: &SearchContext, result: RunResult) -> Self {
+        let present = ctx.present_observables(&result.log_text());
+        RoundOutcome { result, present }
+    }
+}

@@ -1,0 +1,314 @@
+//! The Explorer's round loop (§3, steps 1–5).
+
+use std::time::{Duration, Instant};
+
+use anduril_ir::{ExceptionType, SiteId};
+use anduril_sim::{InjectionPlan, SimError};
+
+use crate::context::{RoundOutcome, SearchContext};
+use crate::feedback::{FeedbackConfig, FeedbackStrategy};
+use crate::oracle::Oracle;
+use crate::scenario::Scenario;
+use crate::strategy::Strategy;
+
+/// Explorer configuration.
+#[derive(Debug, Clone)]
+pub struct ExplorerConfig {
+    /// Give up after this many injection rounds (the paper's user limit,
+    /// default 2000).
+    pub max_rounds: usize,
+    /// Seed of the normal run; round `r` uses `base_seed + 1 + r`, which
+    /// restores the cross-run nondeterminism the flexible window handles.
+    pub base_seed: u64,
+    /// Re-run the generated script once on success to confirm the
+    /// reproduction is deterministic (§3, step 4.a).
+    pub verify_replay: bool,
+    /// Extra fault-free runs whose observables are unioned into each
+    /// round's feedback — the paper's §6 mitigation for concurrency
+    /// making crucial log messages disappear ("we can run ANDURIL multiple
+    /// times per round and use the combined logs"). `0` disables it.
+    pub extra_feedback_runs: usize,
+}
+
+impl Default for ExplorerConfig {
+    fn default() -> Self {
+        ExplorerConfig {
+            max_rounds: 2000,
+            base_seed: 1000,
+            verify_replay: true,
+            extra_feedback_runs: 0,
+        }
+    }
+}
+
+/// The deterministic reproduction script emitted on success.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReproScript {
+    /// Simulation seed to replay with.
+    pub seed: u64,
+    /// Root-cause fault site.
+    pub site: SiteId,
+    /// Dynamic occurrence to inject at.
+    pub occurrence: u32,
+    /// Exception type to throw.
+    pub exc: ExceptionType,
+    /// Human-readable site description.
+    pub desc: String,
+}
+
+impl ReproScript {
+    /// Replays the script against a scenario.
+    pub fn replay(&self, scenario: &Scenario) -> Result<anduril_sim::RunResult, SimError> {
+        scenario.run(
+            self.seed,
+            InjectionPlan::exact(self.site, self.occurrence, self.exc),
+        )
+    }
+
+    /// Serializes the script as a small self-describing text block.
+    ///
+    /// The format is stable, line-oriented `key = value` (so scripts can be
+    /// checked into a ticket or bug report), parsed back by
+    /// [`ReproScript::parse`].
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("# anduril reproduction script v1\n");
+        out.push_str(&format!("seed = {}\n", self.seed));
+        out.push_str(&format!("site = {}\n", self.site.0));
+        out.push_str(&format!("occurrence = {}\n", self.occurrence));
+        out.push_str(&format!("exception = {}\n", self.exc.name()));
+        out.push_str(&format!("desc = {}\n", self.desc));
+        out
+    }
+
+    /// Parses a script produced by [`ReproScript::to_text`].
+    ///
+    /// Returns `None` on any malformed or missing field.
+    pub fn parse(text: &str) -> Option<ReproScript> {
+        let mut seed = None;
+        let mut site = None;
+        let mut occurrence = None;
+        let mut exc = None;
+        let mut desc = None;
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (key, value) = line.split_once('=')?;
+            let (key, value) = (key.trim(), value.trim());
+            match key {
+                "seed" => seed = value.parse().ok(),
+                "site" => site = value.parse().ok().map(SiteId),
+                "occurrence" => occurrence = value.parse().ok(),
+                "exception" => exc = ExceptionType::parse(value),
+                "desc" => desc = Some(value.to_string()),
+                _ => {}
+            }
+        }
+        Some(ReproScript {
+            seed: seed?,
+            site: site?,
+            occurrence: occurrence?,
+            exc: exc?,
+            desc: desc?,
+        })
+    }
+}
+
+/// Bookkeeping for one round.
+#[derive(Debug, Clone)]
+pub struct RoundRecord {
+    /// Round number (0-based).
+    pub round: usize,
+    /// Window size used this round.
+    pub window: usize,
+    /// Candidates armed.
+    pub armed: usize,
+    /// What was injected, if anything.
+    pub injected: Option<(SiteId, u32, ExceptionType)>,
+    /// Rank of the ground-truth root-cause site at planning time (Figure 6).
+    pub gt_rank: Option<usize>,
+    /// Host nanoseconds spent planning (round initialization, Table 4).
+    pub init_ns: u64,
+    /// Host nanoseconds spent executing the workload.
+    pub workload_ns: u64,
+    /// Simulated ticks the run covered.
+    pub sim_time: u64,
+    /// Whether the oracle was satisfied.
+    pub oracle_satisfied: bool,
+}
+
+/// The result of a reproduction attempt.
+#[derive(Debug, Clone)]
+pub struct Reproduction {
+    /// Whether the failure was reproduced.
+    pub success: bool,
+    /// Rounds executed (including the successful one).
+    pub rounds: usize,
+    /// The deterministic reproduction script, on success.
+    pub script: Option<ReproScript>,
+    /// Whether the script replayed successfully (when verification is on).
+    pub replay_verified: bool,
+    /// Per-round records.
+    pub per_round: Vec<RoundRecord>,
+    /// Total injection requests served across all rounds.
+    pub injection_requests: u64,
+    /// Total injection-decision nanoseconds across all rounds.
+    pub decision_ns: u64,
+    /// Total simulated time across all rounds.
+    pub sim_time_total: u64,
+    /// Wall-clock duration of the whole exploration.
+    pub wall: Duration,
+    /// The strategy used.
+    pub strategy: String,
+}
+
+impl Reproduction {
+    /// Simulated "minutes" analog: total simulated ticks across rounds.
+    pub fn sim_cost(&self) -> u64 {
+        self.sim_time_total
+    }
+}
+
+/// Runs the exploration loop with an arbitrary strategy.
+///
+/// `ground_truth` (when known, as in our evaluation harness) enables the
+/// per-round rank trace of Figure 6; it does not influence the search.
+pub fn explore(
+    ctx: &SearchContext,
+    oracle: &Oracle,
+    strategy: &mut dyn Strategy,
+    cfg: &ExplorerConfig,
+    ground_truth: Option<SiteId>,
+) -> Result<Reproduction, SimError> {
+    let started = Instant::now();
+    strategy.init(ctx);
+    let mut per_round = Vec::new();
+    let mut injection_requests = ctx.normal.injection_requests;
+    let mut decision_ns = ctx.normal.decision_ns;
+    let mut sim_time_total = ctx.normal.end_time;
+
+    for round in 0..cfg.max_rounds {
+        let init_start = Instant::now();
+        let plan = strategy.plan_injection(ctx, round);
+        let init_ns = init_start.elapsed().as_nanos() as u64;
+        let gt_rank = ground_truth.and_then(|s| strategy.site_rank(s));
+        let Some(plan) = plan else {
+            break;
+        };
+        let armed = plan.candidates.len() + usize::from(plan.crash_at.is_some());
+        let window = armed;
+        let seed = cfg.base_seed + 1 + round as u64;
+        let result = ctx.scenario.run(seed, plan)?;
+        injection_requests += result.injection_requests;
+        decision_ns += result.decision_ns;
+        sim_time_total += result.end_time;
+
+        let injected = result
+            .injected
+            .as_ref()
+            .map(|r| (r.candidate.site, r.occurrence, r.candidate.exc));
+        let satisfied = oracle.check(&result) && (injected.is_some() || result.crashed);
+        per_round.push(RoundRecord {
+            round,
+            window,
+            armed,
+            injected,
+            gt_rank,
+            init_ns,
+            workload_ns: result.wall.as_nanos() as u64,
+            sim_time: result.end_time,
+            oracle_satisfied: satisfied,
+        });
+
+        if satisfied {
+            if injected.is_none() {
+                // A crash injection satisfied the oracle (CrashTuner): no
+                // exception script exists for it.
+                return Ok(Reproduction {
+                    success: true,
+                    rounds: round + 1,
+                    script: None,
+                    replay_verified: false,
+                    per_round,
+                    injection_requests,
+                    decision_ns,
+                    sim_time_total,
+                    wall: started.elapsed(),
+                    strategy: strategy.name().to_string(),
+                });
+            }
+            let (site, occurrence, exc) = injected.expect("checked above");
+            let script = ReproScript {
+                seed,
+                site,
+                occurrence,
+                exc,
+                desc: ctx.scenario.program.sites[site.index()].desc.clone(),
+            };
+            let replay_verified = if cfg.verify_replay {
+                script
+                    .replay(&ctx.scenario)
+                    .map(|r| oracle.check(&r))
+                    .unwrap_or(false)
+            } else {
+                false
+            };
+            return Ok(Reproduction {
+                success: true,
+                rounds: round + 1,
+                script: Some(script),
+                replay_verified,
+                per_round,
+                injection_requests,
+                decision_ns,
+                sim_time_total,
+                wall: started.elapsed(),
+                strategy: strategy.name().to_string(),
+            });
+        }
+
+        let mut outcome = RoundOutcome::new(ctx, result);
+        // §6: optionally combine the observables of extra runs so that
+        // messages dropped by unlucky interleavings still count as present.
+        for extra in 0..cfg.extra_feedback_runs {
+            let extra_seed = seed + 7_000 + extra as u64;
+            let extra_run = ctx.scenario.run(extra_seed, InjectionPlan::none())?;
+            sim_time_total += extra_run.end_time;
+            let extra_present = ctx.present_observables(&extra_run.log_text());
+            for k in extra_present {
+                if !outcome.present.contains(&k) {
+                    outcome.present.push(k);
+                }
+            }
+        }
+        strategy.feedback(ctx, &outcome);
+    }
+
+    Ok(Reproduction {
+        success: false,
+        rounds: per_round.len(),
+        script: None,
+        replay_verified: false,
+        per_round,
+        injection_requests,
+        decision_ns,
+        sim_time_total,
+        wall: started.elapsed(),
+        strategy: strategy.name().to_string(),
+    })
+}
+
+/// One-call ANDURIL: prepare the context and reproduce with the full
+/// feedback strategy.
+pub fn reproduce(
+    scenario: Scenario,
+    failure_log_text: &str,
+    oracle: &Oracle,
+    cfg: &ExplorerConfig,
+) -> Result<(Reproduction, SearchContext), SimError> {
+    let ctx = SearchContext::prepare(scenario, failure_log_text, cfg.base_seed)?;
+    let mut strategy = FeedbackStrategy::new(FeedbackConfig::full());
+    let repro = explore(&ctx, oracle, &mut strategy, cfg, None)?;
+    Ok((repro, ctx))
+}

@@ -1,0 +1,452 @@
+//! ANDURIL's feedback-driven prioritization (§5.2) and its ablation
+//! variants (§8.3).
+//!
+//! One configurable strategy implements the whole family:
+//!
+//! - **Full feedback** (the paper's ANDURIL): observable priorities `I_k`
+//!   updated per round (Algorithm 2), spatial distance `L_{i,k}`, fault-site
+//!   priority `F_i = min_k (L_{i,k} + I_k)`, temporal instance priority
+//!   `T_{i,j,k*}`, two-level site-then-instance selection, flexible window.
+//! - **Exhaustive**: every instance of every inferred site, in order.
+//! - **Fault-site distance**: `F_i = min_k L_{i,k}` only, no feedback.
+//! - **Fault-site distance w/ instance limit**: ditto, first 3 instances.
+//! - **Fault-site feedback**: `L + I` but no temporal term, 3 instances.
+//! - **Multiply feedback**: ranks `(site, instance)` pairs by
+//!   `F_i × (T+1)` instead of the two-level scheme.
+
+use std::collections::HashSet;
+
+use anduril_ir::{ExceptionType, SiteId};
+use anduril_sim::Candidate;
+
+use crate::context::{FaultUnit, RoundOutcome, SearchContext};
+use crate::strategy::Strategy;
+
+/// How site and instance priorities combine (§5.2.4 vs the ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Combine {
+    /// Pick the best site first, then its best instance (the paper's
+    /// divide-and-conquer).
+    TwoLevel,
+    /// Rank `(site, instance)` pairs by the product `F_i × (T+1)`.
+    Multiply,
+}
+
+/// How the partial priorities `p_{i,k}` aggregate into `F_i` (§5.2.4
+/// discusses `min` vs `sum`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Aggregate {
+    /// `F_i = min_k (L_{i,k} + I_k)` — maximize the chance to reproduce
+    /// one observable per run (the paper's choice).
+    Min,
+    /// `F_i = Σ_k (L_{i,k} + I_k)` — try to trigger all observables; less
+    /// sensitive to feedback because magnitudes differ per observable.
+    Sum,
+}
+
+/// Configuration spanning ANDURIL and its ablation variants.
+#[derive(Debug, Clone)]
+pub struct FeedbackConfig {
+    /// Human-readable variant name.
+    pub name: &'static str,
+    /// Initial flexible-window size `k` (§5.2.5).
+    pub initial_window: usize,
+    /// Priority adjustment `s` applied to present observables (§5.2.1).
+    pub adjust: f64,
+    /// Use observable feedback `I_k` (Algorithm 2).
+    pub feedback: bool,
+    /// Use the temporal term to order instances (§5.2.3); otherwise
+    /// instances are tried in occurrence order.
+    pub temporal: bool,
+    /// Consider only the first `n` instances of each site.
+    pub instance_limit: Option<usize>,
+    /// Combination scheme.
+    pub combine: Combine,
+    /// Aggregation of per-observable partial priorities.
+    pub aggregate: Aggregate,
+    /// Compute observable presence with the naive global diff instead of
+    /// the per-thread diff (§5.1.1's ablation).
+    pub global_diff: bool,
+    /// Ignore priorities entirely and enumerate instances in order.
+    pub exhaustive: bool,
+}
+
+impl FeedbackConfig {
+    /// The paper's full ANDURIL configuration (defaults: `k = 10`,
+    /// `s = +1`).
+    pub fn full() -> Self {
+        FeedbackConfig {
+            name: "full-feedback",
+            initial_window: 10,
+            adjust: 1.0,
+            feedback: true,
+            temporal: true,
+            instance_limit: None,
+            combine: Combine::TwoLevel,
+            aggregate: Aggregate::Min,
+            global_diff: false,
+            exhaustive: false,
+        }
+    }
+
+    /// The *exhaustive fault instance* variant.
+    pub fn exhaustive() -> Self {
+        FeedbackConfig {
+            name: "exhaustive",
+            feedback: false,
+            temporal: false,
+            exhaustive: true,
+            ..Self::full()
+        }
+    }
+
+    /// The *fault-site distance* variant.
+    pub fn site_distance() -> Self {
+        FeedbackConfig {
+            name: "site-distance",
+            feedback: false,
+            temporal: false,
+            ..Self::full()
+        }
+    }
+
+    /// The *fault-site distance with instance limit* variant.
+    pub fn site_distance_limited() -> Self {
+        FeedbackConfig {
+            name: "site-distance-limit3",
+            instance_limit: Some(3),
+            ..Self::site_distance()
+        }
+    }
+
+    /// The *fault-site feedback* variant (no temporal term).
+    pub fn site_feedback() -> Self {
+        FeedbackConfig {
+            name: "site-feedback",
+            feedback: true,
+            temporal: false,
+            instance_limit: Some(3),
+            ..Self::full()
+        }
+    }
+
+    /// The *multiply feedback* variant.
+    pub fn multiply() -> Self {
+        FeedbackConfig {
+            name: "multiply-feedback",
+            combine: Combine::Multiply,
+            ..Self::full()
+        }
+    }
+
+    /// Full feedback with explicit window and adjustment (Table 3 sweeps).
+    pub fn full_with(initial_window: usize, adjust: f64) -> Self {
+        FeedbackConfig {
+            initial_window,
+            adjust,
+            ..Self::full()
+        }
+    }
+
+    /// The `sum`-aggregation ablation of §5.2.4.
+    pub fn sum_aggregate() -> Self {
+        FeedbackConfig {
+            name: "sum-aggregate",
+            aggregate: Aggregate::Sum,
+            ..Self::full()
+        }
+    }
+
+    /// The instance-order (non-temporal) ablation of §5.2.3, without an
+    /// instance cap.
+    pub fn order_distance() -> Self {
+        FeedbackConfig {
+            name: "order-distance",
+            temporal: false,
+            ..Self::full()
+        }
+    }
+
+    /// The global-diff ablation of §5.1.1.
+    pub fn global_diff() -> Self {
+        FeedbackConfig {
+            name: "global-diff",
+            global_diff: true,
+            ..Self::full()
+        }
+    }
+}
+
+/// Why a fault unit is ranked where it is: the §5.2 priority breakdown.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Explanation {
+    /// The unit being explained.
+    pub unit: FaultUnit,
+    /// The site-level priority `F_i` (smaller = higher priority).
+    pub f_i: f64,
+    /// The argmin observable `k*` driving `F_i`.
+    pub k_star: usize,
+    /// Spatial distance `L_{i,k*}`.
+    pub l: u32,
+    /// Current observable feedback `I_{k*}`.
+    pub i_k: f64,
+    /// Best untried instance and its temporal distance `T`, if any
+    /// instances remain.
+    pub best_instance: Option<(Option<u32>, f64)>,
+    /// Current rank of the unit's site (1 = best), if ranked.
+    pub rank: Option<usize>,
+}
+
+/// The configurable feedback strategy.
+#[derive(Debug)]
+pub struct FeedbackStrategy {
+    cfg: FeedbackConfig,
+    window: usize,
+    /// `I_k` per observable; smaller is higher priority.
+    i_priority: Vec<f64>,
+    /// Tried `(site, exc, occurrence)` triples (`u32::MAX` = any-occurrence
+    /// candidates for sites unseen in the normal run).
+    tried: HashSet<(SiteId, ExceptionType, u32)>,
+    /// Site ranking from the most recent planning pass (for Figure 6).
+    last_ranking: Vec<SiteId>,
+}
+
+impl FeedbackStrategy {
+    /// Creates a strategy with the given configuration.
+    pub fn new(cfg: FeedbackConfig) -> Self {
+        let window = cfg.initial_window;
+        FeedbackStrategy {
+            cfg,
+            window,
+            i_priority: Vec::new(),
+            tried: HashSet::new(),
+            last_ranking: Vec::new(),
+        }
+    }
+
+    /// The instances of a unit's site eligible under the instance limit,
+    /// as `(occurrence, mapped_position)`.
+    fn instances<'c>(&self, ctx: &'c SearchContext, unit: FaultUnit) -> &'c [(u32, f64)] {
+        let all = &ctx.site_instances[unit.site.index()];
+        match self.cfg.instance_limit {
+            Some(n) => &all[..all.len().min(n)],
+            None => all,
+        }
+    }
+
+    /// Spatial(+feedback) priority of a unit with its best observable.
+    ///
+    /// Returns `(F_i, k*)` where `k*` is the argmin observable (used for
+    /// the temporal term even under `Sum` aggregation).
+    fn site_priority(&self, ctx: &SearchContext, unit: FaultUnit) -> Option<(f64, usize)> {
+        let mut best: Option<(f64, usize)> = None;
+        let mut sum = 0.0;
+        for (k, dists) in ctx.distances.iter().enumerate() {
+            if let Some(&l) = dists.get(&unit.site) {
+                let i_k = if self.cfg.feedback {
+                    self.i_priority.get(k).copied().unwrap_or(0.0)
+                } else {
+                    0.0
+                };
+                let p = l as f64 + i_k;
+                sum += p;
+                if best.map(|(b, _)| p < b).unwrap_or(true) {
+                    best = Some((p, k));
+                }
+            }
+        }
+        match self.cfg.aggregate {
+            Aggregate::Min => best,
+            Aggregate::Sum => best.map(|(_, k)| (sum, k)),
+        }
+    }
+
+    /// The best untried instance of a unit for observable `k_star`.
+    fn best_instance(
+        &self,
+        ctx: &SearchContext,
+        unit: FaultUnit,
+        k_star: usize,
+    ) -> Option<(Option<u32>, f64)> {
+        let insts = self.instances(ctx, unit);
+        if insts.is_empty() {
+            // Never exercised in the normal run: fall back to an
+            // any-occurrence candidate (fires at the site's first dynamic
+            // occurrence if the round happens to reach it).
+            if self.tried.contains(&(unit.site, unit.exc, u32::MAX)) {
+                return None;
+            }
+            return Some((None, f64::INFINITY));
+        }
+        let mut best: Option<(u32, f64)> = None;
+        for &(occ, pos) in insts {
+            if self.tried.contains(&(unit.site, unit.exc, occ)) {
+                continue;
+            }
+            let t = if self.cfg.temporal {
+                ctx.temporal_distance(pos, k_star)
+            } else {
+                occ as f64 // occurrence order
+            };
+            if best.map(|(_, bt)| t < bt).unwrap_or(true) {
+                best = Some((occ, t));
+            }
+        }
+        best.map(|(occ, t)| (Some(occ), t))
+    }
+
+    fn plan_exhaustive(&mut self, ctx: &SearchContext) -> Vec<Candidate> {
+        let mut out = Vec::new();
+        'outer: for &unit in &ctx.units {
+            let insts = self.instances(ctx, unit);
+            for &(occ, _) in insts {
+                if self.tried.contains(&(unit.site, unit.exc, occ)) {
+                    continue;
+                }
+                out.push(Candidate {
+                    site: unit.site,
+                    occurrence: Some(occ),
+                    exc: unit.exc,
+                    stack: None,
+                });
+                if out.len() >= self.window {
+                    break 'outer;
+                }
+            }
+        }
+        out
+    }
+
+    fn plan_prioritized(&mut self, ctx: &SearchContext) -> Vec<Candidate> {
+        // Score every unit that still has untried instances.
+        let mut scored: Vec<(f64, f64, FaultUnit, Option<u32>)> = Vec::new();
+        for &unit in &ctx.units {
+            let Some((f_i, k_star)) = self.site_priority(ctx, unit) else {
+                continue;
+            };
+            let Some((occ, t)) = self.best_instance(ctx, unit, k_star) else {
+                continue;
+            };
+            let primary = match self.cfg.combine {
+                Combine::TwoLevel => f_i,
+                Combine::Multiply => f_i * (t + 1.0),
+            };
+            scored.push((primary, t, unit, occ));
+        }
+        scored.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .then(a.2.site.cmp(&b.2.site))
+                .then(a.2.exc.cmp(&b.2.exc))
+        });
+        // Record the site ranking for Figure 6.
+        self.last_ranking.clear();
+        for (_, _, unit, _) in &scored {
+            if !self.last_ranking.contains(&unit.site) {
+                self.last_ranking.push(unit.site);
+            }
+        }
+        scored
+            .into_iter()
+            .take(self.window)
+            .map(|(_, _, unit, occ)| Candidate {
+                site: unit.site,
+                occurrence: occ,
+                exc: unit.exc,
+                stack: None,
+            })
+            .collect()
+    }
+}
+
+impl FeedbackStrategy {
+    /// Explains the current priority of a fault unit (§5.2's terms), or
+    /// `None` if the unit is not causally connected to any observable.
+    ///
+    /// Call after at least one [`Strategy::plan_round`] for a meaningful
+    /// rank.
+    pub fn explain(&self, ctx: &SearchContext, unit: FaultUnit) -> Option<Explanation> {
+        let (f_i, k_star) = self.site_priority(ctx, unit)?;
+        let l = *ctx.distances[k_star].get(&unit.site)?;
+        let i_k = self.i_priority.get(k_star).copied().unwrap_or(0.0);
+        Some(Explanation {
+            unit,
+            f_i,
+            k_star,
+            l,
+            i_k,
+            best_instance: self.best_instance(ctx, unit, k_star),
+            rank: self.site_rank_of(unit.site),
+        })
+    }
+
+    fn site_rank_of(&self, site: SiteId) -> Option<usize> {
+        self.last_ranking
+            .iter()
+            .position(|&s| s == site)
+            .map(|p| p + 1)
+    }
+}
+
+impl Strategy for FeedbackStrategy {
+    fn name(&self) -> &'static str {
+        self.cfg.name
+    }
+
+    fn init(&mut self, ctx: &SearchContext) {
+        self.window = self.cfg.initial_window;
+        self.i_priority = vec![0.0; ctx.observables.len()];
+        self.tried.clear();
+        self.last_ranking.clear();
+    }
+
+    fn plan_round(&mut self, ctx: &SearchContext, _round: usize) -> Vec<Candidate> {
+        if self.cfg.exhaustive {
+            self.plan_exhaustive(ctx)
+        } else {
+            self.plan_prioritized(ctx)
+        }
+    }
+
+    fn feedback(&mut self, ctx: &SearchContext, outcome: &RoundOutcome) {
+        // The global-diff ablation recomputes observable presence with the
+        // naive whole-log diff.
+        let recomputed;
+        let present: &[usize] = if self.cfg.global_diff {
+            recomputed = ctx.present_observables_with(&outcome.result.log_text(), true);
+            &recomputed
+        } else {
+            &outcome.present
+        };
+        match &outcome.result.injected {
+            Some(rec) => {
+                let occ = rec
+                    .candidate
+                    .occurrence
+                    .map(|_| rec.occurrence)
+                    .unwrap_or(u32::MAX);
+                self.tried
+                    .insert((rec.candidate.site, rec.candidate.exc, occ));
+            }
+            None => {
+                // Nothing in the window occurred: double it (§5.2.5).
+                self.window = (self.window * 2).max(1);
+            }
+        }
+        if self.cfg.feedback {
+            for &k in present {
+                if let Some(p) = self.i_priority.get_mut(k) {
+                    *p += self.cfg.adjust;
+                }
+            }
+        }
+    }
+
+    fn site_rank(&self, site: SiteId) -> Option<usize> {
+        self.last_ranking
+            .iter()
+            .position(|&s| s == site)
+            .map(|p| p + 1)
+    }
+}

@@ -1,0 +1,38 @@
+//! ANDURIL's Explorer: feedback-driven fault-injection search that
+//! reproduces a target fault-induced failure.
+//!
+//! Given a [`Scenario`] (target system + workload), a production failure
+//! log, and a failure [`Oracle`], the Explorer:
+//!
+//! 1. runs the workload fault-free and derives *relevant observables* by a
+//!    per-thread sanitized diff against the failure log (§5.1);
+//! 2. builds the static causal graph over those observables and prunes the
+//!    fault space to causally connected sites (§4.1);
+//! 3. iteratively arms a flexible window of high-priority `(site,
+//!    occurrence, exception)` candidates, runs the workload, and checks the
+//!    oracle (§5.2.5);
+//! 4. on failure, re-diffs the round's log and deprioritizes faults whose
+//!    expected observables already appeared (Algorithm 2);
+//! 5. on success, emits a deterministic [`ReproScript`] and verifies it by
+//!    replay.
+//!
+//! # Examples
+//!
+//! See `examples/quickstart.rs` at the workspace root for an end-to-end
+//! reproduction on a miniature WAL scenario.
+
+#![warn(missing_docs)]
+
+pub mod context;
+pub mod explorer;
+pub mod feedback;
+pub mod oracle;
+pub mod scenario;
+pub mod strategy;
+
+pub use context::{FaultUnit, ObservableInfo, RoundOutcome, SearchContext};
+pub use explorer::{explore, reproduce, ExplorerConfig, ReproScript, Reproduction, RoundRecord};
+pub use feedback::{Aggregate, Combine, Explanation, FeedbackConfig, FeedbackStrategy};
+pub use oracle::Oracle;
+pub use scenario::Scenario;
+pub use strategy::Strategy;

@@ -1,0 +1,44 @@
+//! A reproduction scenario: target system, cluster topology, and driving
+//! workload.
+//!
+//! The workload is embodied by the topology's entry functions (typically a
+//! `client` node whose main drives the cluster), matching the paper's
+//! setup where an existing test or a constructed workload exercises the
+//! affected feature (§2, input 3).
+
+use anduril_ir::{FuncId, Program};
+use anduril_sim::{run, InjectionPlan, RunResult, SimConfig, SimError, Topology};
+
+/// Everything needed to execute one run of the target under the workload.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Scenario name (e.g. the failure ticket id).
+    pub name: String,
+    /// The target system's IR program.
+    pub program: Program,
+    /// Cluster topology, including the workload driver node.
+    pub topology: Topology,
+    /// Base simulation configuration; the Explorer varies only the seed.
+    pub config: SimConfig,
+}
+
+impl Scenario {
+    /// The thread entry functions (node mains), used as causal-graph roots
+    /// for the uncaught-exception observable.
+    pub fn roots(&self) -> Vec<FuncId> {
+        let mut v: Vec<FuncId> = self.topology.nodes.iter().map(|n| n.main).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Runs the workload once with the given seed and injection plan.
+    pub fn run(&self, seed: u64, plan: InjectionPlan) -> Result<RunResult, SimError> {
+        run(
+            &self.program,
+            &self.topology,
+            &self.config.with_seed(seed),
+            plan,
+        )
+    }
+}

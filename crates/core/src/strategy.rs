@@ -1,0 +1,51 @@
+//! The exploration-strategy interface.
+//!
+//! The Explorer's round loop is strategy-agnostic: a [`Strategy`] decides
+//! which candidates to arm each round and how to digest feedback from an
+//! unsuccessful injection. ANDURIL's full feedback algorithm lives in
+//! [`crate::feedback::FeedbackStrategy`]; the paper's ablation variants are
+//! alternative configurations of it, and the external comparators (FATE,
+//! CrashTuner, stacktrace-injector) implement this trait in
+//! `anduril-baselines`.
+
+use anduril_ir::SiteId;
+use anduril_sim::{Candidate, InjectionPlan};
+
+use crate::context::{RoundOutcome, SearchContext};
+
+/// A pluggable candidate-selection policy.
+pub trait Strategy {
+    /// Strategy name for reports and tables.
+    fn name(&self) -> &'static str;
+
+    /// Called once, after the context (normal run, causal graph) is built.
+    fn init(&mut self, ctx: &SearchContext);
+
+    /// Returns the candidates to arm for this round (the priority window).
+    ///
+    /// An empty vector means the strategy has exhausted its search space.
+    fn plan_round(&mut self, ctx: &SearchContext, round: usize) -> Vec<Candidate>;
+
+    /// Returns the full injection plan for a round.
+    ///
+    /// The default wraps [`Strategy::plan_round`] into a window plan;
+    /// strategies that inject node crashes (CrashTuner) override this.
+    /// `None` means the search space is exhausted.
+    fn plan_injection(&mut self, ctx: &SearchContext, round: usize) -> Option<InjectionPlan> {
+        let candidates = self.plan_round(ctx, round);
+        if candidates.is_empty() {
+            None
+        } else {
+            Some(InjectionPlan::window(candidates))
+        }
+    }
+
+    /// Digests the outcome of an unsuccessful round.
+    fn feedback(&mut self, ctx: &SearchContext, outcome: &RoundOutcome);
+
+    /// Current rank of a fault site in the strategy's ordering, if the
+    /// strategy ranks sites (used for Figure 6).
+    fn site_rank(&self, _site: SiteId) -> Option<usize> {
+        None
+    }
+}

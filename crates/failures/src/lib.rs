@@ -1,0 +1,37 @@
+//! The 22 real-world failure scenarios (f1–f22) the paper evaluates on,
+//! recreated on the mini target systems.
+//!
+//! Each [`FailureCase`] carries a [`anduril_core::Scenario`] (system +
+//! workload), a failure [`anduril_core::Oracle`], and the known root cause.
+//! The "production" failure log is produced by replaying the ground truth
+//! — mirroring the paper's setup for tickets that ship without a log file.
+
+#![warn(missing_docs)]
+
+pub mod case;
+pub mod cassandra_cases;
+pub mod hbase_cases;
+pub mod hdfs_cases;
+pub mod kafka_cases;
+pub mod zookeeper_cases;
+
+pub use case::{CaseError, DeeperCause, FailureCase, GroundTruth};
+
+/// Every implemented failure case, in paper order.
+pub fn all_cases() -> Vec<FailureCase> {
+    let mut v = Vec::new();
+    v.extend(zookeeper_cases::cases());
+    v.extend(hdfs_cases::cases());
+    v.extend(hbase_cases::cases());
+    v.extend(kafka_cases::cases());
+    v.extend(cassandra_cases::cases());
+    v.sort_by_key(|c| c.id[1..].parse::<u32>().expect("case ids are fN"));
+    v
+}
+
+/// Looks up a case by its paper id (`"f17"`) or ticket (`"HB-25905"`).
+pub fn case_by_id(id: &str) -> Option<FailureCase> {
+    all_cases()
+        .into_iter()
+        .find(|c| c.id == id || c.ticket.eq_ignore_ascii_case(id))
+}

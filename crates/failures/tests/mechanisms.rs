@@ -1,0 +1,292 @@
+//! Mechanism fidelity: replaying each ground truth must exhibit the
+//! *internal* buggy workflow the ticket describes, not just the surface
+//! symptom the oracle checks. This is the paper's bar for a faithful
+//! reproduction ("recreate not only the superficial symptom but also the
+//! exact buggy workflow").
+
+use anduril_failures::case_by_id;
+use anduril_ir::Value;
+use anduril_sim::{InjectionPlan, RunResult};
+
+fn replay(id: &str) -> (anduril_failures::FailureCase, RunResult) {
+    let case = case_by_id(id).expect("case");
+    let gt = case.ground_truth().expect("ground truth");
+    let r = case
+        .scenario
+        .run(
+            gt.seed,
+            InjectionPlan::exact(gt.site, gt.occurrence, gt.exc),
+        )
+        .expect("replay");
+    assert!(case.oracle.check(&r), "{id}: oracle must hold on replay");
+    (case, r)
+}
+
+#[test]
+fn f1_leader_aborts_and_followers_survive() {
+    let (_, r) = replay("f1");
+    assert!(r.node_aborted("zk1"));
+    assert!(r.node_alive("zk2"));
+    assert!(r.node_alive("zk3"));
+    // The client exhausted its reconnect attempts.
+    assert!(r.has_log("Giving up on server connection"));
+}
+
+#[test]
+fn f2_client_dies_while_ensemble_stays_healthy() {
+    let (_, r) = replay("f2");
+    assert!(r.thread_died("main"));
+    assert!(r.node_alive("zk1"));
+    // The session was closed server-side before the client crash.
+    assert!(r.has_log("closing session"));
+}
+
+#[test]
+fn f3_listener_dead_but_leader_node_alive() {
+    let (_, r) = replay("f3");
+    // The defective design: only the listener thread exits; the leader
+    // keeps running, which is why the stuck election is so confusing.
+    assert!(r.node_alive("zk1"));
+    let listener = r
+        .threads
+        .iter()
+        .find(|t| t.thread == "ListenerThread")
+        .expect("listener exists");
+    assert_eq!(listener.state, anduril_sim::ThreadEndState::Done);
+    assert_eq!(r.global("zk3", "electionStuck"), Some(&Value::Bool(true)));
+}
+
+#[test]
+fn f4_database_left_uninitialized() {
+    let (_, r) = replay("f4");
+    assert_eq!(r.global("zk1", "dbInitialized"), Some(&Value::Bool(false)));
+    assert!(r.has_log("Uncaught exception RuntimeException"));
+}
+
+#[test]
+fn f5_namenode_keeps_serving_after_backup_failure() {
+    let (_, r) = replay("f5");
+    assert!(r.has_log("Rolling upgrade image backup failed"));
+    // Writes continued after the failure (the bug: no safeguard).
+    assert!(r.has_log("workload finished"));
+    assert_eq!(r.global("nn", "openFiles"), Some(&Value::Int(0)));
+}
+
+#[test]
+fn f6_checkpoint_counted_despite_missing_backup() {
+    let (_, r) = replay("f6");
+    // Three checkpoints "done" but the namenode received only two images.
+    assert_eq!(r.global("snn", "checkpointsDone"), Some(&Value::Int(3)));
+    assert_eq!(r.global("nn", "backupImages"), Some(&Value::Int(2)));
+}
+
+#[test]
+fn f7_lease_never_released() {
+    let (_, r) = replay("f7");
+    let open = r.global("nn", "openFiles").and_then(Value::as_int).unwrap();
+    let released = r
+        .global("nn", "leasesReleased")
+        .and_then(Value::as_int)
+        .unwrap();
+    assert!(open >= 1, "file stays open: {open}");
+    assert!(
+        released < open + released,
+        "some leases were released normally"
+    );
+    assert!(r.has_log("Block recovery failed, file remains open"));
+}
+
+#[test]
+fn f8_exactly_one_socket_leaked() {
+    let (_, r) = replay("f8");
+    assert_eq!(r.global("dn1", "leakedSockets"), Some(&Value::Int(1)));
+    // Other writes succeeded and closed their sockets.
+    let written = r
+        .global("dn1", "blocksWritten")
+        .and_then(Value::as_int)
+        .unwrap();
+    assert!(written >= 5);
+}
+
+#[test]
+fn f9_reads_slow_but_all_complete() {
+    let (_, r) = replay("f9");
+    assert_eq!(r.global("client", "readsCompleted"), Some(&Value::Int(6)));
+    let retries = r
+        .global("client", "readRetries")
+        .and_then(Value::as_int)
+        .unwrap();
+    assert!(retries >= 3, "the slow path was taken: {retries}");
+}
+
+#[test]
+fn f10_one_datanode_down_one_up() {
+    let (_, r) = replay("f10");
+    assert_eq!(r.global("dn1", "dnStarted"), Some(&Value::Bool(false)));
+    assert_eq!(r.global("dn2", "dnStarted"), Some(&Value::Bool(true)));
+    // Only one datanode registered with the namenode.
+    assert_eq!(r.global("nn", "liveDatanodes"), Some(&Value::Int(1)));
+}
+
+#[test]
+fn f11_balancer_died_mid_iteration() {
+    let (_, r) = replay("f11");
+    assert!(r.thread_died("main"));
+    assert_eq!(r.global("balancer", "balancerRounds"), Some(&Value::Int(1)));
+    assert!(!r.has_log("Balancing round complete"));
+}
+
+#[test]
+fn f12_replication_starved_while_wal_rolls_continue() {
+    let (_, r) = replay("f12");
+    assert_eq!(r.global("rs1", "replStalled"), Some(&Value::Bool(true)));
+    // WAL rolling itself kept working — only replication is stuck.
+    let rolls = r.global("rs1", "walFiles").and_then(Value::as_int).unwrap();
+    assert!(rolls >= 2, "rolls continued: {rolls}");
+}
+
+#[test]
+fn f13_procedures_blocked_after_flag() {
+    let (_, r) = replay("f13");
+    assert_eq!(r.global("master", "proceduresDone"), Some(&Value::Int(3)));
+    assert_eq!(
+        r.global("master", "procFailedFlag"),
+        Some(&Value::Bool(true))
+    );
+    // Blocked procedures logged once per skipped procedure.
+    assert!(r.count_log("Procedure blocked by failed-state flag") >= 4);
+}
+
+#[test]
+fn f14_one_corrupt_row_rest_applied() {
+    let (_, r) = replay("f14");
+    assert_eq!(r.global("rs1", "corruptRows"), Some(&Value::Int(1)));
+    assert_eq!(r.global("rs1", "mutationsApplied"), Some(&Value::Int(5)));
+}
+
+#[test]
+fn f15_one_task_executed_twice() {
+    let (_, r) = replay("f15");
+    assert_eq!(r.global("rs1", "doubleSplitTasks"), Some(&Value::Int(1)));
+    assert!(r.has_log("Resubmitting split task"));
+}
+
+#[test]
+fn f16_lock_held_by_dead_server() {
+    let (_, r) = replay("f16");
+    assert!(r.node_aborted("rs1"));
+    assert!(r.node_alive("rs2"));
+    assert_eq!(
+        r.global("master", "replLockHolder"),
+        Some(&Value::str("rs1"))
+    );
+    assert_eq!(
+        r.global("rs2", "claimPermanentlyFailed"),
+        Some(&Value::Bool(true))
+    );
+}
+
+#[test]
+fn f17_exact_stale_state_of_figure_1() {
+    let (_, r) = replay("f17");
+    // The paper's stale state: the consumer neither syncs (writerLen ==
+    // lenAtLastSync) nor signals (unackedAppends non-empty), and the
+    // roller is stuck at waitForSafePoint while the consumer is alive.
+    let writer_len = r
+        .global("rs1", "writerLen")
+        .and_then(Value::as_int)
+        .unwrap();
+    let last_sync = r
+        .global("rs1", "lenAtLastSync")
+        .and_then(Value::as_int)
+        .unwrap();
+    let unacked = r
+        .global("rs1", "unackedAppends")
+        .and_then(Value::as_int)
+        .unwrap();
+    assert_eq!(writer_len, last_sync, "nothing left to sync");
+    assert!(unacked > 0, "but appends remain unacknowledged");
+    assert_eq!(
+        r.global("rs1", "readyForRolling"),
+        Some(&Value::Bool(false))
+    );
+    assert!(r.thread_blocked_in("LogRoller", "waitForSafePoint"));
+    // "the consumer thread was still alive": the worker is not dead.
+    let worker = r
+        .threads
+        .iter()
+        .find(|t| t.thread.starts_with("consumeExecutor-worker"))
+        .expect("consumer exists");
+    assert!(
+        !matches!(worker.state, anduril_sim::ThreadEndState::Died(_)),
+        "consumer alive in the stale state"
+    );
+}
+
+#[test]
+fn f18_lost_exactly_one_change() {
+    let (_, r) = replay("f18");
+    assert_eq!(r.global("streams", "changesEmitted"), Some(&Value::Int(4)));
+    assert_eq!(r.global("streams", "taskRestarts"), Some(&Value::Int(1)));
+    assert_eq!(r.global("streams", "lastSeenValue"), Some(&Value::Int(4)));
+}
+
+#[test]
+fn f19_herder_blocked_with_no_connectors() {
+    let (_, r) = replay("f19");
+    assert_eq!(
+        r.global("worker", "connectorsStarted"),
+        Some(&Value::Int(0))
+    );
+    assert_eq!(
+        r.global("worker", "adminConnPoisoned"),
+        Some(&Value::Bool(true))
+    );
+    assert!(r.count_log("REST request timed out") >= 2);
+}
+
+#[test]
+fn f20_gap_equals_unsynced_offsets() {
+    let (_, r) = replay("f20");
+    let replicated = r
+        .global("mm2", "replicatedOffset")
+        .and_then(Value::as_int)
+        .unwrap();
+    let translated = r
+        .global("mm2", "translatedGroupOffset")
+        .and_then(Value::as_int)
+        .unwrap();
+    let gap = r
+        .global("mm2", "gapRecords")
+        .and_then(Value::as_int)
+        .unwrap();
+    assert_eq!(gap, replicated - translated);
+    assert!(gap >= 1);
+}
+
+#[test]
+fn f21_proxy_misaligned_not_reset() {
+    let (_, r) = replay("f21");
+    let pos = r
+        .global("c1", "channelProxyPos")
+        .and_then(Value::as_int)
+        .unwrap();
+    assert_ne!(
+        pos % anduril_targets::cassandra::FRAMES_PER_FILE,
+        0,
+        "the aborted task left the proxy mid-frame"
+    );
+    assert_eq!(
+        r.global("c1", "channelProxyCorrupt"),
+        Some(&Value::Bool(true))
+    );
+}
+
+#[test]
+fn f22_repair_waits_with_partial_acks() {
+    let (_, r) = replay("f22");
+    assert!(r.thread_blocked_in("RepairJob", "awaitSnapshots"));
+    // One replica acked; the faulty one never responded.
+    assert!(r.count_log("Snapshot acknowledged") <= 1);
+    assert_eq!(r.global("c1", "repairsCompleted"), Some(&Value::Int(0)));
+}

@@ -1,0 +1,223 @@
+//! Exception types, runtime exception values, and catch patterns.
+//!
+//! The paper targets systems that "capture faults as exceptions"; faults are
+//! injected by throwing the relevant exception at a fault site. This module
+//! defines the closed set of exception types our targets use (mirroring the
+//! exception types in the paper's Table 5) plus the runtime exception value
+//! that carries provenance: the originating fault site, a wrapped inner
+//! exception (for `ExecutionException`-style cross-thread propagation), and
+//! the call stack at the throw point (used by the stacktrace-injector
+//! baseline).
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{FuncId, SiteId};
+
+/// The closed set of exception types thrown by IR programs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ExceptionType {
+    /// Generic I/O failure (`IOException`).
+    Io,
+    /// Network socket failure (`SocketException`).
+    Socket,
+    /// An operation timed out (`TimeoutIOException`).
+    Timeout,
+    /// A blocked operation was interrupted (`InterruptedException`).
+    Interrupted,
+    /// A file was missing (`FileNotFoundException`).
+    FileNotFound,
+    /// A waited-on asynchronous task failed (`ExecutionException`); wraps
+    /// the task's own exception.
+    Execution,
+    /// An internal invariant was violated (`IllegalStateException`).
+    IllegalState,
+    /// Catch-all runtime error (`RuntimeException`, used for NPE analogs).
+    Runtime,
+    /// On-disk or on-wire data was corrupt (`CorruptionException`).
+    Corruption,
+}
+
+impl ExceptionType {
+    /// All exception types, for enumeration in tests and analyses.
+    pub const ALL: [ExceptionType; 9] = [
+        ExceptionType::Io,
+        ExceptionType::Socket,
+        ExceptionType::Timeout,
+        ExceptionType::Interrupted,
+        ExceptionType::FileNotFound,
+        ExceptionType::Execution,
+        ExceptionType::IllegalState,
+        ExceptionType::Runtime,
+        ExceptionType::Corruption,
+    ];
+
+    /// Returns the Java-style class name used when rendering log messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            ExceptionType::Io => "IOException",
+            ExceptionType::Socket => "SocketException",
+            ExceptionType::Timeout => "TimeoutIOException",
+            ExceptionType::Interrupted => "InterruptedException",
+            ExceptionType::FileNotFound => "FileNotFoundException",
+            ExceptionType::Execution => "ExecutionException",
+            ExceptionType::IllegalState => "IllegalStateException",
+            ExceptionType::Runtime => "RuntimeException",
+            ExceptionType::Corruption => "CorruptionException",
+        }
+    }
+
+    /// Parses a Java-style class name back into an exception type.
+    pub fn parse(name: &str) -> Option<Self> {
+        ExceptionType::ALL
+            .iter()
+            .copied()
+            .find(|t| t.name() == name)
+    }
+}
+
+impl std::fmt::Display for ExceptionType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A pattern in a `catch` clause selecting which exception types it handles.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExceptionPattern {
+    /// Catches every exception (like `catch (Throwable t)`).
+    Any,
+    /// Catches exactly one type.
+    Only(ExceptionType),
+    /// Catches any of the listed types (multi-catch).
+    OneOf(Vec<ExceptionType>),
+}
+
+impl ExceptionPattern {
+    /// Returns `true` if the pattern catches the given exception type.
+    pub fn matches(&self, ty: ExceptionType) -> bool {
+        match self {
+            ExceptionPattern::Any => true,
+            ExceptionPattern::Only(t) => *t == ty,
+            ExceptionPattern::OneOf(ts) => ts.contains(&ty),
+        }
+    }
+
+    /// Enumerates the concrete types this pattern can catch.
+    pub fn types(&self) -> Vec<ExceptionType> {
+        match self {
+            ExceptionPattern::Any => ExceptionType::ALL.to_vec(),
+            ExceptionPattern::Only(t) => vec![*t],
+            ExceptionPattern::OneOf(ts) => ts.clone(),
+        }
+    }
+}
+
+impl From<ExceptionType> for ExceptionPattern {
+    fn from(t: ExceptionType) -> Self {
+        ExceptionPattern::Only(t)
+    }
+}
+
+/// A runtime exception value with provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExcValue {
+    /// The exception's type.
+    pub ty: ExceptionType,
+    /// A wrapped inner exception (e.g. the task failure inside an
+    /// `ExecutionException`).
+    pub inner: Option<Box<ExcValue>>,
+    /// The fault site where the exception originated, if it came from a
+    /// traced site (injected or organic).
+    pub origin_site: Option<SiteId>,
+    /// `true` if the exception was thrown by the fault-injection runtime
+    /// rather than by program logic.
+    pub injected: bool,
+    /// Function call stack (innermost first) at the throw point.
+    pub stack: Vec<FuncId>,
+}
+
+impl ExcValue {
+    /// Creates an exception with no inner cause and no provenance.
+    pub fn new(ty: ExceptionType) -> Self {
+        Self {
+            ty,
+            inner: None,
+            origin_site: None,
+            injected: false,
+            stack: Vec::new(),
+        }
+    }
+
+    /// Wraps another exception (for `ExecutionException` semantics).
+    pub fn wrapping(ty: ExceptionType, inner: ExcValue) -> Self {
+        Self {
+            ty,
+            inner: Some(Box::new(inner)),
+            origin_site: None,
+            injected: false,
+            stack: Vec::new(),
+        }
+    }
+
+    /// Returns the innermost (root-cause) exception in the wrap chain.
+    pub fn root(&self) -> &ExcValue {
+        match &self.inner {
+            Some(i) => i.root(),
+            None => self,
+        }
+    }
+
+    /// Renders a compact `Type(cause...)` form for log messages.
+    pub fn render(&self) -> String {
+        match &self.inner {
+            Some(i) => format!("{}: caused by {}", self.ty.name(), i.render()),
+            None => self.ty.name().to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for ty in ExceptionType::ALL {
+            assert_eq!(ExceptionType::parse(ty.name()), Some(ty));
+        }
+        assert_eq!(ExceptionType::parse("NoSuchException"), None);
+    }
+
+    #[test]
+    fn pattern_matching() {
+        assert!(ExceptionPattern::Any.matches(ExceptionType::Io));
+        assert!(ExceptionPattern::Only(ExceptionType::Io).matches(ExceptionType::Io));
+        assert!(!ExceptionPattern::Only(ExceptionType::Io).matches(ExceptionType::Socket));
+        let multi = ExceptionPattern::OneOf(vec![ExceptionType::Io, ExceptionType::Timeout]);
+        assert!(multi.matches(ExceptionType::Timeout));
+        assert!(!multi.matches(ExceptionType::Runtime));
+    }
+
+    #[test]
+    fn wrap_chain_root() {
+        let root = ExcValue::new(ExceptionType::Io);
+        let wrapped = ExcValue::wrapping(ExceptionType::Execution, root.clone());
+        assert_eq!(wrapped.root().ty, ExceptionType::Io);
+        assert_eq!(
+            wrapped.render(),
+            "ExecutionException: caused by IOException"
+        );
+    }
+
+    #[test]
+    fn pattern_types_enumeration() {
+        assert_eq!(
+            ExceptionPattern::Any.types().len(),
+            ExceptionType::ALL.len()
+        );
+        assert_eq!(
+            ExceptionPattern::Only(ExceptionType::Socket).types(),
+            vec![ExceptionType::Socket]
+        );
+    }
+}

@@ -1,0 +1,123 @@
+//! Typed identifiers for IR entities.
+//!
+//! Every entity in a [`crate::Program`] is referred to by a dense `u32`
+//! index wrapped in a newtype, so that indices of different entity kinds
+//! cannot be confused. All ids are only meaningful relative to the program
+//! that allocated them.
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Returns the raw index as a `usize` for table lookups.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, concat!(stringify!($name), "#{}"), self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Index of a function in [`crate::Program::funcs`].
+    FuncId
+);
+define_id!(
+    /// Index of a statement block in [`crate::Program::blocks`].
+    BlockId
+);
+define_id!(
+    /// Slot of a function-local variable.
+    VarId
+);
+define_id!(
+    /// Slot of a per-node global variable.
+    GlobalId
+);
+define_id!(
+    /// Index of a static fault site in [`crate::Program::sites`].
+    SiteId
+);
+define_id!(
+    /// Index of a log template in [`crate::Program::templates`].
+    TemplateId
+);
+define_id!(
+    /// Index of a per-node message channel.
+    ChanId
+);
+define_id!(
+    /// Index of a per-node condition variable.
+    CondId
+);
+define_id!(
+    /// Index of a per-node single-threaded task executor.
+    ExecId
+);
+
+/// Location of a statement: a block plus the statement's index within it.
+///
+/// `StmtRef` uniquely identifies any statement in a program because every
+/// block is owned by exactly one structural parent (function entry, branch,
+/// loop body, try body, handler, or finally).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct StmtRef {
+    /// The block containing the statement.
+    pub block: BlockId,
+    /// Zero-based position of the statement within the block.
+    pub idx: u32,
+}
+
+impl StmtRef {
+    /// Creates a statement reference.
+    pub fn new(block: BlockId, idx: u32) -> Self {
+        Self { block, idx }
+    }
+}
+
+impl std::fmt::Display for StmtRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b{}:{}", self.block.0, self.idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        let a = SiteId(1);
+        let b = SiteId(2);
+        assert!(a < b);
+        let mut set = std::collections::HashSet::new();
+        set.insert(a);
+        set.insert(b);
+        set.insert(SiteId(1));
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn stmt_ref_display_is_compact() {
+        let r = StmtRef::new(BlockId(3), 7);
+        assert_eq!(r.to_string(), "b3:7");
+    }
+
+    #[test]
+    fn index_round_trips() {
+        assert_eq!(FuncId(9).index(), 9);
+        assert_eq!(BlockId(0).index(), 0);
+    }
+}

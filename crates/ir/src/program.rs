@@ -1,0 +1,357 @@
+//! The program container and structural queries used by the analyses.
+
+use std::collections::HashMap;
+
+use crate::exception::ExceptionType;
+use crate::ids::{BlockId, FuncId, SiteId, StmtRef, TemplateId};
+use crate::log::LogTemplate;
+use crate::stmt::Stmt;
+use crate::value::Value;
+
+/// Errors detected while validating a built program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IrError {
+    /// A function was declared but its body was never defined.
+    UndefinedFunction(String),
+    /// A block is owned by more than one structural parent.
+    SharedBlock(BlockId),
+    /// A statement references an out-of-range id.
+    DanglingReference(String),
+    /// A log statement's argument count does not match its template arity.
+    TemplateArityMismatch {
+        /// The offending statement.
+        stmt: StmtRef,
+        /// The template's hole count.
+        expected: usize,
+        /// The number of arguments supplied.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for IrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IrError::UndefinedFunction(name) => write!(f, "function `{name}` has no body"),
+            IrError::SharedBlock(b) => write!(f, "block {b} has multiple parents"),
+            IrError::DanglingReference(what) => write!(f, "dangling reference: {what}"),
+            IrError::TemplateArityMismatch {
+                stmt,
+                expected,
+                got,
+            } => write!(
+                f,
+                "log at {stmt} supplies {got} args for a template with {expected} holes"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for IrError {}
+
+/// The structural role a block plays under its parent statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockRole {
+    /// Function entry block (no parent statement).
+    Entry,
+    /// `then` branch of an [`Stmt::If`].
+    Then,
+    /// `else` branch of an [`Stmt::If`].
+    Else,
+    /// Body of a [`Stmt::While`].
+    LoopBody,
+    /// Protected body of a [`Stmt::Try`].
+    TryBody,
+    /// The `i`-th catch clause of a [`Stmt::Try`].
+    Handler(u32),
+    /// Finally block of a [`Stmt::Try`].
+    Finally,
+}
+
+/// Where a block sits in the program structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockParent {
+    /// The owning statement, or `None` for a function entry block.
+    pub stmt: Option<StmtRef>,
+    /// The block's role under that statement.
+    pub role: BlockRole,
+    /// The function the block belongs to.
+    pub func: FuncId,
+}
+
+/// How a fault site can fail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SiteKind {
+    /// An external library / OS / RPC call ([`Stmt::External`]); in the
+    /// paper's taxonomy an *external-exception* source node.
+    External,
+    /// A `throw new` in internal code ([`Stmt::ThrowNew`]); a
+    /// *new-exception* source node.
+    ThrowNew,
+}
+
+/// Static metadata for one fault site.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSite {
+    /// This site's id (its index in [`Program::sites`]).
+    pub id: SiteId,
+    /// Whether the site is an external call or a `throw new`.
+    pub kind: SiteKind,
+    /// The function containing the site.
+    pub func: FuncId,
+    /// The site's statement.
+    pub stmt: StmtRef,
+    /// Exception types the site can throw. External sites may declare
+    /// several; `throw new` sites have exactly one.
+    pub exceptions: Vec<ExceptionType>,
+    /// Human-readable description, e.g. `"hdfs.channelRead0"`.
+    pub desc: String,
+    /// Simulated latency of the call in ticks (external sites only).
+    pub latency: u32,
+}
+
+/// Static metadata for one per-node global variable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalInfo {
+    /// Variable name (unique within the program).
+    pub name: String,
+    /// Initial value on every node.
+    pub init: Value,
+    /// `true` if the variable holds node "meta-info" (membership, leader
+    /// identity, epoch); used by the CrashTuner baseline.
+    pub meta_info: bool,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Function name (unique within the program).
+    pub name: String,
+    /// Number of parameters (bound to locals `0..params`).
+    pub params: u32,
+    /// Total number of local slots, including parameters.
+    pub locals: u32,
+    /// Entry block.
+    pub entry: BlockId,
+}
+
+/// A complete IR program plus interned metadata tables.
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// Program (target system) name.
+    pub name: String,
+    /// All functions.
+    pub funcs: Vec<Function>,
+    /// All statement blocks (functions reference them by id).
+    pub blocks: Vec<Vec<Stmt>>,
+    /// Interned log templates.
+    pub templates: Vec<LogTemplate>,
+    /// All static fault sites.
+    pub sites: Vec<FaultSite>,
+    /// Per-node global variables.
+    pub globals: Vec<GlobalInfo>,
+    /// Names of per-node condition variables.
+    pub conds: Vec<String>,
+    /// Names of per-node message channels.
+    pub chans: Vec<String>,
+    /// Names of per-node single-threaded executors.
+    pub execs: Vec<String>,
+    block_parent: Vec<BlockParent>,
+    func_by_name: HashMap<String, FuncId>,
+    template_by_text: HashMap<String, TemplateId>,
+}
+
+impl Program {
+    /// Assembles a program from its parts and computes derived tables.
+    ///
+    /// Intended to be called by [`crate::builder::ProgramBuilder::finish`];
+    /// validates structural invariants.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn assemble(
+        name: String,
+        funcs: Vec<Function>,
+        blocks: Vec<Vec<Stmt>>,
+        templates: Vec<LogTemplate>,
+        sites: Vec<FaultSite>,
+        globals: Vec<GlobalInfo>,
+        conds: Vec<String>,
+        chans: Vec<String>,
+        execs: Vec<String>,
+    ) -> Result<Self, IrError> {
+        let mut program = Program {
+            name,
+            funcs,
+            blocks,
+            templates,
+            sites,
+            globals,
+            conds,
+            chans,
+            execs,
+            block_parent: Vec::new(),
+            func_by_name: HashMap::new(),
+            template_by_text: HashMap::new(),
+        };
+        program.compute_parents()?;
+        program.build_indexes();
+        program.validate()?;
+        Ok(program)
+    }
+
+    fn compute_parents(&mut self) -> Result<(), IrError> {
+        let placeholder = BlockParent {
+            stmt: None,
+            role: BlockRole::Entry,
+            func: FuncId(u32::MAX),
+        };
+        let mut parents = vec![None; self.blocks.len()];
+        for (fid, func) in self.funcs.iter().enumerate() {
+            let fid = FuncId(fid as u32);
+            if parents[func.entry.index()].is_some() {
+                return Err(IrError::SharedBlock(func.entry));
+            }
+            parents[func.entry.index()] = Some(BlockParent {
+                stmt: None,
+                role: BlockRole::Entry,
+                func: fid,
+            });
+            // Walk the block tree of this function.
+            let mut stack = vec![func.entry];
+            while let Some(block) = stack.pop() {
+                for (idx, stmt) in self.blocks[block.index()].iter().enumerate() {
+                    let sref = StmtRef::new(block, idx as u32);
+                    for (child, role) in stmt.child_blocks() {
+                        if parents[child.index()].is_some() {
+                            return Err(IrError::SharedBlock(child));
+                        }
+                        parents[child.index()] = Some(BlockParent {
+                            stmt: Some(sref),
+                            role,
+                            func: fid,
+                        });
+                        stack.push(child);
+                    }
+                }
+            }
+        }
+        self.block_parent = parents
+            .into_iter()
+            .map(|p| p.unwrap_or(placeholder))
+            .collect();
+        Ok(())
+    }
+
+    fn build_indexes(&mut self) {
+        self.func_by_name = self
+            .funcs
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (f.name.clone(), FuncId(i as u32)))
+            .collect();
+        self.template_by_text = self
+            .templates
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.text.clone(), TemplateId(i as u32)))
+            .collect();
+    }
+
+    fn validate(&self) -> Result<(), IrError> {
+        for (sref, stmt) in self.all_stmts() {
+            if let Stmt::Log { template, args, .. } = stmt {
+                let arity = self
+                    .templates
+                    .get(template.index())
+                    .ok_or_else(|| IrError::DanglingReference(format!("template {template}")))?
+                    .arity();
+                if args.len() != arity {
+                    return Err(IrError::TemplateArityMismatch {
+                        stmt: sref,
+                        expected: arity,
+                        got: args.len(),
+                    });
+                }
+            }
+            if let Some(site) = stmt.site() {
+                if site.index() >= self.sites.len() {
+                    return Err(IrError::DanglingReference(format!("site {site}")));
+                }
+            }
+            if let Stmt::Call { func, .. } | Stmt::Spawn { func, .. } | Stmt::Submit { func, .. } =
+                stmt
+            {
+                if func.index() >= self.funcs.len() {
+                    return Err(IrError::DanglingReference(format!("function {func}")));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Looks up a function by name.
+    pub fn func_named(&self, name: &str) -> Option<FuncId> {
+        self.func_by_name.get(name).copied()
+    }
+
+    /// Looks up a template by its exact text.
+    pub fn template_named(&self, text: &str) -> Option<TemplateId> {
+        self.template_by_text.get(text).copied()
+    }
+
+    /// Returns the statement at a reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reference is out of range (references produced by this
+    /// program's own tables are always valid).
+    pub fn stmt(&self, r: StmtRef) -> &Stmt {
+        &self.blocks[r.block.index()][r.idx as usize]
+    }
+
+    /// Returns the structural parent of a block.
+    pub fn block_parent(&self, b: BlockId) -> BlockParent {
+        self.block_parent[b.index()]
+    }
+
+    /// Returns the function that contains a block.
+    pub fn func_of_block(&self, b: BlockId) -> FuncId {
+        self.block_parent[b.index()].func
+    }
+
+    /// Returns the function that contains a statement.
+    pub fn func_of_stmt(&self, r: StmtRef) -> FuncId {
+        self.func_of_block(r.block)
+    }
+
+    /// Iterates over every statement in the program.
+    pub fn all_stmts(&self) -> impl Iterator<Item = (StmtRef, &Stmt)> {
+        self.blocks.iter().enumerate().flat_map(|(b, stmts)| {
+            stmts
+                .iter()
+                .enumerate()
+                .map(move |(i, s)| (StmtRef::new(BlockId(b as u32), i as u32), s))
+        })
+    }
+
+    /// Total number of statements; a proxy for "lines of code" in Table 1.
+    pub fn stmt_count(&self) -> usize {
+        self.blocks.iter().map(Vec::len).sum()
+    }
+
+    /// Finds the template ids whose rendered form could equal `body`.
+    pub fn templates_matching(&self, body: &str) -> Vec<TemplateId> {
+        self.templates
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.matches(body))
+            .map(|(i, _)| TemplateId(i as u32))
+            .collect()
+    }
+
+    /// Returns all log statements that use the given template.
+    pub fn log_stmts_of_template(&self, template: TemplateId) -> Vec<StmtRef> {
+        self.all_stmts()
+            .filter(|(_, s)| matches!(s, Stmt::Log { template: t, .. } if *t == template))
+            .map(|(r, _)| r)
+            .collect()
+    }
+}

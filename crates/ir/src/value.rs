@@ -1,0 +1,138 @@
+//! Runtime values manipulated by IR programs.
+
+use std::sync::Arc;
+
+use crate::exception::ExcValue;
+
+/// A dynamically typed runtime value.
+///
+/// The IR is untyped at the statement level; the interpreter coerces values
+/// where a specific type is required (e.g. a boolean condition) and treats
+/// ill-typed operations as interpreter errors rather than silent wrap-around.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// The unit value, also used as the "absent" sentinel (e.g. popping an
+    /// empty queue).
+    Unit,
+    /// A 64-bit signed integer.
+    Int(i64),
+    /// A boolean.
+    Bool(bool),
+    /// An immutable interned string.
+    Str(Arc<str>),
+    /// A list, used both as a sequence and as a tuple for message payloads.
+    List(Vec<Value>),
+    /// A handle to a pending asynchronous task result.
+    Future(u64),
+    /// A first-class exception value (as caught and rethrown by handlers).
+    Exc(Arc<ExcValue>),
+}
+
+impl Value {
+    /// Creates a string value.
+    pub fn str(s: &str) -> Self {
+        Value::Str(Arc::from(s))
+    }
+
+    /// Returns the value as a boolean, or `None` if it is not one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as an integer, or `None` if it is not one.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if this value is the unit sentinel.
+    pub fn is_unit(&self) -> bool {
+        matches!(self, Value::Unit)
+    }
+
+    /// Returns `true` if the value is an empty list or string (`false`
+    /// for every other value).
+    pub fn is_empty(&self) -> bool {
+        self.len() == Some(0)
+    }
+
+    /// Returns the length of a list or string, or `None` for other values.
+    pub fn len(&self) -> Option<i64> {
+        match self {
+            Value::List(v) => Some(v.len() as i64),
+            Value::Str(s) => Some(s.len() as i64),
+            _ => None,
+        }
+    }
+
+    /// Renders the value for inclusion in a log message.
+    pub fn render(&self) -> String {
+        match self {
+            Value::Unit => "()".to_string(),
+            Value::Int(i) => i.to_string(),
+            Value::Bool(b) => b.to_string(),
+            Value::Str(s) => s.to_string(),
+            Value::List(v) => {
+                let inner: Vec<String> = v.iter().map(Value::render).collect();
+                format!("[{}]", inner.join(", "))
+            }
+            Value::Future(id) => format!("future#{id}"),
+            Value::Exc(e) => e.render(),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_is_human_readable() {
+        assert_eq!(Value::Int(42).render(), "42");
+        assert_eq!(Value::str("x").render(), "x");
+        assert_eq!(
+            Value::List(vec![Value::Int(1), Value::Bool(true)]).render(),
+            "[1, true]"
+        );
+        assert_eq!(Value::Unit.render(), "()");
+    }
+
+    #[test]
+    fn coercions() {
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Int(3).as_bool(), None);
+        assert_eq!(Value::Int(3).as_int(), Some(3));
+        assert_eq!(Value::List(vec![Value::Unit]).len(), Some(1));
+        assert!(Value::Unit.is_unit());
+    }
+
+    #[test]
+    fn from_impls() {
+        assert_eq!(Value::from(7i64), Value::Int(7));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from("hi"), Value::str("hi"));
+    }
+}

@@ -1,0 +1,76 @@
+//! Property-based tests for templates, values, and exception patterns.
+
+use anduril_ir::log::LogTemplate;
+use anduril_ir::{ExcValue, ExceptionPattern, ExceptionType, Value};
+use proptest::prelude::*;
+
+/// Argument strings that cannot collide with template literals.
+fn arg_strategy() -> impl Strategy<Value = String> {
+    "[a-z0-9]{0,8}"
+}
+
+/// Template fragments: literal text without `{}`.
+fn fragment_strategy() -> impl Strategy<Value = String> {
+    "[A-Za-z ,.:-]{0,10}"
+}
+
+proptest! {
+    /// Rendering a template and matching the result round-trips.
+    #[test]
+    fn render_then_match_round_trips(
+        fragments in prop::collection::vec(fragment_strategy(), 1..5),
+        args in prop::collection::vec(arg_strategy(), 0..4),
+    ) {
+        let text = fragments.join("{}");
+        let template = LogTemplate { text };
+        let arity = template.arity();
+        let mut rendered_args: Vec<String> = args;
+        rendered_args.resize(arity, "x".to_string());
+        let body = template.render(&rendered_args);
+        prop_assert!(
+            template.matches(&body),
+            "template {:?} does not match its own rendering {:?}",
+            template.text,
+            body
+        );
+    }
+
+    /// Arity counts the holes rendered.
+    #[test]
+    fn arity_equals_rendered_holes(fragments in prop::collection::vec(fragment_strategy(), 1..6)) {
+        let text = fragments.join("{}");
+        let template = LogTemplate { text };
+        prop_assert_eq!(template.arity(), fragments.len() - 1);
+    }
+
+    /// Value rendering never panics and is non-empty for non-unit values.
+    #[test]
+    fn value_render_total(n in any::<i64>(), b in any::<bool>(), s in "[ -~]{0,12}") {
+        prop_assert_eq!(Value::Int(n).render(), n.to_string());
+        prop_assert_eq!(Value::Bool(b).render(), b.to_string());
+        prop_assert_eq!(Value::str(&s).render(), s);
+        let list = Value::List(vec![Value::Int(n), Value::Bool(b)]);
+        prop_assert!(list.render().starts_with('['));
+    }
+
+    /// `OneOf` behaves as the union of `Only` patterns.
+    #[test]
+    fn one_of_is_union(idx in prop::collection::vec(0usize..9, 1..5), probe in 0usize..9) {
+        let types: Vec<ExceptionType> = idx.iter().map(|&i| ExceptionType::ALL[i]).collect();
+        let multi = ExceptionPattern::OneOf(types.clone());
+        let probe_ty = ExceptionType::ALL[probe];
+        let union = types.iter().any(|&t| ExceptionPattern::Only(t).matches(probe_ty));
+        prop_assert_eq!(multi.matches(probe_ty), union);
+    }
+
+    /// The root of a wrap chain is the innermost exception.
+    #[test]
+    fn wrap_chain_root_is_innermost(depth in 0usize..6, root_idx in 0usize..9) {
+        let root_ty = ExceptionType::ALL[root_idx];
+        let mut exc = ExcValue::new(root_ty);
+        for _ in 0..depth {
+            exc = ExcValue::wrapping(ExceptionType::Execution, exc);
+        }
+        prop_assert_eq!(exc.root().ty, root_ty);
+    }
+}

@@ -1,0 +1,179 @@
+//! Timeline alignment between a run log and the failure log (§5.2.3).
+//!
+//! Fault-instance positions are known on the *normal run's* timeline (the
+//! FIR trace records how many log messages preceded each instance), but the
+//! temporal distance `T_{i,j,k}` must be measured on the *failure log's*
+//! timeline. Following the paper, matched log entries from the per-thread
+//! diff are used as anchors: by pairing neighbouring anchors we get the
+//! finest matched intervals, and positions inside each normal-log interval
+//! are scaled linearly into the corresponding failure-log interval.
+//!
+//! Because the per-thread matches come from independent diffs, the global
+//! anchor sequence may be non-monotonic (cross-run reordering); a longest
+//! strictly-increasing subsequence is extracted first, which is the "LCS"
+//! alignment the paper describes.
+
+/// A piecewise-linear mapping from run-log positions to failure-log
+/// positions.
+#[derive(Debug, Clone)]
+pub struct Alignment {
+    /// Monotonic `(run_pos, failure_pos)` anchors.
+    anchors: Vec<(f64, f64)>,
+    run_len: f64,
+    failure_len: f64,
+}
+
+/// Extracts a longest subsequence of `pairs` (already sorted by the first
+/// component) whose second components are strictly increasing.
+fn longest_increasing(pairs: &[(usize, usize)]) -> Vec<(usize, usize)> {
+    if pairs.is_empty() {
+        return Vec::new();
+    }
+    // Patience sorting on the second component.
+    let mut tails: Vec<usize> = Vec::new(); // indices into pairs
+    let mut prev: Vec<Option<usize>> = vec![None; pairs.len()];
+    for (i, &(_, y)) in pairs.iter().enumerate() {
+        let pos = tails.partition_point(|&t| pairs[t].1 < y);
+        if pos > 0 {
+            prev[i] = Some(tails[pos - 1]);
+        }
+        if pos == tails.len() {
+            tails.push(i);
+        } else {
+            tails[pos] = i;
+        }
+    }
+    let mut out = Vec::new();
+    let mut cur = tails.last().copied();
+    while let Some(i) = cur {
+        out.push(pairs[i]);
+        cur = prev[i];
+    }
+    out.reverse();
+    out
+}
+
+impl Alignment {
+    /// Builds an alignment from matched `(run_idx, failure_idx)` pairs.
+    ///
+    /// Pairs outside the log bounds are discarded, which keeps the mapping
+    /// monotone even against inconsistent inputs.
+    pub fn build(matches: &[(usize, usize)], run_len: usize, failure_len: usize) -> Self {
+        let mut pairs: Vec<(usize, usize)> = matches
+            .iter()
+            .copied()
+            .filter(|&(x, y)| x < run_len && y < failure_len)
+            .collect();
+        pairs.sort_unstable();
+        pairs.dedup_by_key(|p| p.0);
+        let lis = longest_increasing(&pairs);
+        let anchors = lis.into_iter().map(|(a, b)| (a as f64, b as f64)).collect();
+        Alignment {
+            anchors,
+            run_len: run_len as f64,
+            failure_len: failure_len as f64,
+        }
+    }
+
+    /// Maps a run-log position onto the failure-log timeline.
+    ///
+    /// Positions between anchors interpolate linearly; positions before the
+    /// first or after the last anchor scale against the log boundaries.
+    pub fn map(&self, run_pos: f64) -> f64 {
+        if self.anchors.is_empty() {
+            // No anchors: scale proportionally.
+            if self.run_len <= 0.0 {
+                return 0.0;
+            }
+            return run_pos / self.run_len * self.failure_len;
+        }
+        // Find the surrounding anchor interval.
+        let first = self.anchors[0];
+        let last = *self.anchors.last().expect("nonempty");
+        let (lo, hi) = if run_pos <= first.0 {
+            ((0.0, 0.0), first)
+        } else if run_pos >= last.0 {
+            (last, (self.run_len, self.failure_len))
+        } else {
+            let idx = self
+                .anchors
+                .partition_point(|&(x, _)| x <= run_pos)
+                .saturating_sub(1);
+            (self.anchors[idx], self.anchors[idx + 1])
+        };
+        let span_run = hi.0 - lo.0;
+        if span_run <= 0.0 {
+            return lo.1;
+        }
+        let frac = (run_pos - lo.0) / span_run;
+        lo.1 + frac * (hi.1 - lo.1)
+    }
+
+    /// Number of monotonic anchors retained.
+    pub fn anchor_count(&self) -> usize {
+        self.anchors.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_alignment() {
+        let matches: Vec<(usize, usize)> = (0..10).map(|i| (i, i)).collect();
+        let a = Alignment::build(&matches, 10, 10);
+        for i in 0..10 {
+            assert!((a.map(i as f64) - i as f64).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn linear_scaling_between_anchors() {
+        // Run positions 0 and 10 map to failure positions 0 and 20.
+        let a = Alignment::build(&[(0, 0), (10, 20)], 11, 21);
+        assert!((a.map(5.0) - 10.0).abs() < 1e-9);
+        assert!((a.map(2.5) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn extrapolates_beyond_anchors() {
+        let a = Alignment::build(&[(5, 10), (10, 20)], 20, 40);
+        // Before the first anchor: scale from (0,0) to (5,10).
+        assert!((a.map(2.5) - 5.0).abs() < 1e-9);
+        // After the last anchor: scale from (10,20) to (20,40).
+        assert!((a.map(15.0) - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn non_monotonic_anchors_are_filtered() {
+        // One of (3,5) / (6,1) breaks monotonicity; exactly one is dropped
+        // (both choices yield a valid longest increasing subsequence).
+        let a = Alignment::build(&[(0, 0), (3, 5), (6, 1), (9, 9)], 10, 10);
+        assert_eq!(a.anchor_count(), 3);
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..=10 {
+            let m = a.map(i as f64);
+            assert!(m >= prev, "monotone after filtering: {m} < {prev}");
+            prev = m;
+        }
+        assert!((a.map(9.0) - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_anchors_scales_proportionally() {
+        let a = Alignment::build(&[], 10, 30);
+        assert!((a.map(5.0) - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mapping_is_monotonic() {
+        let a = Alignment::build(&[(2, 4), (5, 5), (9, 17)], 12, 20);
+        let mut prev = -1.0;
+        for i in 0..=12 {
+            let m = a.map(i as f64);
+            assert!(m >= prev, "monotone at {i}: {m} < {prev}");
+            prev = m;
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Myers O(ND) difference algorithm with match recovery.
+//!
+//! The paper applies "the Myers difference algorithm \[42\] between the
+//! sanitized logs with the same thread name" (§5.1.1). We need the *matched
+//! pairs* (the longest common subsequence), both to find failure-only
+//! messages (relevant observables) and to anchor the timeline alignment of
+//! §5.2.3.
+
+/// Computes the matched index pairs `(i, j)` of a longest common
+/// subsequence of `a` and `b`, in increasing order of both components.
+///
+/// Runs the classic greedy forward algorithm with a saved trace of the `V`
+/// arrays, then backtracks to recover the edit path. Time `O((N+M)·D)`,
+/// space `O(D²)` — cheap for log diffs, which are short edit distances over
+/// mostly-similar sequences.
+pub fn myers_matches<T: PartialEq>(a: &[T], b: &[T]) -> Vec<(usize, usize)> {
+    let n = a.len() as isize;
+    let m = b.len() as isize;
+    if n == 0 || m == 0 {
+        return Vec::new();
+    }
+    let max = (n + m) as usize;
+    let offset = max as isize;
+    // V[k + offset] = furthest x on diagonal k.
+    let mut v = vec![0isize; 2 * max + 1];
+    let mut trace: Vec<Vec<isize>> = Vec::new();
+    let mut found_d = None;
+    'outer: for d in 0..=(max as isize) {
+        trace.push(v.clone());
+        let mut k = -d;
+        while k <= d {
+            let mut x = if k == -d
+                || (k != d && v[(k - 1 + offset) as usize] < v[(k + 1 + offset) as usize])
+            {
+                v[(k + 1 + offset) as usize]
+            } else {
+                v[(k - 1 + offset) as usize] + 1
+            };
+            let mut y = x - k;
+            while x < n && y < m && a[x as usize] == b[y as usize] {
+                x += 1;
+                y += 1;
+            }
+            v[(k + offset) as usize] = x;
+            if x >= n && y >= m {
+                found_d = Some(d);
+                break 'outer;
+            }
+            k += 2;
+        }
+    }
+    let d_final = found_d.expect("myers always terminates within n+m edits");
+
+    // Backtrack from (n, m) through the saved traces, collecting matches
+    // along diagonal runs.
+    let mut matches = Vec::new();
+    let mut x = n;
+    let mut y = m;
+    let mut d = d_final;
+    while d > 0 {
+        let vd = &trace[d as usize];
+        let k = x - y;
+        let prev_k = if k == -d
+            || (k != d && vd[(k - 1 + offset) as usize] < vd[(k + 1 + offset) as usize])
+        {
+            k + 1
+        } else {
+            k - 1
+        };
+        let prev_x = vd[(prev_k + offset) as usize];
+        let prev_y = prev_x - prev_k;
+        // Diagonal (snake) portion after the edit.
+        let snake_start_x = if prev_k == k + 1 { prev_x } else { prev_x + 1 };
+        let snake_start_y = snake_start_x - k;
+        let mut sx = x;
+        let mut sy = y;
+        while sx > snake_start_x && sy > snake_start_y {
+            sx -= 1;
+            sy -= 1;
+            matches.push((sx as usize, sy as usize));
+        }
+        x = prev_x;
+        y = prev_y;
+        d -= 1;
+    }
+    // The d = 0 prefix snake.
+    let mut sx = x;
+    let mut sy = y;
+    while sx > 0 && sy > 0 {
+        sx -= 1;
+        sy -= 1;
+        matches.push((sx as usize, sy as usize));
+    }
+    matches.reverse();
+    matches
+}
+
+/// Indices of `b` that are *not* matched by any LCS pair — the entries that
+/// appear only in `b` (for us: messages only in the failure log).
+pub fn unmatched_b<T: PartialEq>(a: &[T], b: &[T]) -> Vec<usize> {
+    let matches = myers_matches(a, b);
+    let matched: std::collections::HashSet<usize> = matches.iter().map(|&(_, j)| j).collect();
+    (0..b.len()).filter(|j| !matched.contains(j)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_common_subsequence<T: PartialEq + std::fmt::Debug>(
+        a: &[T],
+        b: &[T],
+        matches: &[(usize, usize)],
+    ) {
+        for w in matches.windows(2) {
+            assert!(w[0].0 < w[1].0, "i strictly increasing: {matches:?}");
+            assert!(w[0].1 < w[1].1, "j strictly increasing: {matches:?}");
+        }
+        for &(i, j) in matches {
+            assert_eq!(a[i], b[j], "matched elements equal");
+        }
+    }
+
+    #[test]
+    fn identical_sequences_fully_match() {
+        let a = vec![1, 2, 3, 4];
+        let m = myers_matches(&a, &a);
+        assert_eq!(m, vec![(0, 0), (1, 1), (2, 2), (3, 3)]);
+    }
+
+    #[test]
+    fn disjoint_sequences_share_nothing() {
+        let a = vec![1, 2, 3];
+        let b = vec![4, 5, 6];
+        assert!(myers_matches(&a, &b).is_empty());
+        assert_eq!(unmatched_b(&a, &b), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn classic_example() {
+        // ABCABBA vs CBABAC: LCS length 4.
+        let a: Vec<char> = "ABCABBA".chars().collect();
+        let b: Vec<char> = "CBABAC".chars().collect();
+        let m = myers_matches(&a, &b);
+        check_common_subsequence(&a, &b, &m);
+        assert_eq!(m.len(), 4);
+    }
+
+    #[test]
+    fn insertion_in_middle_detected() {
+        let a = vec!["x", "y", "z"];
+        let b = vec!["x", "NEW", "y", "z"];
+        let m = myers_matches(&a, &b);
+        check_common_subsequence(&a, &b, &m);
+        assert_eq!(m.len(), 3);
+        assert_eq!(unmatched_b(&a, &b), vec![1]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let empty: Vec<i32> = vec![];
+        assert!(myers_matches(&empty, &[1, 2]).is_empty());
+        assert!(myers_matches(&[1, 2], &empty).is_empty());
+        assert_eq!(unmatched_b(&empty, &[1, 2]), vec![0, 1]);
+    }
+
+    #[test]
+    fn prefix_suffix_snakes() {
+        let a = vec![1, 2, 9, 9, 5, 6];
+        let b = vec![1, 2, 3, 4, 5, 6];
+        let m = myers_matches(&a, &b);
+        check_common_subsequence(&a, &b, &m);
+        assert_eq!(m.len(), 4);
+        assert_eq!(unmatched_b(&a, &b), vec![2, 3]);
+    }
+}

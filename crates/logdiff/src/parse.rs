@@ -1,0 +1,156 @@
+//! Text log parsing.
+//!
+//! The Explorer receives the production failure log as *text* (the deployed
+//! system is not instrumented by ANDURIL), so every log the feedback
+//! algorithm consumes goes through this parser — mirroring the paper's
+//! Scala log parser for Log4j-style formats (§7). Our rendered format is
+//!
+//! ```text
+//! 00000042 [node:thread] LEVEL - message body
+//! ExceptionName
+//!     at functionName
+//! ```
+//!
+//! where the exception line and `at` lines are optional continuations.
+
+use anduril_ir::Level;
+
+/// One parsed log record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedEntry {
+    /// Timestamp, if the line carried one (stripped by sanitization).
+    pub time: Option<u64>,
+    /// Emitting node name.
+    pub node: String,
+    /// Emitting thread name.
+    pub thread: String,
+    /// Severity.
+    pub level: Level,
+    /// Message body with the timestamp removed.
+    pub body: String,
+    /// Attached exception class name, if a throwable was logged.
+    pub exc: Option<String>,
+    /// Attached stack-trace function names, innermost first.
+    pub stack: Vec<String>,
+}
+
+impl ParsedEntry {
+    /// The sanitized comparison key used by the per-thread diff: node,
+    /// thread, level and body — everything except the timestamp.
+    pub fn sanitized(&self) -> (&str, &str, Level, &str) {
+        (&self.node, &self.thread, self.level, &self.body)
+    }
+}
+
+/// Parses one header line; returns `None` if it is not a header.
+fn parse_header(line: &str) -> Option<ParsedEntry> {
+    let (ts, rest) = line.split_once(' ')?;
+    let time = ts.parse::<u64>().ok()?;
+    let rest = rest.strip_prefix('[')?;
+    let (addr, rest) = rest.split_once("] ")?;
+    let (node, thread) = addr.split_once(':')?;
+    let (level, body) = rest.split_once(" - ")?;
+    let level = Level::parse(level)?;
+    Some(ParsedEntry {
+        time: Some(time),
+        node: node.to_string(),
+        thread: thread.to_string(),
+        level,
+        body: body.to_string(),
+        exc: None,
+        stack: Vec::new(),
+    })
+}
+
+/// Parses a rendered log into records, folding `at` continuation lines and
+/// exception names into the preceding record.
+///
+/// Lines that match no known shape are ignored (production logs are noisy).
+pub fn parse_log(text: &str) -> Vec<ParsedEntry> {
+    let mut out: Vec<ParsedEntry> = Vec::new();
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(entry) = parse_header(line) {
+            out.push(entry);
+            continue;
+        }
+        // Continuation of the previous record.
+        if let Some(last) = out.last_mut() {
+            if let Some(frame) = line
+                .strip_prefix("\tat ")
+                .or_else(|| line.strip_prefix("    at "))
+            {
+                last.stack.push(frame.trim().to_string());
+            } else if last.exc.is_none() && !line.starts_with(char::is_whitespace) {
+                last.exc = Some(line.trim().to_string());
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_lines() {
+        let text = "\
+00000042 [nn1:main] INFO - started
+00000050 [nn1:IPC-handler] WARN - retry 3 of 10
+";
+        let entries = parse_log(text);
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].node, "nn1");
+        assert_eq!(entries[0].thread, "main");
+        assert_eq!(entries[0].level, Level::Info);
+        assert_eq!(entries[0].body, "started");
+        assert_eq!(entries[0].time, Some(42));
+        assert_eq!(entries[1].thread, "IPC-handler");
+        assert_eq!(entries[1].body, "retry 3 of 10");
+    }
+
+    #[test]
+    fn folds_exception_and_stack_continuations() {
+        let text = "\
+00000042 [rs1:WAL-roller] ERROR - sync failed
+IOException
+\tat channelRead0
+\tat sync
+00000043 [rs1:main] INFO - next
+";
+        let entries = parse_log(text);
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].exc.as_deref(), Some("IOException"));
+        assert_eq!(entries[0].stack, vec!["channelRead0", "sync"]);
+        assert!(entries[1].stack.is_empty());
+    }
+
+    #[test]
+    fn ignores_garbage_lines() {
+        let text = "not a log line\n00000001 [a:b] INFO - real\n???\n";
+        let entries = parse_log(text);
+        // The garbage prefix has no record to attach to and is dropped; the
+        // trailing garbage becomes the exception name of `real` (best-effort,
+        // like a real multi-line throwable render).
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].body, "real");
+    }
+
+    #[test]
+    fn body_containing_separator_is_preserved() {
+        let text = "00000009 [n:t] WARN - a - b - c\n";
+        let entries = parse_log(text);
+        assert_eq!(entries[0].body, "a - b - c");
+    }
+
+    #[test]
+    fn sanitized_key_drops_time() {
+        let a = parse_log("00000001 [n:t] INFO - x\n");
+        let b = parse_log("00099999 [n:t] INFO - x\n");
+        assert_eq!(a[0].sanitized(), b[0].sanitized());
+        assert_ne!(a[0].time, b[0].time);
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests for the diff and alignment primitives.
+
+use anduril_logdiff::{myers_matches, unmatched_b, Alignment};
+use proptest::prelude::*;
+
+/// Reference LCS length via classic dynamic programming.
+fn lcs_len_dp<T: PartialEq>(a: &[T], b: &[T]) -> usize {
+    let mut dp = vec![vec![0usize; b.len() + 1]; a.len() + 1];
+    for i in 0..a.len() {
+        for j in 0..b.len() {
+            dp[i + 1][j + 1] = if a[i] == b[j] {
+                dp[i][j] + 1
+            } else {
+                dp[i][j + 1].max(dp[i + 1][j])
+            };
+        }
+    }
+    dp[a.len()][b.len()]
+}
+
+proptest! {
+    /// Myers finds a *longest* common subsequence: same length as the DP
+    /// reference.
+    #[test]
+    fn myers_matches_lcs_length(
+        a in prop::collection::vec(0u8..6, 0..40),
+        b in prop::collection::vec(0u8..6, 0..40),
+    ) {
+        let m = myers_matches(&a, &b);
+        prop_assert_eq!(m.len(), lcs_len_dp(&a, &b));
+    }
+
+    /// Matched pairs form a strictly increasing common subsequence.
+    #[test]
+    fn myers_matches_are_valid(
+        a in prop::collection::vec(0u8..4, 0..50),
+        b in prop::collection::vec(0u8..4, 0..50),
+    ) {
+        let m = myers_matches(&a, &b);
+        for w in m.windows(2) {
+            prop_assert!(w[0].0 < w[1].0);
+            prop_assert!(w[0].1 < w[1].1);
+        }
+        for &(i, j) in &m {
+            prop_assert_eq!(a[i], b[j]);
+        }
+    }
+
+    /// Matched + unmatched indices of `b` partition `b` exactly.
+    #[test]
+    fn matched_and_unmatched_partition(
+        a in prop::collection::vec(0u8..4, 0..30),
+        b in prop::collection::vec(0u8..4, 0..30),
+    ) {
+        let m = myers_matches(&a, &b);
+        let un = unmatched_b(&a, &b);
+        let mut all: Vec<usize> = m.iter().map(|&(_, j)| j).chain(un).collect();
+        all.sort_unstable();
+        let expect: Vec<usize> = (0..b.len()).collect();
+        prop_assert_eq!(all, expect);
+    }
+
+    /// Diffing a sequence against itself yields no unmatched entries.
+    #[test]
+    fn self_diff_is_empty(a in prop::collection::vec(0u16..100, 0..60)) {
+        prop_assert!(unmatched_b(&a, &a).is_empty());
+    }
+
+    /// Alignment is monotone non-decreasing regardless of anchor noise.
+    #[test]
+    fn alignment_is_monotone(
+        pairs in prop::collection::vec((0usize..100, 0usize..100), 0..20),
+        len_a in 1usize..120,
+        len_b in 1usize..120,
+    ) {
+        let a = Alignment::build(&pairs, len_a, len_b);
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..=len_a {
+            let m = a.map(i as f64);
+            prop_assert!(m >= prev - 1e-9, "not monotone at {i}: {m} < {prev}");
+            prop_assert!(m.is_finite());
+            prev = m;
+        }
+    }
+
+    /// Anchors map onto themselves (up to the monotone filtering).
+    #[test]
+    fn alignment_identity_for_monotone_anchors(n in 1usize..30) {
+        let pairs: Vec<(usize, usize)> = (0..n).map(|i| (i * 2, i * 3)).collect();
+        let a = Alignment::build(&pairs, n * 2, n * 3);
+        for &(x, y) in &pairs {
+            prop_assert!((a.map(x as f64) - y as f64).abs() < 1e-9);
+        }
+    }
+}
+
+proptest! {
+    /// The parser is total: arbitrary text never panics, and parsing the
+    /// render of parsed entries is stable (idempotent shape).
+    #[test]
+    fn parser_never_panics(text in "(?s).{0,400}") {
+        let _ = anduril_logdiff::parse_log(&text);
+    }
+
+    /// Round trip: a well-formed header line always parses into one record
+    /// with its fields intact.
+    #[test]
+    fn header_round_trip(
+        time in 0u64..99_999_999,
+        node in "[a-z][a-z0-9]{0,6}",
+        thread in "[A-Za-z][A-Za-z0-9-]{0,10}",
+        body in "[ -~&&[^\n]]{0,40}",
+    ) {
+        let line = format!("{time:08} [{node}:{thread}] WARN - {body}\n");
+        let parsed = anduril_logdiff::parse_log(&line);
+        prop_assert_eq!(parsed.len(), 1);
+        prop_assert_eq!(parsed[0].time, Some(time));
+        prop_assert_eq!(&parsed[0].node, &node);
+        prop_assert_eq!(&parsed[0].thread, &thread);
+        prop_assert_eq!(&parsed[0].body, &body);
+    }
+}

@@ -1,0 +1,79 @@
+//! Simulation configuration and cluster topology.
+
+use anduril_ir::{FuncId, Value};
+
+/// Configuration for one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Seed for every source of simulated nondeterminism (message latency,
+    /// scheduling jitter, workload jitter). Identical seeds give identical
+    /// runs; the Explorer varies the seed per round, which is what makes the
+    /// paper's flexible priority window necessary.
+    pub seed: u64,
+    /// Logical-time horizon; the run stops when the clock passes it.
+    pub max_time: u64,
+    /// Safety cap on executed statements.
+    pub max_steps: u64,
+    /// Base number of statements a thread executes per scheduling slice.
+    pub quantum: u32,
+    /// Inclusive-exclusive bounds on simulated message delivery latency.
+    pub net_latency: (u64, u64),
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 1,
+            max_time: 1_000_000,
+            max_steps: 50_000_000,
+            quantum: 8,
+            net_latency: (3, 9),
+        }
+    }
+}
+
+impl SimConfig {
+    /// Returns a copy with a different seed (one Explorer round each).
+    pub fn with_seed(&self, seed: u64) -> Self {
+        SimConfig {
+            seed,
+            ..self.clone()
+        }
+    }
+}
+
+/// One node in the simulated cluster.
+#[derive(Debug, Clone)]
+pub struct NodeSpec {
+    /// Node name, e.g. `"nn1"`, `"rs2"`, `"client"`.
+    pub name: String,
+    /// Entry function run by the node's `main` thread.
+    pub main: FuncId,
+    /// Arguments passed to the entry function.
+    pub args: Vec<Value>,
+}
+
+impl NodeSpec {
+    /// Creates a node spec.
+    pub fn new(name: &str, main: FuncId, args: Vec<Value>) -> Self {
+        NodeSpec {
+            name: name.to_string(),
+            main,
+            args,
+        }
+    }
+}
+
+/// The simulated cluster: a list of nodes all running the same program.
+#[derive(Debug, Clone, Default)]
+pub struct Topology {
+    /// The cluster's nodes; names must be unique.
+    pub nodes: Vec<NodeSpec>,
+}
+
+impl Topology {
+    /// Creates a topology from node specs.
+    pub fn new(nodes: Vec<NodeSpec>) -> Self {
+        Topology { nodes }
+    }
+}

@@ -1,0 +1,322 @@
+//! Fault-injection runtime (FIR).
+//!
+//! Mirrors the paper's instrumented `FIR.traceSite()` / `FIR.throwIfEnabled()`
+//! pair (Figure 3): every execution of a fault site first reports to the
+//! runtime (tracing occurrence, logical time, and position in the log
+//! stream), then asks whether an exception should be thrown here.
+//!
+//! A run is armed with an [`InjectionPlan`] — a *window* of candidates in
+//! the Explorer's flexible-window scheme (§5.2.5). The first candidate whose
+//! guard matches during the run is injected; at most one injection happens
+//! per run, matching ANDURIL's single-fault-per-round design.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use anduril_ir::{ExceptionType, FuncId, SiteId, StmtRef};
+
+/// One injectable candidate in a plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Candidate {
+    /// The static fault site to inject at.
+    pub site: SiteId,
+    /// The dynamic occurrence (0-based) to inject at; `None` injects at the
+    /// first occurrence that satisfies the other guards.
+    pub occurrence: Option<u32>,
+    /// The exception type to throw.
+    pub exc: ExceptionType,
+    /// If present, the current call stack (innermost first) must start with
+    /// this prefix for the injection to fire. Used by the
+    /// stacktrace-injector baseline.
+    pub stack: Option<Vec<FuncId>>,
+}
+
+impl Candidate {
+    /// A candidate pinned to an exact `(site, occurrence)` pair.
+    pub fn exact(site: SiteId, occurrence: u32, exc: ExceptionType) -> Self {
+        Candidate {
+            site,
+            occurrence: Some(occurrence),
+            exc,
+            stack: None,
+        }
+    }
+}
+
+/// A set of candidates armed for one run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct InjectionPlan {
+    /// Candidates; the first whose guards match is injected.
+    pub candidates: Vec<Candidate>,
+    /// Crash-injection point for the CrashTuner baseline: crash the current
+    /// node at the given occurrence of the given meta-info access statement.
+    pub crash_at: Option<CrashPoint>,
+}
+
+/// A node-crash injection point (CrashTuner baseline).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrashPoint {
+    /// The meta-info access statement to crash at.
+    pub stmt: StmtRef,
+    /// The dynamic occurrence (0-based) of that access.
+    pub occurrence: u32,
+}
+
+impl InjectionPlan {
+    /// A plan that injects nothing (fault-free run).
+    pub fn none() -> Self {
+        InjectionPlan::default()
+    }
+
+    /// A plan with a single exact candidate — the deterministic
+    /// reproduction script ANDURIL emits on success.
+    pub fn exact(site: SiteId, occurrence: u32, exc: ExceptionType) -> Self {
+        InjectionPlan {
+            candidates: vec![Candidate::exact(site, occurrence, exc)],
+            crash_at: None,
+        }
+    }
+
+    /// A window plan over several candidates.
+    pub fn window(candidates: Vec<Candidate>) -> Self {
+        InjectionPlan {
+            candidates,
+            crash_at: None,
+        }
+    }
+}
+
+/// Record of an injection that fired during a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InjectedRecord {
+    /// The candidate that fired.
+    pub candidate: Candidate,
+    /// The occurrence at which it actually fired.
+    pub occurrence: u32,
+    /// Logical time of the injection.
+    pub time: u64,
+}
+
+/// One traced execution of a fault site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// The site that executed.
+    pub site: SiteId,
+    /// Its dynamic occurrence number in this run (0-based).
+    pub occurrence: u32,
+    /// Logical time of the execution.
+    pub time: u64,
+    /// Number of log entries emitted before this execution — the site
+    /// instance's position on the run's log timeline (§5.2.3 uses message
+    /// counts as logical time).
+    pub log_pos: u32,
+}
+
+/// The per-run fault-injection runtime state.
+#[derive(Debug)]
+pub struct Fir {
+    plan_by_site: HashMap<SiteId, Vec<Candidate>>,
+    crash_at: Option<CrashPoint>,
+    /// Occurrence counter per site.
+    occ: Vec<u32>,
+    /// Occurrence counter per meta-access point (keyed by statement).
+    meta_occ: HashMap<StmtRef, u32>,
+    /// All traced site executions, in order.
+    pub trace: Vec<TraceEntry>,
+    /// The injection that fired, if any.
+    pub injected: Option<InjectedRecord>,
+    /// Whether a crash injection fired.
+    pub crashed: bool,
+    /// Total `throwIfEnabled` requests served.
+    pub requests: u64,
+    /// Total nanoseconds spent deciding injection requests (host time;
+    /// metrics only, never used in algorithmic paths).
+    pub decision_ns: u64,
+}
+
+impl Fir {
+    /// Arms the runtime with a plan for one run over `n_sites` sites.
+    pub fn new(n_sites: usize, plan: InjectionPlan) -> Self {
+        let mut plan_by_site: HashMap<SiteId, Vec<Candidate>> = HashMap::new();
+        for c in plan.candidates {
+            plan_by_site.entry(c.site).or_default().push(c);
+        }
+        Fir {
+            plan_by_site,
+            crash_at: plan.crash_at,
+            occ: vec![0; n_sites],
+            meta_occ: HashMap::new(),
+            trace: Vec::new(),
+            injected: None,
+            crashed: false,
+            requests: 0,
+            decision_ns: 0,
+        }
+    }
+
+    /// Traces one execution of `site` and decides whether to inject.
+    ///
+    /// Returns the exception type to throw, or `None` to let the call
+    /// proceed. `stack` is the current call stack, innermost first.
+    pub fn on_site(
+        &mut self,
+        site: SiteId,
+        time: u64,
+        log_pos: u32,
+        stack: &[FuncId],
+    ) -> Option<ExceptionType> {
+        let occurrence = self.occ[site.index()];
+        self.occ[site.index()] += 1;
+        self.trace.push(TraceEntry {
+            site,
+            occurrence,
+            time,
+            log_pos,
+        });
+        self.requests += 1;
+        let start = Instant::now();
+        let decision = self.decide(site, occurrence, time, stack);
+        self.decision_ns += start.elapsed().as_nanos() as u64;
+        decision
+    }
+
+    fn decide(
+        &mut self,
+        site: SiteId,
+        occurrence: u32,
+        time: u64,
+        stack: &[FuncId],
+    ) -> Option<ExceptionType> {
+        if self.injected.is_some() {
+            return None;
+        }
+        let candidates = self.plan_by_site.get(&site)?;
+        let hit = candidates.iter().find(|c| {
+            c.occurrence.map(|o| o == occurrence).unwrap_or(true)
+                && c.stack
+                    .as_ref()
+                    .map(|s| stack.len() >= s.len() && &stack[..s.len()] == s.as_slice())
+                    .unwrap_or(true)
+        })?;
+        let record = InjectedRecord {
+            candidate: hit.clone(),
+            occurrence,
+            time,
+        };
+        let exc = hit.exc;
+        self.injected = Some(record);
+        Some(exc)
+    }
+
+    /// Traces one execution of a meta-info access point; returns `true` if
+    /// the CrashTuner plan wants the node crashed here.
+    pub fn on_meta_access(&mut self, stmt: StmtRef) -> bool {
+        let occ = self.meta_occ.entry(stmt).or_insert(0);
+        let current = *occ;
+        *occ += 1;
+        if self.crashed {
+            return false;
+        }
+        match &self.crash_at {
+            Some(p) if p.stmt == stmt && p.occurrence == current => {
+                self.crashed = true;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Final occurrence counts per site.
+    pub fn occurrences(&self) -> &[u32] {
+        &self.occ
+    }
+
+    /// Final occurrence counts per site, as an owned vector.
+    pub fn occ_vec(&self) -> Vec<u32> {
+        self.occ.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn injects_at_exact_occurrence_once() {
+        let mut fir = Fir::new(3, InjectionPlan::exact(SiteId(1), 2, ExceptionType::Io));
+        assert_eq!(fir.on_site(SiteId(1), 0, 0, &[]), None);
+        assert_eq!(fir.on_site(SiteId(1), 1, 0, &[]), None);
+        assert_eq!(fir.on_site(SiteId(1), 2, 1, &[]), Some(ExceptionType::Io));
+        // A later occurrence does not fire again.
+        assert_eq!(fir.on_site(SiteId(1), 3, 2, &[]), None);
+        assert_eq!(fir.injected.as_ref().unwrap().occurrence, 2);
+        assert_eq!(fir.occurrences()[1], 4);
+    }
+
+    #[test]
+    fn window_injects_first_matching_candidate() {
+        let plan = InjectionPlan::window(vec![
+            Candidate::exact(SiteId(0), 5, ExceptionType::Io),
+            Candidate::exact(SiteId(2), 0, ExceptionType::Socket),
+        ]);
+        let mut fir = Fir::new(3, plan);
+        // Site 0 occurrence 0 does not match (candidate wants occurrence 5).
+        assert_eq!(fir.on_site(SiteId(0), 0, 0, &[]), None);
+        // Site 2 occurrence 0 matches the second candidate.
+        assert_eq!(
+            fir.on_site(SiteId(2), 1, 0, &[]),
+            Some(ExceptionType::Socket)
+        );
+        // After one injection the window is closed.
+        for t in 2..10 {
+            assert_eq!(fir.on_site(SiteId(0), t, 0, &[]), None);
+        }
+    }
+
+    #[test]
+    fn stack_guard_must_match_prefix() {
+        let plan = InjectionPlan::window(vec![Candidate {
+            site: SiteId(0),
+            occurrence: None,
+            exc: ExceptionType::Io,
+            stack: Some(vec![FuncId(7), FuncId(8)]),
+        }]);
+        let mut fir = Fir::new(1, plan);
+        assert_eq!(fir.on_site(SiteId(0), 0, 0, &[FuncId(7)]), None);
+        assert_eq!(fir.on_site(SiteId(0), 1, 0, &[FuncId(8), FuncId(7)]), None);
+        assert_eq!(
+            fir.on_site(SiteId(0), 2, 0, &[FuncId(7), FuncId(8), FuncId(9)]),
+            Some(ExceptionType::Io)
+        );
+    }
+
+    #[test]
+    fn trace_records_log_positions() {
+        let mut fir = Fir::new(1, InjectionPlan::none());
+        fir.on_site(SiteId(0), 10, 3, &[]);
+        fir.on_site(SiteId(0), 20, 7, &[]);
+        assert_eq!(fir.trace.len(), 2);
+        assert_eq!(fir.trace[0].log_pos, 3);
+        assert_eq!(fir.trace[1].occurrence, 1);
+        assert_eq!(fir.requests, 2);
+    }
+
+    #[test]
+    fn meta_access_crash_point() {
+        let stmt = StmtRef::new(anduril_ir::BlockId(3), 1);
+        let mut fir = Fir::new(
+            0,
+            InjectionPlan {
+                candidates: vec![],
+                crash_at: Some(CrashPoint {
+                    stmt,
+                    occurrence: 1,
+                }),
+            },
+        );
+        assert!(!fir.on_meta_access(stmt));
+        assert!(fir.on_meta_access(stmt));
+        assert!(!fir.on_meta_access(stmt));
+        assert!(fir.crashed);
+    }
+}

@@ -1,0 +1,147 @@
+//! The observable outcome of one simulation run.
+
+use std::time::Duration;
+
+use anduril_ir::{log::render_log, LogEntry, Value};
+
+use crate::fir::{InjectedRecord, TraceEntry};
+
+/// Final state of one thread, with names resolved for oracle checks.
+#[derive(Debug, Clone)]
+pub struct ThreadSnapshot {
+    /// Node name.
+    pub node: String,
+    /// Thread name.
+    pub thread: String,
+    /// Final lifecycle state.
+    pub state: ThreadEndState,
+    /// Function names on the call stack at the end, innermost first.
+    pub stack: Vec<String>,
+}
+
+/// Thread lifecycle state at the end of a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ThreadEndState {
+    /// Completed normally.
+    Done,
+    /// Terminated by an uncaught exception (rendered form).
+    Died(String),
+    /// Still parked on a blocking statement (the run went quiescent or hit
+    /// its horizon) — the "stuck" symptom shape.
+    Blocked(String),
+    /// Was still runnable when the run's horizon was reached.
+    Running,
+    /// Its node aborted or crashed.
+    Killed,
+}
+
+/// Final state of one node.
+#[derive(Debug, Clone)]
+pub struct NodeSnapshot {
+    /// Node name.
+    pub name: String,
+    /// `false` if the node aborted or crashed.
+    pub alive: bool,
+    /// `true` if the node executed an `Abort` statement.
+    pub aborted: bool,
+    /// Final global variable values, as `(name, value)` pairs.
+    pub globals: Vec<(String, Value)>,
+}
+
+impl NodeSnapshot {
+    /// Looks up a global by name.
+    pub fn global(&self, name: &str) -> Option<&Value> {
+        self.globals.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+}
+
+/// Everything a run produced: the log, the fault-site trace, injection
+/// bookkeeping, and final cluster state.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Structured log entries in emission order.
+    pub log: Vec<LogEntry>,
+    /// Every traced fault-site execution, in order.
+    pub trace: Vec<TraceEntry>,
+    /// The injection that fired, if any.
+    pub injected: Option<InjectedRecord>,
+    /// Whether a CrashTuner-style crash injection fired.
+    pub crashed: bool,
+    /// Final per-site occurrence counts.
+    pub site_occurrences: Vec<u32>,
+    /// Final thread states.
+    pub threads: Vec<ThreadSnapshot>,
+    /// Final node states.
+    pub nodes: Vec<NodeSnapshot>,
+    /// Logical time at which the run ended.
+    pub end_time: u64,
+    /// Total statements executed.
+    pub steps: u64,
+    /// `FIR.throwIfEnabled` requests served.
+    pub injection_requests: u64,
+    /// Host nanoseconds spent on injection decisions (metrics only).
+    pub decision_ns: u64,
+    /// Host wall-clock duration of the run.
+    pub wall: Duration,
+}
+
+impl RunResult {
+    /// Renders the full log as Log4j-style text.
+    pub fn log_text(&self) -> String {
+        render_log(&self.log)
+    }
+
+    /// Returns `true` if any log body contains `needle`.
+    pub fn has_log(&self, needle: &str) -> bool {
+        self.log.iter().any(|e| e.body.contains(needle))
+    }
+
+    /// Counts log bodies containing `needle`.
+    pub fn count_log(&self, needle: &str) -> usize {
+        self.log.iter().filter(|e| e.body.contains(needle)).count()
+    }
+
+    /// Returns `true` if a thread whose name contains `thread` ended
+    /// blocked with `func` somewhere on its stack.
+    pub fn thread_blocked_in(&self, thread: &str, func: &str) -> bool {
+        self.threads.iter().any(|t| {
+            t.thread.contains(thread)
+                && matches!(t.state, ThreadEndState::Blocked(_))
+                && t.stack.iter().any(|f| f == func)
+        })
+    }
+
+    /// Returns `true` if a thread whose name contains `thread` died of an
+    /// uncaught exception.
+    pub fn thread_died(&self, thread: &str) -> bool {
+        self.threads
+            .iter()
+            .any(|t| t.thread.contains(thread) && matches!(t.state, ThreadEndState::Died(_)))
+    }
+
+    /// Returns `true` if a thread whose name contains `thread` completed
+    /// normally.
+    pub fn thread_done(&self, thread: &str) -> bool {
+        self.threads
+            .iter()
+            .any(|t| t.thread.contains(thread) && t.state == ThreadEndState::Done)
+    }
+
+    /// Returns `true` if the named node aborted.
+    pub fn node_aborted(&self, node: &str) -> bool {
+        self.nodes.iter().any(|n| n.name == node && n.aborted)
+    }
+
+    /// Returns `true` if the named node is still alive.
+    pub fn node_alive(&self, node: &str) -> bool {
+        self.nodes.iter().any(|n| n.name == node && n.alive)
+    }
+
+    /// Looks up a node's final global value.
+    pub fn global(&self, node: &str, name: &str) -> Option<&Value> {
+        self.nodes
+            .iter()
+            .find(|n| n.name == node)
+            .and_then(|n| n.global(name))
+    }
+}

@@ -1,0 +1,199 @@
+//! Interpreter thread state: frames, block cursors, and statuses.
+//!
+//! The interpreter is an explicit state machine so that a thread can be
+//! suspended at any blocking statement and resumed by the event scheduler:
+//! each thread owns a stack of call [`Frame`]s, and each frame owns a stack
+//! of block [`Cursor`]s tracking its position inside nested `if`/`while`/
+//! `try` structures. Blocking statements are re-executed on wake-up with a
+//! [`WakeNote`] describing why the thread was woken.
+
+use std::sync::Arc;
+
+use anduril_ir::{BlockId, ChanId, CondId, ExcValue, ExecId, FuncId, StmtRef, Value, VarId};
+
+/// Dense thread identifier within one run.
+pub type ThreadId = usize;
+
+/// What a [`Cursor`] will do when control leaves its block.
+#[derive(Debug, Clone)]
+pub enum Pending {
+    /// Normal completion.
+    None,
+    /// An exception is propagating through a `finally` block.
+    Exc(Arc<ExcValue>),
+    /// A `return` is propagating through a `finally` block.
+    Return(Value),
+    /// A `break` is propagating through a `finally` block.
+    Break,
+    /// A `continue` is propagating through a `finally` block.
+    Continue,
+}
+
+/// Why a cursor's block is being executed.
+#[derive(Debug, Clone)]
+pub enum CursorKind {
+    /// A plain branch block (`then` / `else`).
+    Plain,
+    /// A loop body; `stmt` is the owning [`anduril_ir::Stmt::While`], whose
+    /// condition is re-evaluated when the block ends.
+    Loop {
+        /// The owning `while` statement.
+        stmt: StmtRef,
+    },
+    /// A protected `try` body; `stmt` is the owning `try`.
+    TryBody {
+        /// The owning `try` statement.
+        stmt: StmtRef,
+    },
+    /// A catch handler currently executing; `exc` is the caught exception
+    /// (used by `Rethrow` and stack-attaching logs).
+    Handler {
+        /// The owning `try` statement.
+        stmt: StmtRef,
+        /// The caught exception.
+        exc: Arc<ExcValue>,
+    },
+    /// A `finally` block; `pending` resumes when it completes.
+    Finally {
+        /// The control transfer to resume after the block.
+        pending: Pending,
+    },
+}
+
+/// Position within one block.
+#[derive(Debug, Clone)]
+pub struct Cursor {
+    /// The block being executed.
+    pub block: BlockId,
+    /// Index of the next statement to execute.
+    pub idx: usize,
+    /// The block's role.
+    pub kind: CursorKind,
+}
+
+impl Cursor {
+    /// Creates a cursor at the start of `block`.
+    pub fn new(block: BlockId, kind: CursorKind) -> Self {
+        Cursor {
+            block,
+            idx: 0,
+            kind,
+        }
+    }
+}
+
+/// One function activation.
+#[derive(Debug, Clone)]
+pub struct Frame {
+    /// The executing function.
+    pub func: FuncId,
+    /// Local variable slots (parameters first).
+    pub locals: Vec<Value>,
+    /// The caller local that receives this frame's return value.
+    pub ret_to: Option<VarId>,
+    /// Nested block cursors, innermost last.
+    pub cursors: Vec<Cursor>,
+}
+
+/// Why a thread is blocked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockReason {
+    /// Waiting for a message on a channel.
+    Chan(ChanId),
+    /// Waiting on a condition variable.
+    Cond(CondId),
+    /// Waiting for a future to complete.
+    Future(u64),
+    /// Sleeping until a deadline.
+    Sleep,
+    /// An executor worker with an empty task queue.
+    IdleWorker,
+}
+
+impl BlockReason {
+    /// Human-readable label for snapshots and debugging.
+    pub fn label(&self) -> String {
+        match self {
+            BlockReason::Chan(c) => format!("recv(chan#{})", c.0),
+            BlockReason::Cond(c) => format!("wait(cond#{})", c.0),
+            BlockReason::Future(f) => format!("await(future#{f})"),
+            BlockReason::Sleep => "sleep".to_string(),
+            BlockReason::IdleWorker => "idle-worker".to_string(),
+        }
+    }
+}
+
+/// A thread's lifecycle state.
+#[derive(Debug, Clone)]
+pub enum ThreadStatus {
+    /// Eligible to run.
+    Runnable,
+    /// Parked on a blocking statement.
+    Blocked(BlockReason),
+    /// Completed normally.
+    Done,
+    /// Terminated by an uncaught exception.
+    Died(Arc<ExcValue>),
+    /// Terminated because its node aborted or crashed.
+    Killed,
+}
+
+/// Why a blocked thread was woken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WakeNote {
+    /// No note (first execution of a blocking statement).
+    None,
+    /// A timeout or sleep deadline expired.
+    Expired,
+    /// The awaited resource became available (signal, message, future).
+    Signaled,
+}
+
+/// Whether a thread runs program code or drains an executor queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// An ordinary spawned thread.
+    Normal,
+    /// The worker thread of a single-threaded executor.
+    Worker(ExecId),
+}
+
+/// A simulated thread.
+#[derive(Debug)]
+pub struct Thread {
+    /// This thread's id.
+    pub id: ThreadId,
+    /// Index of the node the thread runs on.
+    pub node: usize,
+    /// Thread name (unique per node).
+    pub name: String,
+    /// Call stack, outermost first.
+    pub frames: Vec<Frame>,
+    /// Lifecycle state.
+    pub status: ThreadStatus,
+    /// Normal thread or executor worker.
+    pub role: Role,
+    /// The future completed when the current executor task finishes.
+    pub current_future: Option<u64>,
+    /// Monotonic token distinguishing wait epochs; wake events carrying a
+    /// stale token are ignored.
+    pub wait_token: u64,
+    /// Note set by the waker, consumed by the re-executed blocking
+    /// statement.
+    pub note: WakeNote,
+}
+
+impl Thread {
+    /// Returns the current call stack as function ids, innermost first.
+    pub fn stack_funcs(&self) -> Vec<FuncId> {
+        self.frames.iter().rev().map(|f| f.func).collect()
+    }
+
+    /// Returns `true` if the thread can still execute.
+    pub fn is_live(&self) -> bool {
+        matches!(
+            self.status,
+            ThreadStatus::Runnable | ThreadStatus::Blocked(_)
+        )
+    }
+}

@@ -1,0 +1,1518 @@
+//! The discrete-event world: scheduler plus IR interpreter.
+//!
+//! All simulated nondeterminism (message latency, scheduling jitter,
+//! workload jitter) flows from one seeded generator, so a run is a pure
+//! function of `(program, topology, config, plan)`. The Explorer exploits
+//! this: a successful round is replayed exactly by re-running with the same
+//! seed and an [`InjectionPlan::exact`] plan — the paper's "deterministic
+//! reproduction script" (§3 step 4.a).
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+use std::time::Instant;
+
+use anduril_ir::builder::{STMT_RUNTIME, TMPL_ABORT, TMPL_NODE_CRASH, TMPL_UNCAUGHT};
+use anduril_ir::{
+    BinOp, ChanId, ExcValue, ExceptionType, Expr, FuncId, Level, LogEntry, Program, Stmt, StmtRef,
+    TemplateId, Value, VarId,
+};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::config::{SimConfig, Topology};
+use crate::fir::{Fir, InjectionPlan};
+use crate::result::{NodeSnapshot, RunResult, ThreadEndState, ThreadSnapshot};
+use crate::thread::{
+    BlockReason, Cursor, CursorKind, Frame, Pending, Role, Thread, ThreadId, ThreadStatus, WakeNote,
+};
+
+/// Errors surfaced by the interpreter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A value had the wrong type for an operation.
+    Type {
+        /// The statement being executed (if known).
+        stmt: Option<StmtRef>,
+        /// Description of the mismatch.
+        msg: String,
+    },
+    /// A message was addressed to an unknown node.
+    NoSuchNode(String),
+    /// The run exceeded [`SimConfig::max_steps`].
+    StepLimit,
+    /// A structural invariant was violated (an IR or interpreter bug).
+    Internal(String),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Type { stmt, msg } => match stmt {
+                Some(s) => write!(f, "type error at {s}: {msg}"),
+                None => write!(f, "type error: {msg}"),
+            },
+            SimError::NoSuchNode(n) => write!(f, "no such node: {n}"),
+            SimError::StepLimit => write!(f, "step limit exceeded"),
+            SimError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Runs one simulation to completion (quiescence, horizon, or step limit).
+pub fn run(
+    program: &Program,
+    topo: &Topology,
+    cfg: &SimConfig,
+    plan: InjectionPlan,
+) -> Result<RunResult, SimError> {
+    let mut world = World::new(program, topo, cfg, plan)?;
+    world.drive()?;
+    Ok(world.finish())
+}
+
+#[derive(Debug)]
+struct EventEntry {
+    time: u64,
+    seq: u64,
+    kind: EventKind,
+}
+
+#[derive(Debug)]
+enum EventKind {
+    /// Run (or unblock, when `expired`) a thread.
+    Wake {
+        tid: ThreadId,
+        token: u64,
+        expired: bool,
+    },
+    /// Deliver a message to `(node, chan)`.
+    Deliver {
+        node: usize,
+        chan: ChanId,
+        payload: Value,
+    },
+}
+
+impl PartialEq for EventEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for EventEntry {}
+impl PartialOrd for EventEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for EventEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+#[derive(Debug)]
+struct FutureState {
+    done: Option<Result<Value, Arc<ExcValue>>>,
+    waiters: Vec<ThreadId>,
+}
+
+#[derive(Debug)]
+struct Task {
+    func: FuncId,
+    args: Vec<Value>,
+    future: u64,
+}
+
+#[derive(Debug, Default)]
+struct ExecState {
+    queue: VecDeque<Task>,
+    worker: Option<ThreadId>,
+}
+
+#[derive(Debug)]
+struct Node {
+    name: String,
+    alive: bool,
+    aborted: bool,
+    globals: Vec<Value>,
+    chans: Vec<VecDeque<Value>>,
+    chan_waiters: Vec<VecDeque<ThreadId>>,
+    cond_waiters: Vec<Vec<ThreadId>>,
+    execs: Vec<ExecState>,
+    spawn_counts: HashMap<String, u32>,
+}
+
+/// Control-flow outcome of executing one statement.
+enum Flow {
+    /// Advance to the next statement.
+    Next,
+    /// The statement blocked; re-execute it on wake-up.
+    Stay,
+    /// Cursor/frame stack already adjusted (branch taken, call pushed).
+    Jump,
+    /// An exception was raised.
+    Throw(Arc<ExcValue>),
+    /// `return expr`.
+    Return(Value),
+    /// `break`.
+    Break,
+    /// `continue`.
+    Continue,
+    /// The thread ended (halt, node abort).
+    Stop,
+}
+
+struct World<'p> {
+    program: &'p Program,
+    cfg: SimConfig,
+    rng: SmallRng,
+    clock: u64,
+    seq: u64,
+    events: BinaryHeap<Reverse<EventEntry>>,
+    threads: Vec<Thread>,
+    nodes: Vec<Node>,
+    node_by_name: HashMap<String, usize>,
+    futures: Vec<FutureState>,
+    log: Vec<LogEntry>,
+    fir: Fir,
+    steps: u64,
+    meta_points: HashSet<StmtRef>,
+    started: Instant,
+}
+
+impl<'p> World<'p> {
+    fn new(
+        program: &'p Program,
+        topo: &Topology,
+        cfg: &SimConfig,
+        plan: InjectionPlan,
+    ) -> Result<Self, SimError> {
+        let meta_points = collect_meta_points(program);
+        let mut world = World {
+            program,
+            cfg: cfg.clone(),
+            rng: SmallRng::seed_from_u64(cfg.seed),
+            clock: 0,
+            seq: 0,
+            events: BinaryHeap::new(),
+            threads: Vec::new(),
+            nodes: Vec::new(),
+            node_by_name: HashMap::new(),
+            futures: Vec::new(),
+            log: Vec::new(),
+            fir: Fir::new(program.sites.len(), plan),
+            steps: 0,
+            meta_points,
+            started: Instant::now(),
+        };
+        for (i, spec) in topo.nodes.iter().enumerate() {
+            if world.node_by_name.contains_key(&spec.name) {
+                return Err(SimError::Internal(format!(
+                    "duplicate node name {}",
+                    spec.name
+                )));
+            }
+            world.node_by_name.insert(spec.name.clone(), i);
+            world.nodes.push(Node {
+                name: spec.name.clone(),
+                alive: true,
+                aborted: false,
+                globals: program.globals.iter().map(|g| g.init.clone()).collect(),
+                chans: vec![VecDeque::new(); program.chans.len()],
+                chan_waiters: vec![VecDeque::new(); program.chans.len()],
+                cond_waiters: vec![Vec::new(); program.conds.len()],
+                execs: (0..program.execs.len())
+                    .map(|_| ExecState::default())
+                    .collect(),
+                spawn_counts: HashMap::new(),
+            });
+        }
+        for (i, spec) in topo.nodes.iter().enumerate() {
+            let tid = world.create_thread(i, "main", Role::Normal);
+            world.push_entry_frame(tid, spec.main, spec.args.clone(), None)?;
+            world.schedule_wake(tid, i as u64, false);
+        }
+        Ok(world)
+    }
+
+    // ---- infrastructure -------------------------------------------------
+
+    fn create_thread(&mut self, node: usize, name: &str, role: Role) -> ThreadId {
+        let count = self.nodes[node]
+            .spawn_counts
+            .entry(name.to_string())
+            .or_insert(0);
+        let unique = if *count == 0 {
+            name.to_string()
+        } else {
+            format!("{name}-{count}")
+        };
+        *count += 1;
+        let tid = self.threads.len();
+        self.threads.push(Thread {
+            id: tid,
+            node,
+            name: unique,
+            frames: Vec::new(),
+            status: ThreadStatus::Runnable,
+            role,
+            current_future: None,
+            wait_token: 0,
+            note: WakeNote::None,
+        });
+        tid
+    }
+
+    fn push_entry_frame(
+        &mut self,
+        tid: ThreadId,
+        func: FuncId,
+        args: Vec<Value>,
+        ret_to: Option<VarId>,
+    ) -> Result<(), SimError> {
+        let f = &self.program.funcs[func.index()];
+        if args.len() != f.params as usize {
+            return Err(SimError::Internal(format!(
+                "function `{}` expects {} args, got {}",
+                f.name,
+                f.params,
+                args.len()
+            )));
+        }
+        let mut locals = args;
+        locals.resize(f.locals as usize, Value::Unit);
+        self.threads[tid].frames.push(Frame {
+            func,
+            locals,
+            ret_to,
+            cursors: vec![Cursor::new(f.entry, CursorKind::Plain)],
+        });
+        Ok(())
+    }
+
+    fn schedule(&mut self, delay: u64, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.events.push(Reverse(EventEntry {
+            time: self.clock + delay,
+            seq,
+            kind,
+        }));
+    }
+
+    fn schedule_wake(&mut self, tid: ThreadId, delay: u64, expired: bool) {
+        let token = self.threads[tid].wait_token;
+        self.schedule(
+            delay,
+            EventKind::Wake {
+                tid,
+                token,
+                expired,
+            },
+        );
+    }
+
+    /// Unblocks a thread immediately (signal / delivery / future path).
+    fn wake_thread(&mut self, tid: ThreadId, note: WakeNote) {
+        if !self.threads[tid].is_live() {
+            return;
+        }
+        if let ThreadStatus::Blocked(reason) = self.threads[tid].status {
+            self.deregister(tid, reason);
+            let t = &mut self.threads[tid];
+            t.status = ThreadStatus::Runnable;
+            t.note = note;
+            t.wait_token += 1;
+            self.schedule_wake(tid, 0, false);
+        }
+    }
+
+    fn deregister(&mut self, tid: ThreadId, reason: BlockReason) {
+        let node = self.threads[tid].node;
+        match reason {
+            BlockReason::Chan(c) => {
+                self.nodes[node].chan_waiters[c.index()].retain(|t| *t != tid);
+            }
+            BlockReason::Cond(c) => {
+                self.nodes[node].cond_waiters[c.index()].retain(|t| *t != tid);
+            }
+            BlockReason::Future(f) => {
+                self.futures[f as usize].waiters.retain(|t| *t != tid);
+            }
+            BlockReason::Sleep | BlockReason::IdleWorker => {}
+        }
+    }
+
+    fn park(&mut self, tid: ThreadId, reason: BlockReason, timeout: Option<u64>) {
+        {
+            let t = &mut self.threads[tid];
+            t.status = ThreadStatus::Blocked(reason);
+            t.note = WakeNote::None;
+        }
+        let node = self.threads[tid].node;
+        match reason {
+            BlockReason::Chan(c) => self.nodes[node].chan_waiters[c.index()].push_back(tid),
+            BlockReason::Cond(c) => self.nodes[node].cond_waiters[c.index()].push(tid),
+            BlockReason::Future(f) => self.futures[f as usize].waiters.push(tid),
+            BlockReason::Sleep | BlockReason::IdleWorker => {}
+        }
+        if let Some(after) = timeout {
+            self.schedule_wake(tid, after.max(1), true);
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)] // Log emission legitimately carries the full record.
+    fn emit(
+        &mut self,
+        node: usize,
+        thread: &str,
+        level: Level,
+        template: TemplateId,
+        stmt: StmtRef,
+        args: &[String],
+        exc: Option<&ExcValue>,
+        offset: u64,
+    ) {
+        let body = self.program.templates[template.index()].render(args);
+        let (exc_name, stack) = match exc {
+            Some(e) => (
+                Some(e.render()),
+                e.stack
+                    .iter()
+                    .map(|f| self.program.funcs[f.index()].name.clone())
+                    .collect(),
+            ),
+            None => (None, Vec::new()),
+        };
+        self.log.push(LogEntry {
+            time: self.clock + offset,
+            node: self.nodes[node].name.clone(),
+            thread: thread.to_string(),
+            level,
+            template,
+            stmt,
+            body,
+            exc: exc_name,
+            stack,
+        });
+    }
+
+    fn complete_future(&mut self, fid: u64, result: Result<Value, Arc<ExcValue>>) {
+        let fut = &mut self.futures[fid as usize];
+        if fut.done.is_some() {
+            return;
+        }
+        fut.done = Some(result);
+        let waiters = std::mem::take(&mut self.futures[fid as usize].waiters);
+        for w in waiters {
+            // `wake_thread` re-checks the block reason; waiters parked on
+            // this future are woken to re-execute their `Await`.
+            self.wake_thread(w, WakeNote::Signaled);
+        }
+    }
+
+    fn kill_node(&mut self, node: usize) {
+        self.nodes[node].alive = false;
+        for tid in 0..self.threads.len() {
+            if self.threads[tid].node == node && self.threads[tid].is_live() {
+                if let ThreadStatus::Blocked(reason) = self.threads[tid].status {
+                    self.deregister(tid, reason);
+                }
+                self.threads[tid].status = ThreadStatus::Killed;
+                self.threads[tid].wait_token += 1;
+            }
+        }
+        for chan in &mut self.nodes[node].chans {
+            chan.clear();
+        }
+    }
+
+    // ---- main loop -------------------------------------------------------
+
+    fn drive(&mut self) -> Result<(), SimError> {
+        while let Some(Reverse(ev)) = self.events.pop() {
+            if ev.time > self.cfg.max_time {
+                break;
+            }
+            self.clock = ev.time;
+            match ev.kind {
+                EventKind::Wake {
+                    tid,
+                    token,
+                    expired,
+                } => {
+                    if token != self.threads[tid].wait_token {
+                        continue;
+                    }
+                    match self.threads[tid].status {
+                        ThreadStatus::Runnable => self.run_slice(tid)?,
+                        ThreadStatus::Blocked(reason) if expired => {
+                            self.deregister(tid, reason);
+                            let t = &mut self.threads[tid];
+                            t.status = ThreadStatus::Runnable;
+                            t.note = WakeNote::Expired;
+                            t.wait_token += 1;
+                            self.run_slice(tid)?;
+                        }
+                        _ => {}
+                    }
+                }
+                EventKind::Deliver {
+                    node,
+                    chan,
+                    payload,
+                } => {
+                    if !self.nodes[node].alive {
+                        continue;
+                    }
+                    self.nodes[node].chans[chan.index()].push_back(payload);
+                    if let Some(waiter) = self.nodes[node].chan_waiters[chan.index()].front() {
+                        let waiter = *waiter;
+                        self.wake_thread(waiter, WakeNote::Signaled);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn run_slice(&mut self, tid: ThreadId) -> Result<(), SimError> {
+        let quantum = self.cfg.quantum as u64 + self.rng.random_range(0..3);
+        let mut elapsed: u64 = 0;
+        for _ in 0..quantum {
+            if !matches!(self.threads[tid].status, ThreadStatus::Runnable) {
+                return Ok(());
+            }
+            self.step(tid, &mut elapsed)?;
+            self.steps += 1;
+            if self.steps > self.cfg.max_steps {
+                return Err(SimError::StepLimit);
+            }
+        }
+        if matches!(self.threads[tid].status, ThreadStatus::Runnable) {
+            self.schedule_wake(tid, elapsed.max(1), false);
+        }
+        Ok(())
+    }
+
+    // ---- interpreter -----------------------------------------------------
+
+    fn step(&mut self, tid: ThreadId, elapsed: &mut u64) -> Result<(), SimError> {
+        *elapsed += 1;
+        if self.threads[tid].frames.is_empty() {
+            return self.thread_idle(tid);
+        }
+        let (block, idx) = {
+            let frame = self.threads[tid].frames.last_mut().unwrap();
+            match frame.cursors.last() {
+                Some(c) => (c.block, c.idx),
+                None => {
+                    // The function body is exhausted: implicit `return`.
+                    return self.do_return(tid, Value::Unit);
+                }
+            }
+        };
+        if idx >= self.program.blocks[block.index()].len() {
+            return self.block_end(tid);
+        }
+        let sref = StmtRef::new(block, idx as u32);
+        if self.meta_points.contains(&sref) && self.fir.on_meta_access(sref) {
+            let node = self.threads[tid].node;
+            let name = self.nodes[node].name.clone();
+            self.emit(
+                node,
+                &self.threads[tid].name.clone(),
+                Level::Error,
+                TMPL_NODE_CRASH,
+                STMT_RUNTIME,
+                &[name],
+                None,
+                *elapsed,
+            );
+            self.kill_node(node);
+            return Ok(());
+        }
+        let flow = self.exec_stmt(tid, sref, elapsed)?;
+        self.apply_flow(tid, flow)
+    }
+
+    /// Handles a thread with an empty frame stack.
+    fn thread_idle(&mut self, tid: ThreadId) -> Result<(), SimError> {
+        match self.threads[tid].role {
+            Role::Normal => {
+                self.threads[tid].status = ThreadStatus::Done;
+                Ok(())
+            }
+            Role::Worker(exec) => {
+                let node = self.threads[tid].node;
+                match self.nodes[node].execs[exec.index()].queue.pop_front() {
+                    Some(task) => {
+                        self.threads[tid].current_future = Some(task.future);
+                        self.push_entry_frame(tid, task.func, task.args, None)
+                    }
+                    None => {
+                        self.park(tid, BlockReason::IdleWorker, None);
+                        Ok(())
+                    }
+                }
+            }
+        }
+    }
+
+    fn apply_flow(&mut self, tid: ThreadId, flow: Flow) -> Result<(), SimError> {
+        match flow {
+            Flow::Next => {
+                if let Some(frame) = self.threads[tid].frames.last_mut() {
+                    if let Some(c) = frame.cursors.last_mut() {
+                        c.idx += 1;
+                    }
+                }
+                Ok(())
+            }
+            Flow::Stay | Flow::Jump | Flow::Stop => Ok(()),
+            Flow::Throw(exc) => self.do_throw(tid, exc),
+            Flow::Return(v) => self.do_return_walk(tid, v),
+            Flow::Break => self.do_loop_ctl(tid, false),
+            Flow::Continue => self.do_loop_ctl(tid, true),
+        }
+    }
+
+    fn exec_stmt(
+        &mut self,
+        tid: ThreadId,
+        sref: StmtRef,
+        elapsed: &mut u64,
+    ) -> Result<Flow, SimError> {
+        let program = self.program;
+        let stmt = program.stmt(sref);
+        let node = self.threads[tid].node;
+        match stmt {
+            Stmt::Log {
+                level,
+                template,
+                args,
+                attach_stack,
+            } => {
+                let mut rendered = Vec::with_capacity(args.len());
+                for a in args {
+                    rendered.push(self.eval(tid, a, Some(sref))?.render());
+                }
+                let exc = if *attach_stack {
+                    self.current_handler_exc(tid)
+                } else {
+                    None
+                };
+                let thread_name = self.threads[tid].name.clone();
+                self.emit(
+                    node,
+                    &thread_name,
+                    *level,
+                    *template,
+                    sref,
+                    &rendered,
+                    exc.as_deref(),
+                    *elapsed,
+                );
+                Ok(Flow::Next)
+            }
+            Stmt::Assign { var, expr } => {
+                let v = self.eval(tid, expr, Some(sref))?;
+                self.write_local(tid, *var, v);
+                Ok(Flow::Next)
+            }
+            Stmt::SetGlobal { global, expr } => {
+                let v = self.eval(tid, expr, Some(sref))?;
+                self.nodes[node].globals[global.index()] = v;
+                Ok(Flow::Next)
+            }
+            Stmt::PushBack { global, expr } => {
+                let v = self.eval(tid, expr, Some(sref))?;
+                match &mut self.nodes[node].globals[global.index()] {
+                    Value::List(items) => {
+                        items.push(v);
+                        Ok(Flow::Next)
+                    }
+                    other => Err(SimError::Type {
+                        stmt: Some(sref),
+                        msg: format!("PushBack on non-list {other:?}"),
+                    }),
+                }
+            }
+            Stmt::PopFront { global, var } => {
+                let popped = match &mut self.nodes[node].globals[global.index()] {
+                    Value::List(items) => {
+                        if items.is_empty() {
+                            Value::Unit
+                        } else {
+                            items.remove(0)
+                        }
+                    }
+                    other => {
+                        return Err(SimError::Type {
+                            stmt: Some(sref),
+                            msg: format!("PopFront on non-list {other:?}"),
+                        })
+                    }
+                };
+                self.write_local(tid, *var, popped);
+                Ok(Flow::Next)
+            }
+            Stmt::Call { func, args, ret } => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval(tid, a, Some(sref))?);
+                }
+                // Advance past the call before pushing the callee frame.
+                if let Some(c) = self.threads[tid]
+                    .frames
+                    .last_mut()
+                    .and_then(|f| f.cursors.last_mut())
+                {
+                    c.idx += 1;
+                }
+                self.push_entry_frame(tid, *func, vals, *ret)?;
+                Ok(Flow::Jump)
+            }
+            Stmt::External { site } => {
+                let info = &program.sites[site.index()];
+                *elapsed += info.latency as u64;
+                let stack = self.threads[tid].stack_funcs();
+                let time = self.clock + *elapsed;
+                let log_pos = self.log.len() as u32;
+                match self.fir.on_site(*site, time, log_pos, &stack) {
+                    Some(ty) => Ok(Flow::Throw(Arc::new(ExcValue {
+                        ty,
+                        inner: None,
+                        origin_site: Some(*site),
+                        injected: true,
+                        stack,
+                    }))),
+                    None => Ok(Flow::Next),
+                }
+            }
+            Stmt::ThrowNew { site } => {
+                let info = &program.sites[site.index()];
+                let stack = self.threads[tid].stack_funcs();
+                let time = self.clock + *elapsed;
+                let log_pos = self.log.len() as u32;
+                // `throw new` always throws when reached; the FIR call
+                // traces the occurrence and records a matching plan
+                // candidate as this round's injection.
+                let matched = self.fir.on_site(*site, time, log_pos, &stack);
+                Ok(Flow::Throw(Arc::new(ExcValue {
+                    ty: info.exceptions[0],
+                    inner: None,
+                    origin_site: Some(*site),
+                    injected: matched.is_some(),
+                    stack,
+                })))
+            }
+            Stmt::Rethrow => match self.current_handler_exc(tid) {
+                Some(exc) => Ok(Flow::Throw(exc)),
+                None => Err(SimError::Internal(format!(
+                    "Rethrow outside a handler at {sref}"
+                ))),
+            },
+            Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
+                let taken = self.eval_bool(tid, cond, sref)?;
+                if let Some(c) = self.threads[tid]
+                    .frames
+                    .last_mut()
+                    .and_then(|f| f.cursors.last_mut())
+                {
+                    c.idx += 1;
+                }
+                let target = if taken { Some(*then_blk) } else { *else_blk };
+                if let Some(b) = target {
+                    self.threads[tid]
+                        .frames
+                        .last_mut()
+                        .unwrap()
+                        .cursors
+                        .push(Cursor::new(b, CursorKind::Plain));
+                }
+                Ok(Flow::Jump)
+            }
+            Stmt::While { cond, body } => {
+                let taken = self.eval_bool(tid, cond, sref)?;
+                if taken {
+                    self.threads[tid]
+                        .frames
+                        .last_mut()
+                        .unwrap()
+                        .cursors
+                        .push(Cursor::new(*body, CursorKind::Loop { stmt: sref }));
+                    Ok(Flow::Jump)
+                } else {
+                    Ok(Flow::Next)
+                }
+            }
+            Stmt::Try { body, .. } => {
+                if let Some(c) = self.threads[tid]
+                    .frames
+                    .last_mut()
+                    .and_then(|f| f.cursors.last_mut())
+                {
+                    c.idx += 1;
+                }
+                self.threads[tid]
+                    .frames
+                    .last_mut()
+                    .unwrap()
+                    .cursors
+                    .push(Cursor::new(*body, CursorKind::TryBody { stmt: sref }));
+                Ok(Flow::Jump)
+            }
+            Stmt::Return { expr } => {
+                let v = match expr {
+                    Some(e) => self.eval(tid, e, Some(sref))?,
+                    None => Value::Unit,
+                };
+                Ok(Flow::Return(v))
+            }
+            Stmt::Break => Ok(Flow::Break),
+            Stmt::Continue => Ok(Flow::Continue),
+            Stmt::Spawn { name, func, args } => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval(tid, a, Some(sref))?);
+                }
+                let child = self.create_thread(node, name, Role::Normal);
+                self.push_entry_frame(child, *func, vals, None)?;
+                self.schedule_wake(child, 1, false);
+                Ok(Flow::Next)
+            }
+            Stmt::Submit {
+                exec,
+                func,
+                args,
+                future,
+            } => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval(tid, a, Some(sref))?);
+                }
+                let fid = self.futures.len() as u64;
+                self.futures.push(FutureState {
+                    done: None,
+                    waiters: Vec::new(),
+                });
+                self.nodes[node].execs[exec.index()].queue.push_back(Task {
+                    func: *func,
+                    args: vals,
+                    future: fid,
+                });
+                match self.nodes[node].execs[exec.index()].worker {
+                    Some(worker) => {
+                        if matches!(
+                            self.threads[worker].status,
+                            ThreadStatus::Blocked(BlockReason::IdleWorker)
+                        ) {
+                            self.wake_thread(worker, WakeNote::Signaled);
+                        }
+                    }
+                    None => {
+                        let name = format!("{}-worker", program.execs[exec.index()]);
+                        let worker = self.create_thread(node, &name, Role::Worker(*exec));
+                        self.nodes[node].execs[exec.index()].worker = Some(worker);
+                        self.schedule_wake(worker, 1, false);
+                    }
+                }
+                if let Some(var) = future {
+                    self.write_local(tid, *var, Value::Future(fid));
+                }
+                Ok(Flow::Next)
+            }
+            Stmt::Await {
+                future,
+                timeout,
+                ret,
+            } => {
+                let note = std::mem::replace(&mut self.threads[tid].note, WakeNote::None);
+                let fid = match self.read_local(tid, *future) {
+                    Value::Future(f) => f,
+                    other => {
+                        return Err(SimError::Type {
+                            stmt: Some(sref),
+                            msg: format!("Await on non-future {other:?}"),
+                        })
+                    }
+                };
+                match self.futures[fid as usize].done.clone() {
+                    Some(Ok(v)) => {
+                        if let Some(var) = ret {
+                            self.write_local(tid, *var, v);
+                        }
+                        Ok(Flow::Next)
+                    }
+                    Some(Err(task_exc)) => {
+                        let stack = self.threads[tid].stack_funcs();
+                        Ok(Flow::Throw(Arc::new(ExcValue {
+                            ty: ExceptionType::Execution,
+                            inner: Some(Box::new((*task_exc).clone())),
+                            origin_site: task_exc.origin_site,
+                            injected: task_exc.injected,
+                            stack,
+                        })))
+                    }
+                    None => {
+                        if note == WakeNote::Expired {
+                            let stack = self.threads[tid].stack_funcs();
+                            return Ok(Flow::Throw(Arc::new(ExcValue {
+                                ty: ExceptionType::Timeout,
+                                inner: None,
+                                origin_site: None,
+                                injected: false,
+                                stack,
+                            })));
+                        }
+                        let t = match timeout {
+                            Some(e) => Some(self.eval_int(tid, e, sref)? as u64),
+                            None => None,
+                        };
+                        self.park(tid, BlockReason::Future(fid), t);
+                        Ok(Flow::Stay)
+                    }
+                }
+            }
+            Stmt::Send {
+                node: dest,
+                chan,
+                payload,
+            } => {
+                let dest_name = match self.eval(tid, dest, Some(sref))? {
+                    Value::Str(s) => s.to_string(),
+                    other => {
+                        return Err(SimError::Type {
+                            stmt: Some(sref),
+                            msg: format!("Send destination must be a node name, got {other:?}"),
+                        })
+                    }
+                };
+                let dest_idx = *self
+                    .node_by_name
+                    .get(&dest_name)
+                    .ok_or(SimError::NoSuchNode(dest_name))?;
+                let value = self.eval(tid, payload, Some(sref))?;
+                let (lo, hi) = self.cfg.net_latency;
+                let latency = if hi > lo {
+                    self.rng.random_range(lo..hi)
+                } else {
+                    lo
+                };
+                self.schedule(
+                    latency,
+                    EventKind::Deliver {
+                        node: dest_idx,
+                        chan: *chan,
+                        payload: value,
+                    },
+                );
+                Ok(Flow::Next)
+            }
+            Stmt::Recv { chan, var, timeout } => {
+                let note = std::mem::replace(&mut self.threads[tid].note, WakeNote::None);
+                if let Some(v) = self.nodes[node].chans[chan.index()].pop_front() {
+                    self.write_local(tid, *var, v);
+                    return Ok(Flow::Next);
+                }
+                if note == WakeNote::Expired {
+                    let stack = self.threads[tid].stack_funcs();
+                    return Ok(Flow::Throw(Arc::new(ExcValue {
+                        ty: ExceptionType::Timeout,
+                        inner: None,
+                        origin_site: None,
+                        injected: false,
+                        stack,
+                    })));
+                }
+                let t = match timeout {
+                    Some(e) => Some(self.eval_int(tid, e, sref)? as u64),
+                    None => None,
+                };
+                self.park(tid, BlockReason::Chan(*chan), t);
+                Ok(Flow::Stay)
+            }
+            Stmt::WaitCond { cond, timeout, ok } => {
+                let note = std::mem::replace(&mut self.threads[tid].note, WakeNote::None);
+                match note {
+                    WakeNote::Signaled => {
+                        if let Some(var) = ok {
+                            self.write_local(tid, *var, Value::Bool(true));
+                        }
+                        Ok(Flow::Next)
+                    }
+                    WakeNote::Expired => {
+                        if let Some(var) = ok {
+                            self.write_local(tid, *var, Value::Bool(false));
+                        }
+                        Ok(Flow::Next)
+                    }
+                    WakeNote::None => {
+                        let t = match timeout {
+                            Some(e) => Some(self.eval_int(tid, e, sref)? as u64),
+                            None => None,
+                        };
+                        self.park(tid, BlockReason::Cond(*cond), t);
+                        Ok(Flow::Stay)
+                    }
+                }
+            }
+            Stmt::SignalCond { cond } => {
+                let waiters = std::mem::take(&mut self.nodes[node].cond_waiters[cond.index()]);
+                for w in waiters {
+                    self.wake_thread(w, WakeNote::Signaled);
+                }
+                Ok(Flow::Next)
+            }
+            Stmt::Sleep { ticks } => {
+                let note = std::mem::replace(&mut self.threads[tid].note, WakeNote::None);
+                if note == WakeNote::Expired {
+                    Ok(Flow::Next)
+                } else {
+                    let t = self.eval_int(tid, ticks, sref)? as u64;
+                    self.park(tid, BlockReason::Sleep, Some(t));
+                    Ok(Flow::Stay)
+                }
+            }
+            Stmt::Abort { reason } => {
+                let node_name = self.nodes[node].name.clone();
+                let thread_name = self.threads[tid].name.clone();
+                self.emit(
+                    node,
+                    &thread_name,
+                    Level::Error,
+                    TMPL_ABORT,
+                    STMT_RUNTIME,
+                    &[node_name, reason.clone()],
+                    None,
+                    *elapsed,
+                );
+                self.nodes[node].aborted = true;
+                self.kill_node(node);
+                Ok(Flow::Stop)
+            }
+            Stmt::Halt => {
+                self.threads[tid].frames.clear();
+                match self.threads[tid].role {
+                    Role::Normal => {
+                        self.threads[tid].status = ThreadStatus::Done;
+                        Ok(Flow::Stop)
+                    }
+                    Role::Worker(_) => Ok(Flow::Jump),
+                }
+            }
+        }
+    }
+
+    /// Finds the exception of the nearest enclosing handler, searching the
+    /// cursor stacks from the innermost frame outward.
+    fn current_handler_exc(&self, tid: ThreadId) -> Option<Arc<ExcValue>> {
+        for frame in self.threads[tid].frames.iter().rev() {
+            for cursor in frame.cursors.iter().rev() {
+                if let CursorKind::Handler { exc, .. } = &cursor.kind {
+                    return Some(exc.clone());
+                }
+            }
+        }
+        None
+    }
+
+    fn do_return(&mut self, tid: ThreadId, value: Value) -> Result<(), SimError> {
+        let popped = self.threads[tid]
+            .frames
+            .pop()
+            .ok_or_else(|| SimError::Internal("return with no frame".into()))?;
+        if self.threads[tid].frames.is_empty() {
+            match self.threads[tid].role {
+                Role::Normal => self.threads[tid].status = ThreadStatus::Done,
+                Role::Worker(_) => {
+                    if let Some(fid) = self.threads[tid].current_future.take() {
+                        self.complete_future(fid, Ok(value));
+                    }
+                }
+            }
+            return Ok(());
+        }
+        if let Some(var) = popped.ret_to {
+            self.write_local(tid, var, value);
+        }
+        Ok(())
+    }
+
+    /// Implements `return`, unwinding through `finally` blocks.
+    fn do_return_walk(&mut self, tid: ThreadId, value: Value) -> Result<(), SimError> {
+        loop {
+            let frame = self.threads[tid]
+                .frames
+                .last_mut()
+                .ok_or_else(|| SimError::Internal("return with no frame".into()))?;
+            match frame.cursors.pop() {
+                None => return self.do_return(tid, value),
+                Some(cursor) => match cursor.kind {
+                    CursorKind::TryBody { stmt } | CursorKind::Handler { stmt, .. } => {
+                        if let Stmt::Try {
+                            finally: Some(f), ..
+                        } = self.program.stmt(stmt)
+                        {
+                            frame.cursors.push(Cursor::new(
+                                *f,
+                                CursorKind::Finally {
+                                    pending: Pending::Return(value),
+                                },
+                            ));
+                            return Ok(());
+                        }
+                    }
+                    _ => {}
+                },
+            }
+        }
+    }
+
+    /// Implements `break` (`continue` when `is_continue`), honouring
+    /// `finally` blocks between the statement and the loop.
+    fn do_loop_ctl(&mut self, tid: ThreadId, is_continue: bool) -> Result<(), SimError> {
+        loop {
+            let program = self.program;
+            let frame = self.threads[tid]
+                .frames
+                .last_mut()
+                .ok_or_else(|| SimError::Internal("loop control with no frame".into()))?;
+            match frame.cursors.pop() {
+                None => {
+                    return Err(SimError::Internal(
+                        "break/continue outside a loop".to_string(),
+                    ))
+                }
+                Some(cursor) => match cursor.kind {
+                    CursorKind::Loop { stmt } => {
+                        // The parent cursor still points at the `while`
+                        // statement: `continue` leaves it there so the
+                        // condition is re-evaluated; `break` advances past
+                        // the loop.
+                        if let Some(c) = frame.cursors.last_mut() {
+                            c.idx = stmt.idx as usize + if is_continue { 0 } else { 1 };
+                        }
+                        return Ok(());
+                    }
+                    CursorKind::TryBody { stmt } | CursorKind::Handler { stmt, .. } => {
+                        if let Stmt::Try {
+                            finally: Some(f), ..
+                        } = program.stmt(stmt)
+                        {
+                            let pending = if is_continue {
+                                Pending::Continue
+                            } else {
+                                Pending::Break
+                            };
+                            frame
+                                .cursors
+                                .push(Cursor::new(*f, CursorKind::Finally { pending }));
+                            return Ok(());
+                        }
+                    }
+                    _ => {}
+                },
+            }
+        }
+    }
+
+    fn do_throw(&mut self, tid: ThreadId, exc: Arc<ExcValue>) -> Result<(), SimError> {
+        let program = self.program;
+        loop {
+            if self.threads[tid].frames.is_empty() {
+                return self.uncaught(tid, exc);
+            }
+            let fidx = self.threads[tid].frames.len() - 1;
+            loop {
+                let frame = &mut self.threads[tid].frames[fidx];
+                let Some(cursor) = frame.cursors.pop() else {
+                    break;
+                };
+                match cursor.kind {
+                    CursorKind::TryBody { stmt } => {
+                        let Stmt::Try {
+                            handlers, finally, ..
+                        } = program.stmt(stmt)
+                        else {
+                            return Err(SimError::Internal("TryBody without Try".into()));
+                        };
+                        if let Some(h) = handlers.iter().find(|h| h.pattern.matches(exc.ty)) {
+                            if let Some(bind) = h.bind {
+                                frame.locals[bind.index()] = Value::Exc(exc.clone());
+                            }
+                            frame.cursors.push(Cursor::new(
+                                h.block,
+                                CursorKind::Handler {
+                                    stmt,
+                                    exc: exc.clone(),
+                                },
+                            ));
+                            return Ok(());
+                        }
+                        if let Some(f) = finally {
+                            frame.cursors.push(Cursor::new(
+                                *f,
+                                CursorKind::Finally {
+                                    pending: Pending::Exc(exc.clone()),
+                                },
+                            ));
+                            return Ok(());
+                        }
+                    }
+                    CursorKind::Handler { stmt, .. } => {
+                        if let Stmt::Try {
+                            finally: Some(f), ..
+                        } = program.stmt(stmt)
+                        {
+                            frame.cursors.push(Cursor::new(
+                                *f,
+                                CursorKind::Finally {
+                                    pending: Pending::Exc(exc.clone()),
+                                },
+                            ));
+                            return Ok(());
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            // No handler in this frame.
+            self.threads[tid].frames.pop();
+        }
+    }
+
+    fn uncaught(&mut self, tid: ThreadId, exc: Arc<ExcValue>) -> Result<(), SimError> {
+        match self.threads[tid].role {
+            Role::Normal => {
+                let node = self.threads[tid].node;
+                let thread_name = self.threads[tid].name.clone();
+                self.emit(
+                    node,
+                    &thread_name.clone(),
+                    Level::Error,
+                    TMPL_UNCAUGHT,
+                    STMT_RUNTIME,
+                    &[exc.render(), thread_name],
+                    Some(&exc),
+                    0,
+                );
+                self.threads[tid].status = ThreadStatus::Died(exc);
+                Ok(())
+            }
+            Role::Worker(_) => {
+                // Executor semantics: the task's exception completes its
+                // future; the worker survives and drains the next task.
+                if let Some(fid) = self.threads[tid].current_future.take() {
+                    self.complete_future(fid, Err(exc));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn block_end(&mut self, tid: ThreadId) -> Result<(), SimError> {
+        let program = self.program;
+        let frame = self.threads[tid]
+            .frames
+            .last_mut()
+            .ok_or_else(|| SimError::Internal("block end with no frame".into()))?;
+        let cursor = frame
+            .cursors
+            .pop()
+            .ok_or_else(|| SimError::Internal("block end with no cursor".into()))?;
+        match cursor.kind {
+            CursorKind::Plain => Ok(()),
+            CursorKind::Loop { stmt } => {
+                // Point the parent cursor back at the `while` statement so
+                // the condition is re-evaluated on the next step.
+                if let Some(c) = frame.cursors.last_mut() {
+                    c.idx = stmt.idx as usize;
+                }
+                Ok(())
+            }
+            CursorKind::TryBody { stmt } | CursorKind::Handler { stmt, .. } => {
+                if let Stmt::Try {
+                    finally: Some(f), ..
+                } = program.stmt(stmt)
+                {
+                    frame.cursors.push(Cursor::new(
+                        *f,
+                        CursorKind::Finally {
+                            pending: Pending::None,
+                        },
+                    ));
+                }
+                Ok(())
+            }
+            CursorKind::Finally { pending } => match pending {
+                Pending::None => Ok(()),
+                Pending::Exc(exc) => self.do_throw(tid, exc),
+                Pending::Return(v) => self.do_return_walk(tid, v),
+                Pending::Break => self.do_loop_ctl(tid, false),
+                Pending::Continue => self.do_loop_ctl(tid, true),
+            },
+        }
+    }
+
+    // ---- expression evaluation --------------------------------------------
+
+    fn read_local(&self, tid: ThreadId, var: VarId) -> Value {
+        self.threads[tid]
+            .frames
+            .last()
+            .map(|f| f.locals[var.index()].clone())
+            .unwrap_or(Value::Unit)
+    }
+
+    fn write_local(&mut self, tid: ThreadId, var: VarId, value: Value) {
+        if let Some(f) = self.threads[tid].frames.last_mut() {
+            f.locals[var.index()] = value;
+        }
+    }
+
+    fn eval(&mut self, tid: ThreadId, e: &Expr, at: Option<StmtRef>) -> Result<Value, SimError> {
+        let node = self.threads[tid].node;
+        match e {
+            Expr::Const(v) => Ok(v.clone()),
+            Expr::Var(v) => Ok(self.read_local(tid, *v)),
+            Expr::Global(g) => Ok(self.nodes[node].globals[g.index()].clone()),
+            Expr::Not(a) => {
+                let v = self.eval(tid, a, at)?;
+                match v.as_bool() {
+                    Some(b) => Ok(Value::Bool(!b)),
+                    None => Err(SimError::Type {
+                        stmt: at,
+                        msg: format!("! on non-bool {v:?}"),
+                    }),
+                }
+            }
+            Expr::Len(a) => {
+                let v = self.eval(tid, a, at)?;
+                v.len().map(Value::Int).ok_or(SimError::Type {
+                    stmt: at,
+                    msg: format!("len on {v:?}"),
+                })
+            }
+            Expr::List(items) => {
+                let mut vs = Vec::with_capacity(items.len());
+                for i in items {
+                    vs.push(self.eval(tid, i, at)?);
+                }
+                Ok(Value::List(vs))
+            }
+            Expr::Index(a, i) => {
+                let v = self.eval(tid, a, at)?;
+                match v {
+                    Value::List(items) => items.get(*i as usize).cloned().ok_or(SimError::Type {
+                        stmt: at,
+                        msg: format!("index {i} out of bounds ({} items)", items.len()),
+                    }),
+                    other => Err(SimError::Type {
+                        stmt: at,
+                        msg: format!("index on non-list {other:?}"),
+                    }),
+                }
+            }
+            Expr::RandRange(lo, hi) => {
+                if hi > lo {
+                    Ok(Value::Int(self.rng.random_range(*lo..*hi)))
+                } else {
+                    Ok(Value::Int(*lo))
+                }
+            }
+            Expr::SelfNode => Ok(Value::str(&self.nodes[node].name)),
+            Expr::Bin(op, a, b) => {
+                // Short-circuit booleans first.
+                if matches!(op, BinOp::And | BinOp::Or) {
+                    let av = self.eval_bool_v(tid, a, at)?;
+                    return match (op, av) {
+                        (BinOp::And, false) => Ok(Value::Bool(false)),
+                        (BinOp::Or, true) => Ok(Value::Bool(true)),
+                        _ => Ok(Value::Bool(self.eval_bool_v(tid, b, at)?)),
+                    };
+                }
+                let av = self.eval(tid, a, at)?;
+                let bv = self.eval(tid, b, at)?;
+                match op {
+                    BinOp::Eq => Ok(Value::Bool(av == bv)),
+                    BinOp::Ne => Ok(Value::Bool(av != bv)),
+                    _ => {
+                        let (x, y) = match (av.as_int(), bv.as_int()) {
+                            (Some(x), Some(y)) => (x, y),
+                            _ => {
+                                return Err(SimError::Type {
+                                    stmt: at,
+                                    msg: format!("{op:?} on non-ints"),
+                                })
+                            }
+                        };
+                        Ok(match op {
+                            BinOp::Add => Value::Int(x.wrapping_add(y)),
+                            BinOp::Sub => Value::Int(x.wrapping_sub(y)),
+                            BinOp::Mul => Value::Int(x.wrapping_mul(y)),
+                            BinOp::Rem => {
+                                if y == 0 {
+                                    return Err(SimError::Type {
+                                        stmt: at,
+                                        msg: "remainder by zero".into(),
+                                    });
+                                }
+                                Value::Int(x.wrapping_rem(y))
+                            }
+                            BinOp::Lt => Value::Bool(x < y),
+                            BinOp::Le => Value::Bool(x <= y),
+                            BinOp::Gt => Value::Bool(x > y),
+                            BinOp::Ge => Value::Bool(x >= y),
+                            BinOp::Eq | BinOp::Ne | BinOp::And | BinOp::Or => unreachable!(),
+                        })
+                    }
+                }
+            }
+        }
+    }
+
+    fn eval_bool_v(
+        &mut self,
+        tid: ThreadId,
+        e: &Expr,
+        at: Option<StmtRef>,
+    ) -> Result<bool, SimError> {
+        let v = self.eval(tid, e, at)?;
+        v.as_bool().ok_or(SimError::Type {
+            stmt: at,
+            msg: format!("expected bool, got {v:?}"),
+        })
+    }
+
+    fn eval_bool(&mut self, tid: ThreadId, e: &Expr, at: StmtRef) -> Result<bool, SimError> {
+        self.eval_bool_v(tid, e, Some(at))
+    }
+
+    fn eval_int(&mut self, tid: ThreadId, e: &Expr, at: StmtRef) -> Result<i64, SimError> {
+        let v = self.eval(tid, e, Some(at))?;
+        v.as_int().ok_or(SimError::Type {
+            stmt: Some(at),
+            msg: format!("expected int, got {v:?}"),
+        })
+    }
+
+    // ---- finalization ------------------------------------------------------
+
+    fn finish(self) -> RunResult {
+        let program = self.program;
+        let site_occurrences = self.fir.occ_vec();
+        let crashed = self.fir.crashed;
+        let threads = self
+            .threads
+            .iter()
+            .map(|t| {
+                let state = match &t.status {
+                    ThreadStatus::Runnable => ThreadEndState::Running,
+                    ThreadStatus::Blocked(r) => ThreadEndState::Blocked(r.label()),
+                    ThreadStatus::Done => ThreadEndState::Done,
+                    ThreadStatus::Died(e) => ThreadEndState::Died(e.render()),
+                    ThreadStatus::Killed => ThreadEndState::Killed,
+                };
+                ThreadSnapshot {
+                    node: self.nodes[t.node].name.clone(),
+                    thread: t.name.clone(),
+                    state,
+                    stack: t
+                        .frames
+                        .iter()
+                        .rev()
+                        .map(|f| program.funcs[f.func.index()].name.clone())
+                        .collect(),
+                }
+            })
+            .collect();
+        let nodes = self
+            .nodes
+            .iter()
+            .map(|n| NodeSnapshot {
+                name: n.name.clone(),
+                alive: n.alive,
+                aborted: n.aborted,
+                globals: program
+                    .globals
+                    .iter()
+                    .zip(&n.globals)
+                    .map(|(g, v)| (g.name.clone(), v.clone()))
+                    .collect(),
+            })
+            .collect();
+        RunResult {
+            log: self.log,
+            trace: self.fir.trace,
+            injected: self.fir.injected,
+            crashed,
+            site_occurrences,
+            threads,
+            nodes,
+            end_time: self.clock,
+            steps: self.steps,
+            injection_requests: self.fir.requests,
+            decision_ns: self.fir.decision_ns,
+            wall: self.started.elapsed(),
+        }
+    }
+}
+
+/// Statements whose execution touches a meta-info global — CrashTuner's
+/// candidate crash points, in deterministic order.
+pub fn meta_access_points(program: &Program) -> Vec<StmtRef> {
+    let mut v: Vec<StmtRef> = collect_meta_points(program).into_iter().collect();
+    v.sort_unstable();
+    v
+}
+
+/// Statements whose execution touches a meta-info global (CrashTuner's
+/// candidate crash points).
+fn collect_meta_points(program: &Program) -> HashSet<StmtRef> {
+    let meta: HashSet<usize> = program
+        .globals
+        .iter()
+        .enumerate()
+        .filter(|(_, g)| g.meta_info)
+        .map(|(i, _)| i)
+        .collect();
+    if meta.is_empty() {
+        return HashSet::new();
+    }
+    let mut points = HashSet::new();
+    for (sref, stmt) in program.all_stmts() {
+        let mut exprs: Vec<&Expr> = Vec::new();
+        let mut writes_meta = false;
+        match stmt {
+            Stmt::SetGlobal { global, expr } | Stmt::PushBack { global, expr } => {
+                writes_meta = meta.contains(&global.index());
+                exprs.push(expr);
+            }
+            Stmt::PopFront { global, .. } => {
+                writes_meta = meta.contains(&global.index());
+            }
+            Stmt::Assign { expr, .. } => exprs.push(expr),
+            Stmt::If { cond, .. } | Stmt::While { cond, .. } => exprs.push(cond),
+            _ => {}
+        }
+        let reads_meta = exprs.iter().any(|e| {
+            let mut vars = Vec::new();
+            let mut globals = Vec::new();
+            e.reads(&mut vars, &mut globals);
+            globals.iter().any(|g| meta.contains(&g.index()))
+        });
+        if writes_meta || reads_meta {
+            points.insert(sref);
+        }
+    }
+    points
+}

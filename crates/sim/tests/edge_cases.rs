@@ -1,0 +1,250 @@
+//! Edge-case behaviour of the simulator: faults inside executor tasks,
+//! dead-node messaging, run horizons, and step limits.
+
+use anduril_ir::builder::ProgramBuilder;
+use anduril_ir::expr::build as e;
+use anduril_ir::{ExceptionType, Level, Value};
+use anduril_sim::{run, InjectionPlan, NodeSpec, SimConfig, SimError, Topology};
+
+#[test]
+fn abort_inside_executor_task_kills_the_worker_too() {
+    let mut pb = ProgramBuilder::new("t");
+    let exec = pb.executor("pool");
+    let task = pb.declare("task", 0);
+    let main = pb.declare("main", 0);
+    pb.body(task, |b| {
+        b.abort("fatal condition in task");
+        b.log(Level::Info, "unreachable", vec![]);
+    });
+    pb.body(main, |b| {
+        b.submit_forget(exec, task, vec![]);
+        b.sleep(e::int(200));
+        b.log(Level::Info, "main survived", vec![]);
+    });
+    let p = pb.finish().unwrap();
+    let topo = Topology::new(vec![NodeSpec::new(
+        "n1",
+        p.func_named("main").unwrap(),
+        vec![],
+    )]);
+    let r = run(&p, &topo, &SimConfig::default(), InjectionPlan::none()).unwrap();
+    assert!(r.has_log("ABORT: node n1"));
+    assert!(!r.has_log("unreachable"));
+    assert!(
+        !r.has_log("main survived"),
+        "abort kills every thread on the node"
+    );
+    assert!(r.node_aborted("n1"));
+}
+
+#[test]
+fn send_to_dead_node_is_dropped_silently() {
+    let mut pb = ProgramBuilder::new("t");
+    let c = pb.chan("c");
+    let victim = pb.declare("victim", 0);
+    let sender = pb.declare("sender", 0);
+    pb.body(victim, |b| {
+        b.sleep(e::int(5));
+        b.abort("early death");
+    });
+    pb.body(sender, |b| {
+        b.sleep(e::int(100));
+        b.send(e::str_("victim"), c, e::int(42));
+        b.log(Level::Info, "sent into the void", vec![]);
+    });
+    let p = pb.finish().unwrap();
+    let topo = Topology::new(vec![
+        NodeSpec::new("victim", p.func_named("victim").unwrap(), vec![]),
+        NodeSpec::new("src", p.func_named("sender").unwrap(), vec![]),
+    ]);
+    let r = run(&p, &topo, &SimConfig::default(), InjectionPlan::none()).unwrap();
+    assert!(r.has_log("sent into the void"));
+    assert!(!r.node_alive("victim"));
+}
+
+#[test]
+fn send_to_unknown_node_is_an_error() {
+    let mut pb = ProgramBuilder::new("t");
+    let c = pb.chan("c");
+    let main = pb.declare("main", 0);
+    pb.body(main, |b| {
+        b.send(e::str_("ghost"), c, e::int(1));
+    });
+    let p = pb.finish().unwrap();
+    let topo = Topology::new(vec![NodeSpec::new(
+        "n1",
+        p.func_named("main").unwrap(),
+        vec![],
+    )]);
+    let err = run(&p, &topo, &SimConfig::default(), InjectionPlan::none()).unwrap_err();
+    assert!(matches!(err, SimError::NoSuchNode(n) if n == "ghost"));
+}
+
+#[test]
+fn max_time_cuts_off_infinite_timers() {
+    let mut pb = ProgramBuilder::new("t");
+    let main = pb.declare("main", 0);
+    pb.body(main, |b| {
+        b.loop_(|b| {
+            b.sleep(e::int(100));
+            b.log(Level::Debug, "tick", vec![]);
+        });
+    });
+    let p = pb.finish().unwrap();
+    let topo = Topology::new(vec![NodeSpec::new(
+        "n1",
+        p.func_named("main").unwrap(),
+        vec![],
+    )]);
+    let cfg = SimConfig {
+        max_time: 1_000,
+        ..SimConfig::default()
+    };
+    let r = run(&p, &topo, &cfg, InjectionPlan::none()).unwrap();
+    assert!(r.end_time <= 1_000);
+    let ticks = r.count_log("tick");
+    assert!((5..=11).contains(&ticks), "ticks: {ticks}");
+}
+
+#[test]
+fn runaway_spin_hits_step_limit() {
+    let mut pb = ProgramBuilder::new("t");
+    let x = pb.global("x", Value::Int(0));
+    let main = pb.declare("main", 0);
+    pb.body(main, |b| {
+        // A loop with no blocking statement spins within a single tick
+        // budget and must be stopped by the step limit.
+        b.loop_(|b| {
+            b.set_global(x, e::add(e::glob(x), e::int(1)));
+        });
+    });
+    let p = pb.finish().unwrap();
+    let topo = Topology::new(vec![NodeSpec::new(
+        "n1",
+        p.func_named("main").unwrap(),
+        vec![],
+    )]);
+    let cfg = SimConfig {
+        max_steps: 10_000,
+        ..SimConfig::default()
+    };
+    let err = run(&p, &topo, &cfg, InjectionPlan::none()).unwrap_err();
+    assert!(matches!(err, SimError::StepLimit));
+}
+
+#[test]
+fn signal_with_no_waiters_is_a_noop() {
+    let mut pb = ProgramBuilder::new("t");
+    let cv = pb.cond("cv");
+    let main = pb.declare("main", 0);
+    pb.body(main, |b| {
+        b.signal(cv);
+        b.log(Level::Info, "signalled nobody", vec![]);
+    });
+    let p = pb.finish().unwrap();
+    let topo = Topology::new(vec![NodeSpec::new(
+        "n1",
+        p.func_named("main").unwrap(),
+        vec![],
+    )]);
+    let r = run(&p, &topo, &SimConfig::default(), InjectionPlan::none()).unwrap();
+    assert!(r.has_log("signalled nobody"));
+    assert!(r.thread_done("main"));
+}
+
+#[test]
+fn await_on_already_completed_future_returns_immediately() {
+    let mut pb = ProgramBuilder::new("t");
+    let exec = pb.executor("pool");
+    let task = pb.declare("task", 0);
+    let main = pb.declare("main", 0);
+    pb.body(task, |b| {
+        b.ret(Some(e::int(7)));
+    });
+    pb.body(main, |b| {
+        let f = b.local();
+        let v = b.local();
+        b.submit(exec, task, vec![], f);
+        b.sleep(e::int(200)); // task definitely done by now
+        b.await_(f, None, Some(v));
+        b.log(Level::Info, "got {}", vec![e::var(v)]);
+        // A second await observes the same completed value.
+        b.await_(f, None, Some(v));
+        b.log(Level::Info, "again {}", vec![e::var(v)]);
+    });
+    let p = pb.finish().unwrap();
+    let topo = Topology::new(vec![NodeSpec::new(
+        "n1",
+        p.func_named("main").unwrap(),
+        vec![],
+    )]);
+    let r = run(&p, &topo, &SimConfig::default(), InjectionPlan::none()).unwrap();
+    assert!(r.has_log("got 7"));
+    assert!(r.has_log("again 7"));
+}
+
+#[test]
+fn uncaught_in_spawned_thread_does_not_kill_the_node() {
+    let mut pb = ProgramBuilder::new("t");
+    let worker = pb.declare("worker", 0);
+    let main = pb.declare("main", 0);
+    pb.body(worker, |b| {
+        b.throw_new("boom", ExceptionType::Runtime);
+    });
+    pb.body(main, |b| {
+        b.spawn("doomed", worker, vec![]);
+        b.sleep(e::int(100));
+        b.log(Level::Info, "main still here", vec![]);
+    });
+    let p = pb.finish().unwrap();
+    let topo = Topology::new(vec![NodeSpec::new(
+        "n1",
+        p.func_named("main").unwrap(),
+        vec![],
+    )]);
+    let r = run(&p, &topo, &SimConfig::default(), InjectionPlan::none()).unwrap();
+    assert!(r.thread_died("doomed"));
+    assert!(r.has_log("main still here"));
+    assert!(r.node_alive("n1"));
+}
+
+#[test]
+fn injection_window_honours_first_match_across_nodes() {
+    // Occurrence counters are global across nodes: node start order decides
+    // which node's execution matches occurrence 0.
+    let mut pb = ProgramBuilder::new("t");
+    let main = pb.declare("main", 0);
+    pb.body(main, |b| {
+        b.try_catch(
+            |b| {
+                b.external("shared.op", &[ExceptionType::Io]);
+                b.log(Level::Info, "op ok", vec![]);
+            },
+            ExceptionType::Io,
+            |b| {
+                b.log(Level::Warn, "op failed here", vec![]);
+            },
+        );
+    });
+    let p = pb.finish().unwrap();
+    let topo = Topology::new(vec![
+        NodeSpec::new("a", p.func_named("main").unwrap(), vec![]),
+        NodeSpec::new("b", p.func_named("main").unwrap(), vec![]),
+    ]);
+    let site = p.sites[0].id;
+    let r = run(
+        &p,
+        &topo,
+        &SimConfig::default(),
+        InjectionPlan::exact(site, 0, ExceptionType::Io),
+    )
+    .unwrap();
+    // Exactly one node saw the failure; the other succeeded.
+    assert_eq!(r.count_log("op failed here"), 1);
+    assert_eq!(r.count_log("op ok"), 1);
+    let failed_entry = r.log.iter().find(|l| l.body == "op failed here").unwrap();
+    assert_eq!(
+        failed_entry.node, "a",
+        "node start order fixes occurrence 0"
+    );
+}

@@ -1,0 +1,116 @@
+//! Negative paths: ill-typed programs surface `SimError::Type` instead of
+//! panicking or corrupting state.
+
+use anduril_ir::builder::ProgramBuilder;
+use anduril_ir::expr::build as e;
+use anduril_ir::{Level, Program, Value};
+use anduril_sim::{run, InjectionPlan, NodeSpec, SimConfig, SimError, Topology};
+
+fn run_main(p: &Program) -> Result<anduril_sim::RunResult, SimError> {
+    let topo = Topology::new(vec![NodeSpec::new(
+        "n1",
+        p.func_named("main").unwrap(),
+        vec![],
+    )]);
+    run(p, &topo, &SimConfig::default(), InjectionPlan::none())
+}
+
+#[test]
+fn bool_condition_on_int_is_a_type_error() {
+    let mut pb = ProgramBuilder::new("t");
+    let main = pb.declare("main", 0);
+    pb.body(main, |b| {
+        b.if_(e::int(1), |b| {
+            b.log(Level::Info, "nope", vec![]);
+        });
+    });
+    let p = pb.finish().unwrap();
+    assert!(matches!(run_main(&p), Err(SimError::Type { .. })));
+}
+
+#[test]
+fn arithmetic_on_strings_is_a_type_error() {
+    let mut pb = ProgramBuilder::new("t");
+    let main = pb.declare("main", 0);
+    pb.body(main, |b| {
+        let v = b.local();
+        b.assign(v, e::add(e::str_("a"), e::int(1)));
+    });
+    let p = pb.finish().unwrap();
+    assert!(matches!(run_main(&p), Err(SimError::Type { .. })));
+}
+
+#[test]
+fn push_back_on_int_global_is_a_type_error() {
+    let mut pb = ProgramBuilder::new("t");
+    let g = pb.global("g", Value::Int(0));
+    let main = pb.declare("main", 0);
+    pb.body(main, |b| {
+        b.push_back(g, e::int(1));
+    });
+    let p = pb.finish().unwrap();
+    assert!(matches!(run_main(&p), Err(SimError::Type { .. })));
+}
+
+#[test]
+fn list_index_out_of_bounds_is_a_type_error() {
+    let mut pb = ProgramBuilder::new("t");
+    let main = pb.declare("main", 0);
+    pb.body(main, |b| {
+        let v = b.local();
+        b.assign(v, e::index(e::list(vec![e::int(1)]), 5));
+    });
+    let p = pb.finish().unwrap();
+    assert!(matches!(run_main(&p), Err(SimError::Type { .. })));
+}
+
+#[test]
+fn remainder_by_zero_is_a_type_error() {
+    let mut pb = ProgramBuilder::new("t");
+    let main = pb.declare("main", 0);
+    pb.body(main, |b| {
+        let v = b.local();
+        b.assign(v, e::rem(e::int(10), e::int(0)));
+    });
+    let p = pb.finish().unwrap();
+    assert!(matches!(run_main(&p), Err(SimError::Type { .. })));
+}
+
+#[test]
+fn await_on_non_future_is_a_type_error() {
+    let mut pb = ProgramBuilder::new("t");
+    let main = pb.declare("main", 0);
+    pb.body(main, |b| {
+        let v = b.local();
+        b.assign(v, e::int(3));
+        b.await_(v, None, None);
+    });
+    let p = pb.finish().unwrap();
+    assert!(matches!(run_main(&p), Err(SimError::Type { .. })));
+}
+
+#[test]
+fn rethrow_outside_handler_is_internal_error() {
+    let mut pb = ProgramBuilder::new("t");
+    let main = pb.declare("main", 0);
+    pb.body(main, |b| {
+        b.rethrow();
+    });
+    let p = pb.finish().unwrap();
+    assert!(matches!(run_main(&p), Err(SimError::Internal(_))));
+}
+
+#[test]
+fn error_messages_identify_the_statement() {
+    let mut pb = ProgramBuilder::new("t");
+    let main = pb.declare("main", 0);
+    pb.body(main, |b| {
+        b.if_(e::int(1), |b| {
+            b.halt();
+        });
+    });
+    let p = pb.finish().unwrap();
+    let err = run_main(&p).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("type error at b"), "unhelpful message: {msg}");
+}

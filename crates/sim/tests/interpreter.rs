@@ -1,0 +1,765 @@
+//! Interpreter and scheduler behaviour tests.
+
+use anduril_ir::builder::ProgramBuilder;
+use anduril_ir::expr::build as e;
+use anduril_ir::{ExceptionPattern, ExceptionType, Level, Program, SiteId, Value};
+use anduril_sim::{run, InjectionPlan, NodeSpec, RunResult, SimConfig, Topology};
+
+fn run_single(program: &Program, main: &str) -> RunResult {
+    let main = program.func_named(main).expect("main exists");
+    let topo = Topology::new(vec![NodeSpec::new("n1", main, vec![])]);
+    run(program, &topo, &SimConfig::default(), InjectionPlan::none()).expect("run ok")
+}
+
+#[test]
+fn arithmetic_and_branches() {
+    let mut pb = ProgramBuilder::new("t");
+    let main = pb.declare("main", 0);
+    pb.body(main, |b| {
+        let x = b.local();
+        b.assign(x, e::int(0));
+        b.while_(e::lt(e::var(x), e::int(5)), |b| {
+            b.assign(x, e::add(e::var(x), e::int(1)));
+        });
+        b.if_else(
+            e::eq(e::var(x), e::int(5)),
+            |b| {
+                b.log(Level::Info, "x is {}", vec![e::var(x)]);
+            },
+            |b| {
+                b.log(Level::Error, "wrong", vec![]);
+            },
+        );
+    });
+    let p = pb.finish().unwrap();
+    let r = run_single(&p, "main");
+    assert!(r.has_log("x is 5"));
+    assert!(!r.has_log("wrong"));
+    assert!(r.thread_done("main"));
+}
+
+#[test]
+fn break_exits_and_continue_skips() {
+    let mut pb = ProgramBuilder::new("t");
+    let main = pb.declare("main", 0);
+    pb.body(main, |b| {
+        let i = b.local();
+        b.assign(i, e::int(0));
+        b.loop_(|b| {
+            b.assign(i, e::add(e::var(i), e::int(1)));
+            b.if_(e::eq(e::var(i), e::int(3)), |b| {
+                b.continue_();
+            });
+            b.if_(e::ge(e::var(i), e::int(6)), |b| {
+                b.break_();
+            });
+            b.log(Level::Info, "saw {}", vec![e::var(i)]);
+        });
+        b.log(Level::Info, "final {}", vec![e::var(i)]);
+    });
+    let p = pb.finish().unwrap();
+    let r = run_single(&p, "main");
+    assert!(r.has_log("saw 1"));
+    assert!(r.has_log("saw 2"));
+    assert!(!r.has_log("saw 3"), "continue must skip the log");
+    assert!(r.has_log("saw 4"));
+    assert!(r.has_log("saw 5"));
+    assert!(!r.has_log("saw 6"), "break must exit before the log");
+    assert!(r.has_log("final 6"));
+}
+
+#[test]
+fn calls_pass_args_and_return_values() {
+    let mut pb = ProgramBuilder::new("t");
+    let double = pb.declare("double", 1);
+    let main = pb.declare("main", 0);
+    pb.body(double, |b| {
+        b.ret(Some(e::mul(e::var(b.param(0)), e::int(2))));
+    });
+    pb.body(main, |b| {
+        let r = b.local();
+        b.call_ret(double, vec![e::int(21)], r);
+        b.log(Level::Info, "got {}", vec![e::var(r)]);
+    });
+    let p = pb.finish().unwrap();
+    let r = run_single(&p, "main");
+    assert!(r.has_log("got 42"));
+}
+
+#[test]
+fn recursion_works() {
+    let mut pb = ProgramBuilder::new("t");
+    let fib = pb.declare("fib", 1);
+    let main = pb.declare("main", 0);
+    pb.body(fib, |b| {
+        let n = b.param(0);
+        b.if_(e::lt(e::var(n), e::int(2)), |b| {
+            b.ret(Some(e::var(n)));
+        });
+        let a = b.local();
+        let bb = b.local();
+        b.call_ret(fib, vec![e::sub(e::var(n), e::int(1))], a);
+        b.call_ret(fib, vec![e::sub(e::var(n), e::int(2))], bb);
+        b.ret(Some(e::add(e::var(a), e::var(bb))));
+    });
+    pb.body(main, |b| {
+        let r = b.local();
+        b.call_ret(fib, vec![e::int(10)], r);
+        b.log(Level::Info, "fib {}", vec![e::var(r)]);
+    });
+    let p = pb.finish().unwrap();
+    let r = run_single(&p, "main");
+    assert!(r.has_log("fib 55"));
+}
+
+#[test]
+fn try_catch_catches_matching_type() {
+    let mut pb = ProgramBuilder::new("t");
+    let main = pb.declare("main", 0);
+    pb.body(main, |b| {
+        b.try_catch(
+            |b| {
+                b.throw_new("bad state", ExceptionType::IllegalState);
+                b.log(Level::Info, "unreachable", vec![]);
+            },
+            ExceptionType::IllegalState,
+            |b| {
+                b.log(Level::Warn, "caught it", vec![]);
+            },
+        );
+        b.log(Level::Info, "after try", vec![]);
+    });
+    let p = pb.finish().unwrap();
+    let r = run_single(&p, "main");
+    assert!(r.has_log("caught it"));
+    assert!(r.has_log("after try"));
+    assert!(!r.has_log("unreachable"));
+}
+
+#[test]
+fn uncaught_exception_kills_thread_and_logs() {
+    let mut pb = ProgramBuilder::new("t");
+    let main = pb.declare("main", 0);
+    pb.body(main, |b| {
+        b.throw_new("fatal", ExceptionType::Runtime);
+    });
+    let p = pb.finish().unwrap();
+    let r = run_single(&p, "main");
+    assert!(r.has_log("Uncaught exception RuntimeException in thread main"));
+    assert!(r.thread_died("main"));
+}
+
+#[test]
+fn exception_propagates_across_frames() {
+    let mut pb = ProgramBuilder::new("t");
+    let inner = pb.declare("inner", 0);
+    let middle = pb.declare("middle", 0);
+    let main = pb.declare("main", 0);
+    pb.body(inner, |b| {
+        b.external("socket.write", &[ExceptionType::Io]);
+    });
+    pb.body(middle, |b| {
+        b.call(inner, vec![]);
+        b.log(Level::Info, "middle done", vec![]);
+    });
+    pb.body(main, |b| {
+        b.try_catch(
+            |b| {
+                b.call(middle, vec![]);
+            },
+            ExceptionType::Io,
+            |b| {
+                b.log_exc(Level::Warn, "io failed in callee", vec![]);
+            },
+        );
+    });
+    let p = pb.finish().unwrap();
+    let site = p.sites[0].id;
+    let main_id = p.func_named("main").unwrap();
+    let topo = Topology::new(vec![NodeSpec::new("n1", main_id, vec![])]);
+    let plan = InjectionPlan::exact(site, 0, ExceptionType::Io);
+    let r = run(&p, &topo, &SimConfig::default(), plan).unwrap();
+    assert!(r.has_log("io failed in callee"));
+    assert!(!r.has_log("middle done"));
+    // The attached stack names the inner frames.
+    let entry = r.log.iter().find(|l| l.body.contains("io failed")).unwrap();
+    assert_eq!(entry.exc.as_deref(), Some("IOException"));
+    assert!(entry.stack.contains(&"inner".to_string()));
+    assert!(entry.stack.contains(&"middle".to_string()));
+}
+
+#[test]
+fn finally_runs_on_all_paths() {
+    let mut pb = ProgramBuilder::new("t");
+    let main = pb.declare("main", 0);
+    pb.body(main, |b| {
+        // Normal completion.
+        b.try_full(
+            |b| {
+                b.log(Level::Info, "body1", vec![]);
+            },
+            vec![(
+                ExceptionPattern::Any,
+                Box::new(|b: &mut anduril_ir::builder::BodyBuilder<'_>| {
+                    b.log(Level::Warn, "handler1", vec![]);
+                }),
+            )],
+            Some(Box::new(|b: &mut anduril_ir::builder::BodyBuilder<'_>| {
+                b.log(Level::Info, "finally1", vec![]);
+            })),
+        );
+        // Exceptional completion, caught.
+        b.try_full(
+            |b| {
+                b.throw_new("boom", ExceptionType::Io);
+            },
+            vec![(
+                ExceptionPattern::Only(ExceptionType::Io),
+                Box::new(|b: &mut anduril_ir::builder::BodyBuilder<'_>| {
+                    b.log(Level::Warn, "handler2", vec![]);
+                }),
+            )],
+            Some(Box::new(|b: &mut anduril_ir::builder::BodyBuilder<'_>| {
+                b.log(Level::Info, "finally2", vec![]);
+            })),
+        );
+        b.log(Level::Info, "done", vec![]);
+    });
+    let p = pb.finish().unwrap();
+    let r = run_single(&p, "main");
+    assert!(r.has_log("body1"));
+    assert!(!r.has_log("handler1"));
+    assert!(r.has_log("finally1"));
+    assert!(r.has_log("handler2"));
+    assert!(r.has_log("finally2"));
+    assert!(r.has_log("done"));
+}
+
+#[test]
+fn finally_runs_when_exception_escapes() {
+    let mut pb = ProgramBuilder::new("t");
+    let main = pb.declare("main", 0);
+    pb.body(main, |b| {
+        b.try_catch(
+            |b| {
+                b.try_full(
+                    |b| {
+                        b.throw_new("boom", ExceptionType::Io);
+                    },
+                    vec![],
+                    Some(Box::new(|b: &mut anduril_ir::builder::BodyBuilder<'_>| {
+                        b.log(Level::Info, "inner finally", vec![]);
+                    })),
+                );
+            },
+            ExceptionType::Io,
+            |b| {
+                b.log(Level::Warn, "outer caught", vec![]);
+            },
+        );
+    });
+    let p = pb.finish().unwrap();
+    let r = run_single(&p, "main");
+    assert!(r.has_log("inner finally"));
+    assert!(r.has_log("outer caught"));
+}
+
+#[test]
+fn rethrow_propagates_to_outer_handler() {
+    let mut pb = ProgramBuilder::new("t");
+    let main = pb.declare("main", 0);
+    pb.body(main, |b| {
+        b.try_catch(
+            |b| {
+                b.try_catch(
+                    |b| {
+                        b.throw_new("boom", ExceptionType::Io);
+                    },
+                    ExceptionType::Io,
+                    |b| {
+                        b.log(Level::Warn, "inner caught", vec![]);
+                        b.rethrow();
+                    },
+                );
+            },
+            ExceptionType::Io,
+            |b| {
+                b.log(Level::Warn, "outer caught", vec![]);
+            },
+        );
+    });
+    let p = pb.finish().unwrap();
+    let r = run_single(&p, "main");
+    assert!(r.has_log("inner caught"));
+    assert!(r.has_log("outer caught"));
+}
+
+#[test]
+fn spawned_threads_run_concurrently() {
+    let mut pb = ProgramBuilder::new("t");
+    let g = pb.global("counter", Value::Int(0));
+    let worker = pb.declare("work", 1);
+    let main = pb.declare("main", 0);
+    pb.body(worker, |b| {
+        b.set_global(g, e::add(e::glob(g), e::var(b.param(0))));
+        b.log(Level::Info, "worker {} done", vec![e::var(b.param(0))]);
+    });
+    pb.body(main, |b| {
+        b.spawn("w", worker, vec![e::int(1)]);
+        b.spawn("w", worker, vec![e::int(2)]);
+        b.spawn("w", worker, vec![e::int(3)]);
+    });
+    let p = pb.finish().unwrap();
+    let r = run_single(&p, "main");
+    assert_eq!(r.global("n1", "counter"), Some(&Value::Int(6)));
+    // Duplicate spawn names are made unique.
+    let names: Vec<&str> = r.threads.iter().map(|t| t.thread.as_str()).collect();
+    assert!(names.contains(&"w"));
+    assert!(names.contains(&"w-1"));
+    assert!(names.contains(&"w-2"));
+}
+
+#[test]
+fn executor_runs_tasks_in_order_and_completes_futures() {
+    let mut pb = ProgramBuilder::new("t");
+    let order = pb.global("order", Value::List(vec![]));
+    let exec = pb.executor("pool");
+    let task = pb.declare("task", 1);
+    let main = pb.declare("main", 0);
+    pb.body(task, |b| {
+        b.push_back(order, e::var(b.param(0)));
+        b.ret(Some(e::mul(e::var(b.param(0)), e::int(10))));
+    });
+    pb.body(main, |b| {
+        let f1 = b.local();
+        let f2 = b.local();
+        let r1 = b.local();
+        let r2 = b.local();
+        b.submit(exec, task, vec![e::int(1)], f1);
+        b.submit(exec, task, vec![e::int(2)], f2);
+        b.await_(f1, None, Some(r1));
+        b.await_(f2, None, Some(r2));
+        b.log(Level::Info, "results {} {}", vec![e::var(r1), e::var(r2)]);
+    });
+    let p = pb.finish().unwrap();
+    let r = run_single(&p, "main");
+    assert!(r.has_log("results 10 20"));
+    assert_eq!(
+        r.global("n1", "order"),
+        Some(&Value::List(vec![Value::Int(1), Value::Int(2)])),
+        "single-threaded executor preserves submission order"
+    );
+}
+
+#[test]
+fn task_exception_propagates_through_future() {
+    let mut pb = ProgramBuilder::new("t");
+    let exec = pb.executor("pool");
+    let task = pb.declare("task", 0);
+    let main = pb.declare("main", 0);
+    pb.body(task, |b| {
+        b.external("hdfs.write", &[ExceptionType::Io]);
+        b.log(Level::Info, "task ok", vec![]);
+    });
+    pb.body(main, |b| {
+        let f = b.local();
+        b.submit(exec, task, vec![], f);
+        b.try_catch(
+            |b| {
+                b.await_(f, None, None);
+            },
+            ExceptionType::Execution,
+            |b| {
+                b.log_exc(Level::Warn, "task failed", vec![]);
+            },
+        );
+        // The worker survives a failed task.
+        let f2 = b.local();
+        b.submit(exec, task, vec![], f2);
+        b.await_(f2, None, None);
+        b.log(Level::Info, "second task ok", vec![]);
+    });
+    let p = pb.finish().unwrap();
+    let site = p.sites[0].id;
+    let main_id = p.func_named("main").unwrap();
+    let topo = Topology::new(vec![NodeSpec::new("n1", main_id, vec![])]);
+    let plan = InjectionPlan::exact(site, 0, ExceptionType::Io);
+    let r = run(&p, &topo, &SimConfig::default(), plan).unwrap();
+    assert!(r.has_log("task failed"));
+    assert!(r.has_log("second task ok"));
+    let entry = r
+        .log
+        .iter()
+        .find(|l| l.body.contains("task failed"))
+        .unwrap();
+    assert_eq!(
+        entry.exc.as_deref(),
+        Some("ExecutionException: caused by IOException"),
+        "cross-thread wrap preserves the root cause"
+    );
+}
+
+#[test]
+fn await_timeout_throws() {
+    let mut pb = ProgramBuilder::new("t");
+    let exec = pb.executor("pool");
+    let slow = pb.declare("slow", 0);
+    let main = pb.declare("main", 0);
+    pb.body(slow, |b| {
+        b.sleep(e::int(10_000));
+    });
+    pb.body(main, |b| {
+        let f = b.local();
+        b.submit(exec, slow, vec![], f);
+        b.try_catch(
+            |b| {
+                b.await_(f, Some(e::int(50)), None);
+                b.log(Level::Info, "no timeout", vec![]);
+            },
+            ExceptionType::Timeout,
+            |b| {
+                b.log(Level::Warn, "await timed out", vec![]);
+            },
+        );
+    });
+    let p = pb.finish().unwrap();
+    let r = run_single(&p, "main");
+    assert!(r.has_log("await timed out"));
+    assert!(!r.has_log("no timeout"));
+}
+
+#[test]
+fn condition_variables_signal_and_timeout() {
+    let mut pb = ProgramBuilder::new("t");
+    let ready = pb.global("ready", Value::Bool(false));
+    let cv = pb.cond("readyCond");
+    let setter = pb.declare("setter", 0);
+    let main = pb.declare("main", 0);
+    pb.body(setter, |b| {
+        b.sleep(e::int(30));
+        b.set_global(ready, e::bool_(true));
+        b.signal(cv);
+    });
+    pb.body(main, |b| {
+        b.spawn("setter", setter, vec![]);
+        b.while_(e::not(e::glob(ready)), |b| {
+            b.wait_cond(cv, None, None);
+        });
+        b.log(Level::Info, "signalled", vec![]);
+        // Now wait with a timeout that must expire (nobody signals again).
+        let ok = b.local();
+        b.wait_cond(cv, Some(e::int(20)), Some(ok));
+        b.if_(e::not(e::var(ok)), |b| {
+            b.log(Level::Warn, "timed out", vec![]);
+        });
+    });
+    let p = pb.finish().unwrap();
+    let r = run_single(&p, "main");
+    assert!(r.has_log("signalled"));
+    assert!(r.has_log("timed out"));
+}
+
+#[test]
+fn rpc_round_trip_between_nodes() {
+    let mut pb = ProgramBuilder::new("t");
+    let req = pb.chan("req");
+    let resp = pb.chan("resp");
+    let server = pb.declare("server", 0);
+    let client = pb.declare("client", 0);
+    pb.body(server, |b| {
+        let msg = b.local();
+        b.recv(req, msg, None);
+        b.log(Level::Info, "server got {}", vec![e::index(e::var(msg), 1)]);
+        b.send(e::index(e::var(msg), 0), resp, e::str_("pong"));
+    });
+    pb.body(client, |b| {
+        b.send(
+            e::str_("srv"),
+            req,
+            e::list(vec![e::self_node(), e::str_("ping")]),
+        );
+        let reply = b.local();
+        b.recv(resp, reply, None);
+        b.log(Level::Info, "client got {}", vec![e::var(reply)]);
+    });
+    let p = pb.finish().unwrap();
+    let topo = Topology::new(vec![
+        NodeSpec::new("srv", p.func_named("server").unwrap(), vec![]),
+        NodeSpec::new("cli", p.func_named("client").unwrap(), vec![]),
+    ]);
+    let r = run(&p, &topo, &SimConfig::default(), InjectionPlan::none()).unwrap();
+    assert!(r.has_log("server got ping"));
+    assert!(r.has_log("client got pong"));
+}
+
+#[test]
+fn recv_timeout_throws() {
+    let mut pb = ProgramBuilder::new("t");
+    let c = pb.chan("never");
+    let main = pb.declare("main", 0);
+    pb.body(main, |b| {
+        let v = b.local();
+        b.try_catch(
+            |b| {
+                b.recv(c, v, Some(e::int(40)));
+            },
+            ExceptionType::Timeout,
+            |b| {
+                b.log(Level::Warn, "recv timed out", vec![]);
+            },
+        );
+    });
+    let p = pb.finish().unwrap();
+    let r = run_single(&p, "main");
+    assert!(r.has_log("recv timed out"));
+}
+
+#[test]
+fn abort_kills_node_and_logs() {
+    let mut pb = ProgramBuilder::new("t");
+    let other = pb.declare("other", 0);
+    let main = pb.declare("main", 0);
+    pb.body(other, |b| {
+        b.sleep(e::int(1_000_000));
+        b.log(Level::Info, "other survived", vec![]);
+    });
+    pb.body(main, |b| {
+        b.spawn("other", other, vec![]);
+        b.sleep(e::int(10));
+        b.abort("unrecoverable fault");
+        b.log(Level::Info, "after abort", vec![]);
+    });
+    let p = pb.finish().unwrap();
+    let r = run_single(&p, "main");
+    assert!(r.has_log("ABORT: node n1 aborting: unrecoverable fault"));
+    assert!(!r.has_log("after abort"));
+    assert!(!r.has_log("other survived"));
+    assert!(r.node_aborted("n1"));
+    assert!(!r.node_alive("n1"));
+}
+
+#[test]
+fn stuck_thread_shows_blocked_snapshot() {
+    let mut pb = ProgramBuilder::new("t");
+    let cv = pb.cond("never");
+    let wait_forever = pb.declare("waitForSafePoint", 0);
+    let main = pb.declare("main", 0);
+    pb.body(wait_forever, |b| {
+        b.wait_cond(cv, None, None);
+    });
+    pb.body(main, |b| {
+        b.call(wait_forever, vec![]);
+    });
+    let p = pb.finish().unwrap();
+    let r = run_single(&p, "main");
+    assert!(r.thread_blocked_in("main", "waitForSafePoint"));
+}
+
+#[test]
+fn runs_are_deterministic_per_seed() {
+    let mut pb = ProgramBuilder::new("t");
+    let worker = pb.declare("work", 1);
+    let main = pb.declare("main", 0);
+    pb.body(worker, |b| {
+        b.sleep(e::rand(1, 30));
+        b.log(Level::Info, "worker {} done", vec![e::var(b.param(0))]);
+    });
+    pb.body(main, |b| {
+        let i = b.local();
+        b.assign(i, e::int(0));
+        b.while_(e::lt(e::var(i), e::int(5)), |b| {
+            b.spawn("w", worker, vec![e::var(i)]);
+            b.assign(i, e::add(e::var(i), e::int(1)));
+        });
+    });
+    let p = pb.finish().unwrap();
+    let main_id = p.func_named("main").unwrap();
+    let topo = Topology::new(vec![NodeSpec::new("n1", main_id, vec![])]);
+    let texts: Vec<String> = (0..2)
+        .map(|_| {
+            run(
+                &p,
+                &topo,
+                &SimConfig::default().with_seed(7),
+                InjectionPlan::none(),
+            )
+            .unwrap()
+            .log_text()
+        })
+        .collect();
+    assert_eq!(texts[0], texts[1], "same seed, same log");
+    let other = run(
+        &p,
+        &topo,
+        &SimConfig::default().with_seed(8),
+        InjectionPlan::none(),
+    )
+    .unwrap()
+    .log_text();
+    // Different seed gives a different interleaving (with overwhelming
+    // probability for this workload).
+    assert_ne!(texts[0], other, "different seed, different interleaving");
+}
+
+#[test]
+fn injection_trace_records_all_occurrences() {
+    let mut pb = ProgramBuilder::new("t");
+    let main = pb.declare("main", 0);
+    pb.body(main, |b| {
+        let i = b.local();
+        b.assign(i, e::int(0));
+        b.while_(e::lt(e::var(i), e::int(7)), |b| {
+            b.try_catch(
+                |b| {
+                    b.external("flaky.op", &[ExceptionType::Io]);
+                },
+                ExceptionType::Io,
+                |b| {
+                    b.log(Level::Warn, "op failed at {}", vec![e::var(i)]);
+                },
+            );
+            b.assign(i, e::add(e::var(i), e::int(1)));
+        });
+    });
+    let p = pb.finish().unwrap();
+    let site = p.sites[0].id;
+    let main_id = p.func_named("main").unwrap();
+    let topo = Topology::new(vec![NodeSpec::new("n1", main_id, vec![])]);
+
+    let clean = run(&p, &topo, &SimConfig::default(), InjectionPlan::none()).unwrap();
+    assert_eq!(clean.site_occurrences[site.index()], 7);
+    assert_eq!(clean.trace.len(), 7);
+    assert!(clean.injected.is_none());
+
+    let plan = InjectionPlan::exact(site, 4, ExceptionType::Io);
+    let faulty = run(&p, &topo, &SimConfig::default(), plan).unwrap();
+    assert!(faulty.has_log("op failed at 4"));
+    assert_eq!(faulty.count_log("op failed"), 1);
+    let injected = faulty.injected.as_ref().unwrap();
+    assert_eq!(injected.occurrence, 4);
+    assert_eq!(injected.candidate.site, site);
+}
+
+#[test]
+fn exact_replay_is_deterministic() {
+    // The reproduction-script property: same seed + exact plan => identical
+    // logs across replays.
+    let mut pb = ProgramBuilder::new("t");
+    let main = pb.declare("main", 0);
+    pb.body(main, |b| {
+        let i = b.local();
+        b.assign(i, e::int(0));
+        b.while_(e::lt(e::var(i), e::int(4)), |b| {
+            b.try_catch(
+                |b| {
+                    b.external("op", &[ExceptionType::Io]);
+                    b.log(Level::Info, "op {} ok", vec![e::var(i)]);
+                },
+                ExceptionType::Io,
+                |b| {
+                    b.log(Level::Warn, "op {} failed", vec![e::var(i)]);
+                },
+            );
+            b.sleep(e::rand(1, 10));
+            b.assign(i, e::add(e::var(i), e::int(1)));
+        });
+    });
+    let p = pb.finish().unwrap();
+    let site = p.sites[0].id;
+    let main_id = p.func_named("main").unwrap();
+    let topo = Topology::new(vec![NodeSpec::new("n1", main_id, vec![])]);
+    let cfg = SimConfig::default().with_seed(42);
+    let a = run(
+        &p,
+        &topo,
+        &cfg,
+        InjectionPlan::exact(site, 2, ExceptionType::Io),
+    )
+    .unwrap();
+    let b = run(
+        &p,
+        &topo,
+        &cfg,
+        InjectionPlan::exact(site, 2, ExceptionType::Io),
+    )
+    .unwrap();
+    assert_eq!(a.log_text(), b.log_text());
+    assert!(a.has_log("op 2 failed"));
+    assert!(a.has_log("op 3 ok"));
+}
+
+#[test]
+fn window_plan_injects_first_available_candidate() {
+    let mut pb = ProgramBuilder::new("t");
+    let main = pb.declare("main", 0);
+    pb.body(main, |b| {
+        b.try_catch(
+            |b| {
+                b.external("a.op", &[ExceptionType::Io]);
+                b.external("b.op", &[ExceptionType::Socket]);
+            },
+            ExceptionPattern::Any,
+            |b| {
+                b.log_exc(Level::Warn, "failed", vec![]);
+            },
+        );
+    });
+    let p = pb.finish().unwrap();
+    let main_id = p.func_named("main").unwrap();
+    let topo = Topology::new(vec![NodeSpec::new("n1", main_id, vec![])]);
+    // Window contains an impossible candidate (occurrence 99) plus a real
+    // one; the real one fires.
+    let plan = InjectionPlan::window(vec![
+        anduril_sim::Candidate::exact(SiteId(0), 99, ExceptionType::Io),
+        anduril_sim::Candidate::exact(SiteId(1), 0, ExceptionType::Socket),
+    ]);
+    let r = run(&p, &topo, &SimConfig::default(), plan).unwrap();
+    let injected = r.injected.as_ref().unwrap();
+    assert_eq!(injected.candidate.site, SiteId(1));
+    let entry = r.log.iter().find(|l| l.body.contains("failed")).unwrap();
+    assert_eq!(entry.exc.as_deref(), Some("SocketException"));
+}
+
+#[test]
+fn multi_node_clusters_isolate_globals() {
+    let mut pb = ProgramBuilder::new("t");
+    let g = pb.global("x", Value::Int(0));
+    let main = pb.declare("main", 1);
+    pb.body(main, |b| {
+        b.set_global(g, e::var(b.param(0)));
+    });
+    let p = pb.finish().unwrap();
+    let main_id = p.func_named("main").unwrap();
+    let topo = Topology::new(vec![
+        NodeSpec::new("a", main_id, vec![Value::Int(1)]),
+        NodeSpec::new("b", main_id, vec![Value::Int(2)]),
+    ]);
+    let r = run(&p, &topo, &SimConfig::default(), InjectionPlan::none()).unwrap();
+    assert_eq!(r.global("a", "x"), Some(&Value::Int(1)));
+    assert_eq!(r.global("b", "x"), Some(&Value::Int(2)));
+}
+
+#[test]
+fn queue_push_pop_fifo() {
+    let mut pb = ProgramBuilder::new("t");
+    let q = pb.global("q", Value::List(vec![]));
+    let main = pb.declare("main", 0);
+    pb.body(main, |b| {
+        b.push_back(q, e::int(1));
+        b.push_back(q, e::int(2));
+        let v = b.local();
+        b.pop_front(q, v);
+        b.log(Level::Info, "first {}", vec![e::var(v)]);
+        b.pop_front(q, v);
+        b.log(Level::Info, "second {}", vec![e::var(v)]);
+        b.pop_front(q, v);
+        b.if_(e::eq(e::var(v), e::unit()), |b| {
+            b.log(Level::Info, "empty", vec![]);
+        });
+    });
+    let p = pb.finish().unwrap();
+    let r = run_single(&p, "main");
+    assert!(r.has_log("first 1"));
+    assert!(r.has_log("second 2"));
+    assert!(r.has_log("empty"));
+}

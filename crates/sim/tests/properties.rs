@@ -1,0 +1,133 @@
+//! Property-based tests for the simulator: determinism and injection
+//! invariants under randomized programs.
+
+use anduril_ir::builder::ProgramBuilder;
+use anduril_ir::expr::build as e;
+use anduril_ir::{ExceptionType, Level, Program, SiteId};
+use anduril_sim::{run, InjectionPlan, NodeSpec, SimConfig, Topology};
+use proptest::prelude::*;
+
+/// Builds a randomized producer/consumer program from a small shape spec.
+fn shaped_program(workers: usize, ops: i64, faulty_every: i64) -> Program {
+    let mut pb = ProgramBuilder::new("prop");
+    let total = pb.global("total", anduril_ir::Value::Int(0));
+    let work = pb.declare("work", 1);
+    let main = pb.declare("main", 0);
+    pb.body(work, |b| {
+        let i = b.local();
+        b.assign(i, e::int(0));
+        b.while_(e::lt(e::var(i), e::var(b.param(0))), |b| {
+            b.sleep(e::rand(1, 9));
+            b.try_catch(
+                |b| {
+                    b.external("op", &[ExceptionType::Io]);
+                    b.set_global(total, e::add(e::glob(total), e::int(1)));
+                    b.if_(
+                        e::eq(e::rem(e::var(i), e::int(faulty_every)), e::int(0)),
+                        |b| {
+                            b.log(Level::Debug, "progress {}", vec![e::glob(total)]);
+                        },
+                    );
+                },
+                ExceptionType::Io,
+                |b| {
+                    b.log(Level::Warn, "op failed", vec![]);
+                },
+            );
+            b.assign(i, e::add(e::var(i), e::int(1)));
+        });
+    });
+    pb.body(main, |b| {
+        let w = b.local();
+        b.assign(w, e::int(0));
+        b.while_(e::lt(e::var(w), e::int(workers as i64)), |b| {
+            b.spawn("w", work, vec![e::int(ops)]);
+            b.assign(w, e::add(e::var(w), e::int(1)));
+        });
+    });
+    pb.finish().expect("valid program")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Same seed, same everything: log text, final state, trace.
+    #[test]
+    fn runs_are_deterministic(
+        workers in 1usize..4,
+        ops in 1i64..8,
+        seed in 0u64..1_000,
+    ) {
+        let p = shaped_program(workers, ops, 3);
+        let topo = Topology::new(vec![NodeSpec::new(
+            "n",
+            p.func_named("main").unwrap(),
+            vec![],
+        )]);
+        let cfg = SimConfig { seed, ..SimConfig::default() };
+        let a = run(&p, &topo, &cfg, InjectionPlan::none()).unwrap();
+        let b = run(&p, &topo, &cfg, InjectionPlan::none()).unwrap();
+        prop_assert_eq!(a.log_text(), b.log_text());
+        prop_assert_eq!(a.trace.len(), b.trace.len());
+        prop_assert_eq!(a.end_time, b.end_time);
+        prop_assert_eq!(a.steps, b.steps);
+    }
+
+    /// Exactly one injection fires per run, at the requested occurrence,
+    /// and exactly one handler warning results.
+    #[test]
+    fn exact_injection_fires_once(
+        workers in 1usize..3,
+        ops in 2i64..8,
+        occ_frac in 0.0f64..1.0,
+        seed in 0u64..500,
+    ) {
+        let p = shaped_program(workers, ops, 2);
+        let topo = Topology::new(vec![NodeSpec::new(
+            "n",
+            p.func_named("main").unwrap(),
+            vec![],
+        )]);
+        let cfg = SimConfig { seed, ..SimConfig::default() };
+        let clean = run(&p, &topo, &cfg, InjectionPlan::none()).unwrap();
+        let total = clean.site_occurrences[0];
+        prop_assume!(total > 0);
+        let occ = ((total - 1) as f64 * occ_frac) as u32;
+        let r = run(&p, &topo, &cfg, InjectionPlan::exact(SiteId(0), occ, ExceptionType::Io)).unwrap();
+        let rec = r.injected.as_ref().expect("injection fires");
+        prop_assert_eq!(rec.occurrence, occ);
+        prop_assert_eq!(r.count_log("op failed"), 1);
+        // One op was lost to the fault.
+        prop_assert_eq!(
+            r.global("n", "total"),
+            Some(&anduril_ir::Value::Int(workers as i64 * ops - 1))
+        );
+    }
+
+    /// Occurrence counters in the trace are dense and ordered per site.
+    #[test]
+    fn trace_occurrences_are_dense(
+        workers in 1usize..4,
+        ops in 1i64..8,
+        seed in 0u64..200,
+    ) {
+        let p = shaped_program(workers, ops, 2);
+        let topo = Topology::new(vec![NodeSpec::new(
+            "n",
+            p.func_named("main").unwrap(),
+            vec![],
+        )]);
+        let cfg = SimConfig { seed, ..SimConfig::default() };
+        let r = run(&p, &topo, &cfg, InjectionPlan::none()).unwrap();
+        let mut next = 0u32;
+        for t in r.trace.iter().filter(|t| t.site == SiteId(0)) {
+            prop_assert_eq!(t.occurrence, next);
+            next += 1;
+        }
+        prop_assert_eq!(next, r.site_occurrences[0]);
+        // Trace times never decrease.
+        for w in r.trace.windows(2) {
+            prop_assert!(w[0].time <= w[1].time);
+        }
+    }
+}

@@ -1,0 +1,571 @@
+//! Mini-Cassandra: a three-node ring with snapshot repair and file
+//! streaming over a shared channel proxy.
+//!
+//! Failure paths implemented:
+//!
+//! - **C*-17663 (f21)** — a `FileStreamTask` aborted mid-file leaves the
+//!   shared channel proxy misaligned; the next stream over the same proxy
+//!   fails with an invalid frame.
+//! - **C*-6415 (f22)** — the repair coordinator waits for `makeSnapshot`
+//!   acknowledgements with no timeout; a replica whose snapshot fails
+//!   sends no response and the repair blocks forever. Deeper cause
+//!   (CA-18748 analog): a disk fault creating the column family at startup
+//!   makes the replica drop the repair message entirely — same symptom.
+
+use anduril_ir::builder::ProgramBuilder;
+use anduril_ir::expr::build as e;
+use anduril_ir::{ExceptionType, Level, Program, Value};
+
+use crate::util::{flaky_external, transient_warn};
+
+/// Frames per streamed file; a fault that leaves the proxy at a non-multiple
+/// position corrupts it.
+pub const FRAMES_PER_FILE: i64 = 4;
+
+/// Function and site names exposed by [`build`].
+pub mod names {
+    /// Node main: `cass_main(is_coordinator, idle_timeout)`.
+    pub const CASS_MAIN: &str = "cass_main";
+    /// Workload for C*-17663 (f21): `wl_ca17663(files)`.
+    pub const WL_F21: &str = "wl_ca17663";
+    /// Workload for C*-6415 (f22): `wl_ca6415(unused)`.
+    pub const WL_F22: &str = "wl_ca6415";
+    /// f21 root cause: writing one frame on the shared channel.
+    pub const SITE_F21: &str = "net.writeFrame";
+    /// f22 root cause: creating the snapshot on a replica.
+    pub const SITE_F22: &str = "disk.createSnapshot";
+    /// f22 deeper cause: creating the column family directory at startup.
+    pub const SITE_F22_DEEPER: &str = "disk.initColumnFamily";
+}
+
+/// Builds the mini-Cassandra program.
+pub fn build() -> Program {
+    let mut pb = ProgramBuilder::new("mini-cassandra");
+
+    // ---- globals -----------------------------------------------------------
+    let keyspace_ready = pb.global("keyspaceReady", Value::Bool(false));
+    let proxy_pos = pb.global("channelProxyPos", Value::Int(0));
+    let proxy_corrupt = pb.global("channelProxyCorrupt", Value::Bool(false));
+    let files_streamed = pb.global("filesStreamed", Value::Int(0));
+    let snapshots_acked = pb.global("snapshotsAcked", Value::Int(0));
+    let repairs_done = pb.global("repairsCompleted", Value::Int(0));
+    let ring_members = pb.meta_global("ringMembers", Value::Int(0));
+    let read_repairs = pb.global("readRepairsDone", Value::Int(0));
+    let hints_delivered = pb.global("hintsDelivered", Value::Int(0));
+
+    // ---- channels ---------------------------------------------------------------
+    let coord_req = pb.chan("coordReq");
+    let replica_req = pb.chan("replicaReq");
+    let snapshot_resp = pb.chan("snapshotResp");
+    let client_resp = pb.chan("clientResp");
+
+    // ---- declarations --------------------------------------------------------------
+    let stream_file = pb.declare("streamFile", 1); // file id
+    let read_with_repair = pb.declare("coordinateRead", 1); // key
+    let hinted_handoff = pb.declare("hintedHandoffChore", 1); // iterations
+    let await_snapshots = pb.declare("awaitSnapshots", 1); // expected acks
+    let repair_job = pb.declare("repairSession", 0);
+    let handle_make_snapshot = pb.declare("makeSnapshot", 1); // coordinator
+    let compaction = pb.declare("compactionChore", 1); // iterations
+    let gossip = pb.declare("gossipChore", 1); // iterations
+    let cass_main = pb.declare(names::CASS_MAIN, 2); // is_coordinator, idle
+    let wl_f21 = pb.declare(names::WL_F21, 1); // files
+    let wl_f22 = pb.declare(names::WL_F22, 1); // unused
+
+    // ---- streaming (f21) ------------------------------------------------------------
+    pb.body(stream_file, |b| {
+        let file = b.param(0);
+        // A misaligned proxy from an earlier aborted task corrupts this
+        // stream immediately.
+        b.if_(
+            e::ne(
+                e::rem(e::glob(proxy_pos), e::int(FRAMES_PER_FILE)),
+                e::int(0),
+            ),
+            |b| {
+                b.set_global(proxy_corrupt, e::bool_(true));
+                b.log(
+                    Level::Error,
+                    "Invalid frame received on shared channel proxy, closing connection",
+                    vec![],
+                );
+                b.ret(None);
+            },
+        );
+        b.try_catch(
+            |b| {
+                let f = b.local();
+                b.assign(f, e::int(0));
+                b.while_(e::lt(e::var(f), e::int(FRAMES_PER_FILE)), |b| {
+                    // ROOT-CAUSE SITE of C*-17663.
+                    b.external_lat(names::SITE_F21, &[ExceptionType::Io], 2);
+                    b.set_global(proxy_pos, e::add(e::glob(proxy_pos), e::int(1)));
+                    b.assign(f, e::add(e::var(f), e::int(1)));
+                });
+                b.set_global(files_streamed, e::add(e::glob(files_streamed), e::int(1)));
+                b.log(Level::Info, "Streamed file {}", vec![e::var(file)]);
+            },
+            ExceptionType::Io,
+            |b| {
+                // BUG: the aborted task leaves the shared proxy position
+                // misaligned instead of resetting the connection.
+                b.log_exc(Level::Warn, "FileStreamTask aborted mid-transfer", vec![]);
+            },
+        );
+    });
+
+    // ---- repair (f22) ------------------------------------------------------------------
+    pb.body(handle_make_snapshot, |b| {
+        let coordinator = b.param(0);
+        b.if_else(
+            e::not(e::glob(keyspace_ready)),
+            |b| {
+                // Deeper-cause path: the keyspace was never created, so the
+                // repair message is silently dropped.
+                b.log(
+                    Level::Warn,
+                    "Keyspace not found, dropping repair message",
+                    vec![],
+                );
+            },
+            |b| {
+                b.try_catch(
+                    |b| {
+                        // ROOT-CAUSE SITE of C*-6415.
+                        b.external_lat(names::SITE_F22, &[ExceptionType::Io], 4);
+                        b.log(Level::Info, "Snapshot created for repair", vec![]);
+                        b.send(e::var(coordinator), snapshot_resp, e::str_("ack"));
+                    },
+                    ExceptionType::Io,
+                    |b| {
+                        // BUG: the failure is logged but no response (not
+                        // even a negative one) is sent.
+                        b.log_exc(Level::Warn, "Snapshot creation failed", vec![]);
+                    },
+                );
+            },
+        );
+    });
+
+    pb.body(await_snapshots, |b| {
+        let expected = b.param(0);
+        let got = b.local();
+        let resp = b.local();
+        b.assign(got, e::int(0));
+        b.while_(e::lt(e::var(got), e::var(expected)), |b| {
+            // BUG: no timeout — a missing response blocks the repair
+            // forever.
+            b.recv(snapshot_resp, resp, None);
+            b.assign(got, e::add(e::var(got), e::int(1)));
+            b.log(
+                Level::Info,
+                "Snapshot acknowledged ({} of {})",
+                vec![e::var(got), e::var(expected)],
+            );
+        });
+        b.set_global(snapshots_acked, e::var(got));
+    });
+
+    pb.body(repair_job, |b| {
+        b.log(Level::Info, "Starting repair session for keyspace", vec![]);
+        b.send(
+            e::str_("c2"),
+            replica_req,
+            e::list(vec![e::str_("makeSnapshot"), e::self_node()]),
+        );
+        b.send(
+            e::str_("c3"),
+            replica_req,
+            e::list(vec![e::str_("makeSnapshot"), e::self_node()]),
+        );
+        b.call(await_snapshots, vec![e::int(2)]);
+        b.try_catch(
+            |b| {
+                b.external_lat("repair.validateRanges", &[ExceptionType::Io], 5);
+                b.set_global(repairs_done, e::add(e::glob(repairs_done), e::int(1)));
+                b.log(Level::Info, "Repair session completed", vec![]);
+            },
+            ExceptionType::Io,
+            |b| {
+                b.log_exc(
+                    Level::Warn,
+                    "Range validation failed, repair aborted",
+                    vec![],
+                );
+            },
+        );
+    });
+
+    // coordinateRead: quorum read with digest check and read repair.
+    pb.body(read_with_repair, |b| {
+        let key = b.param(0);
+        b.try_catch(
+            |b| {
+                b.external_lat("net.readDigest", &[ExceptionType::Io], 2);
+                // Occasional digest mismatch repaired in the foreground.
+                b.if_(e::lt(e::rand(0, 100), e::int(15)), |b| {
+                    b.log(
+                        Level::Info,
+                        "Digest mismatch on key {}, running read repair",
+                        vec![e::var(key)],
+                    );
+                    b.external_lat("net.readRepairRow", &[ExceptionType::Io], 3);
+                    b.set_global(read_repairs, e::add(e::glob(read_repairs), e::int(1)));
+                });
+            },
+            ExceptionType::Io,
+            |b| {
+                b.log_exc(Level::Warn, "Quorum read degraded to local data", vec![]);
+            },
+        );
+    });
+
+    // hintedHandoffChore: replays stored hints to recovered peers.
+    pb.body(hinted_handoff, |b| {
+        let iters = b.param(0);
+        let i = b.local();
+        b.assign(i, e::int(0));
+        b.while_(e::lt(e::var(i), e::var(iters)), |b| {
+            b.sleep(e::rand(110, 180));
+            b.if_(e::lt(e::rand(0, 100), e::int(35)), |b| {
+                b.try_catch(
+                    |b| {
+                        b.external_lat("net.deliverHint", &[ExceptionType::Io], 3);
+                        b.set_global(hints_delivered, e::add(e::glob(hints_delivered), e::int(1)));
+                        b.log(Level::Debug, "Delivered stored hint to peer", vec![]);
+                    },
+                    ExceptionType::Io,
+                    |b| {
+                        b.log_exc(Level::Warn, "Hint delivery failed, keeping hint", vec![]);
+                    },
+                );
+            });
+            b.assign(i, e::add(e::var(i), e::int(1)));
+        });
+    });
+
+    // ---- chores ---------------------------------------------------------------------
+    pb.body(compaction, |b| {
+        let iters = b.param(0);
+        let i = b.local();
+        b.assign(i, e::int(0));
+        b.while_(e::lt(e::var(i), e::var(iters)), |b| {
+            b.sleep(e::rand(90, 150));
+            flaky_external(
+                b,
+                "disk.compactSSTables",
+                ExceptionType::Io,
+                6,
+                "Compaction interrupted, will resume",
+            );
+            b.assign(i, e::add(e::var(i), e::int(1)));
+        });
+    });
+    pb.body(gossip, |b| {
+        let iters = b.param(0);
+        let i = b.local();
+        b.assign(i, e::int(0));
+        b.while_(e::lt(e::var(i), e::var(iters)), |b| {
+            b.sleep(e::rand(60, 110));
+            flaky_external(
+                b,
+                "net.gossipRound",
+                ExceptionType::Io,
+                7,
+                "Gossip round missed a peer",
+            );
+            b.assign(i, e::add(e::var(i), e::int(1)));
+        });
+    });
+
+    // ---- node main ----------------------------------------------------------------------
+    pb.body(cass_main, |b| {
+        let is_coord = b.param(0);
+        let idle = b.param(1);
+        b.log(Level::Info, "Cassandra node starting", vec![]);
+        b.try_catch(
+            |b| {
+                // Deeper-cause SITE (CA-18748 analog).
+                b.external_lat(names::SITE_F22_DEEPER, &[ExceptionType::Io], 3);
+                b.set_global(keyspace_ready, e::bool_(true));
+            },
+            ExceptionType::Io,
+            |b| {
+                // BUG: startup continues with the keyspace missing.
+                b.log_exc(
+                    Level::Warn,
+                    "Failed to create column family directory",
+                    vec![],
+                );
+            },
+        );
+        b.set_global(ring_members, e::add(e::glob(ring_members), e::int(1)));
+        b.spawn("CompactionExecutor", compaction, vec![e::int(6)]);
+        b.spawn("GossipStage", gossip, vec![e::int(8)]);
+        b.spawn("HintedHandoff", hinted_handoff, vec![e::int(5)]);
+        let req = b.local();
+        b.if_else(
+            e::eq(e::var(is_coord), e::bool_(true)),
+            |b| {
+                b.loop_(|b| {
+                    b.try_catch(
+                        |b| {
+                            b.recv(coord_req, req, Some(e::var(idle)));
+                        },
+                        ExceptionType::Timeout,
+                        |b| {
+                            b.log(Level::Info, "Coordinator idle, stopping", vec![]);
+                            b.break_();
+                        },
+                    );
+                    transient_warn(b, 4, "Dropped mutation messages in last window");
+                    b.if_else(
+                        e::eq(e::index(e::var(req), 0), e::str_("repair")),
+                        |b| {
+                            b.spawn("RepairJob", repair_job, vec![]);
+                            b.send(e::index(e::var(req), 1), client_resp, e::str_("started"));
+                        },
+                        |b| {
+                            b.if_(e::eq(e::index(e::var(req), 0), e::str_("stream")), |b| {
+                                b.call(stream_file, vec![e::index(e::var(req), 1)]);
+                                b.send(e::index(e::var(req), 1), client_resp, e::str_("ok"));
+                            });
+                            b.if_(e::eq(e::index(e::var(req), 0), e::str_("read")), |b| {
+                                b.call(read_with_repair, vec![e::index(e::var(req), 1)]);
+                                b.send(e::index(e::var(req), 1), client_resp, e::str_("row"));
+                            });
+                        },
+                    );
+                });
+            },
+            |b| {
+                b.loop_(|b| {
+                    b.try_catch(
+                        |b| {
+                            b.recv(replica_req, req, Some(e::var(idle)));
+                        },
+                        ExceptionType::Timeout,
+                        |b| {
+                            b.log(Level::Info, "Replica idle, stopping", vec![]);
+                            b.break_();
+                        },
+                    );
+                    b.if_(
+                        e::eq(e::index(e::var(req), 0), e::str_("makeSnapshot")),
+                        |b| {
+                            b.call(handle_make_snapshot, vec![e::index(e::var(req), 1)]);
+                        },
+                    );
+                });
+            },
+        );
+    });
+
+    // ---- workloads --------------------------------------------------------------------------
+    // f21: stream several files through the shared proxy on c1.
+    pb.body(wl_f21, |b| {
+        let files = b.param(0);
+        let i = b.local();
+        let resp = b.local();
+        b.assign(i, e::int(0));
+        b.while_(e::lt(e::var(i), e::var(files)), |b| {
+            b.send(
+                e::str_("c1"),
+                coord_req,
+                e::list(vec![e::str_("read"), e::self_node()]),
+            );
+            b.try_catch(
+                |b| {
+                    b.recv(client_resp, resp, Some(e::int(800)));
+                },
+                ExceptionType::Timeout,
+                |b| {
+                    b.log(Level::Warn, "Read request timed out", vec![]);
+                },
+            );
+            b.send(
+                e::str_("c1"),
+                coord_req,
+                e::list(vec![e::str_("stream"), e::self_node()]),
+            );
+            b.try_catch(
+                |b| {
+                    b.recv(client_resp, resp, Some(e::int(1_000)));
+                },
+                ExceptionType::Timeout,
+                |b| {
+                    b.log(Level::Warn, "Stream request timed out", vec![]);
+                },
+            );
+            b.sleep(e::rand(25, 55));
+            b.assign(i, e::add(e::var(i), e::int(1)));
+        });
+        b.log(Level::Info, "workload finished", vec![]);
+    });
+
+    // f22: trigger one repair session.
+    pb.body(wl_f22, |b| {
+        let _unused = b.param(0);
+        b.sleep(e::int(150));
+        let resp = b.local();
+        b.send(
+            e::str_("c1"),
+            coord_req,
+            e::list(vec![e::str_("repair"), e::self_node()]),
+        );
+        b.try_catch(
+            |b| {
+                b.recv(client_resp, resp, Some(e::int(800)));
+                b.log(Level::Info, "Repair requested", vec![]);
+            },
+            ExceptionType::Timeout,
+            |b| {
+                b.log(Level::Warn, "Repair request timed out", vec![]);
+            },
+        );
+        b.log(Level::Info, "workload finished", vec![]);
+    });
+
+    pb.finish().expect("mini-cassandra program is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anduril_sim::{run, InjectionPlan, NodeSpec, SimConfig, Topology};
+
+    fn topo(p: &Program, wl: &str, arg: i64) -> Topology {
+        Topology::new(vec![
+            NodeSpec::new(
+                "c1",
+                p.func_named(names::CASS_MAIN).unwrap(),
+                vec![Value::Bool(true), Value::Int(1_200)],
+            ),
+            NodeSpec::new(
+                "c2",
+                p.func_named(names::CASS_MAIN).unwrap(),
+                vec![Value::Bool(false), Value::Int(1_200)],
+            ),
+            NodeSpec::new(
+                "c3",
+                p.func_named(names::CASS_MAIN).unwrap(),
+                vec![Value::Bool(false), Value::Int(1_200)],
+            ),
+            NodeSpec::new("client", p.func_named(wl).unwrap(), vec![Value::Int(arg)]),
+        ])
+    }
+
+    #[test]
+    fn normal_repair_completes() {
+        let p = build();
+        let t = topo(&p, names::WL_F22, 0);
+        let cfg = SimConfig {
+            max_time: 20_000,
+            ..SimConfig::default()
+        };
+        let r = run(&p, &t, &cfg, InjectionPlan::none()).unwrap();
+        assert!(r.has_log("Repair session completed"), "{}", r.log_text());
+        assert_eq!(r.global("c1", "repairsCompleted"), Some(&Value::Int(1)));
+    }
+
+    #[test]
+    fn snapshot_fault_blocks_repair_forever() {
+        let p = build();
+        let t = topo(&p, names::WL_F22, 0);
+        let cfg = SimConfig {
+            max_time: 20_000,
+            ..SimConfig::default()
+        };
+        let site = p
+            .sites
+            .iter()
+            .find(|s| s.desc == names::SITE_F22)
+            .unwrap()
+            .id;
+        let r = run(
+            &p,
+            &t,
+            &cfg,
+            InjectionPlan::exact(site, 0, ExceptionType::Io),
+        )
+        .unwrap();
+        assert!(r.has_log("Snapshot creation failed"));
+        assert!(!r.has_log("Repair session completed"));
+        assert!(
+            r.thread_blocked_in("RepairJob", "awaitSnapshots"),
+            "{:#?}",
+            r.threads
+        );
+    }
+
+    #[test]
+    fn missing_keyspace_also_blocks_repair() {
+        // The deeper cause (CA-18748 analog): a startup disk fault on a
+        // replica produces the same blocked-repair symptom.
+        let p = build();
+        let t = topo(&p, names::WL_F22, 0);
+        let cfg = SimConfig {
+            max_time: 20_000,
+            ..SimConfig::default()
+        };
+        let site = p
+            .sites
+            .iter()
+            .find(|s| s.desc == names::SITE_F22_DEEPER)
+            .unwrap()
+            .id;
+        // Occurrence 1 is c2's startup (c1 runs first).
+        let r = run(
+            &p,
+            &t,
+            &cfg,
+            InjectionPlan::exact(site, 1, ExceptionType::Io),
+        )
+        .unwrap();
+        assert!(r.has_log("Keyspace not found, dropping repair message"));
+        assert!(!r.has_log("Repair session completed"));
+        assert!(r.thread_blocked_in("RepairJob", "awaitSnapshots"));
+    }
+
+    #[test]
+    fn midfile_stream_fault_corrupts_shared_proxy() {
+        let p = build();
+        let t = topo(&p, names::WL_F21, 5);
+        let cfg = SimConfig {
+            max_time: 20_000,
+            ..SimConfig::default()
+        };
+        let clean = run(&p, &t, &cfg, InjectionPlan::none()).unwrap();
+        assert_eq!(clean.global("c1", "filesStreamed"), Some(&Value::Int(5)));
+        let site = p
+            .sites
+            .iter()
+            .find(|s| s.desc == names::SITE_F21)
+            .unwrap()
+            .id;
+        // Frame 2 of file 0 (occurrence 2): mid-file, misaligns the proxy.
+        let r = run(
+            &p,
+            &t,
+            &cfg,
+            InjectionPlan::exact(site, 2, ExceptionType::Io),
+        )
+        .unwrap();
+        assert!(r.has_log("FileStreamTask aborted"));
+        assert!(r.has_log("Invalid frame received"), "{}", r.log_text());
+        assert_eq!(
+            r.global("c1", "channelProxyCorrupt"),
+            Some(&Value::Bool(true))
+        );
+        // A fault on frame 0 (occurrence 0) leaves the proxy aligned: no
+        // corruption — the timing matters.
+        let aligned = run(
+            &p,
+            &t,
+            &cfg,
+            InjectionPlan::exact(site, 0, ExceptionType::Io),
+        )
+        .unwrap();
+        assert!(!aligned.has_log("Invalid frame received"));
+    }
+}

@@ -1,0 +1,1316 @@
+//! Mini-HBase: region servers with an asynchronous WAL (the HBase-25905
+//! motivating example), replication, procedures, multi-mutation RPC, split
+//! log management, and the replication-queue lock.
+//!
+//! The WAL subsystem follows Figure 1 of the paper faithfully:
+//!
+//! - an async *consumer* task (on the single-threaded `consumeExecutor`)
+//!   syncs appended entries to HDFS and signals `readyForRollingCond` only
+//!   when `unackedAppends` is empty;
+//! - `sync` acknowledges at most `BATCH` entries per HDFS round trip and
+//!   records the synced writer length;
+//! - a broken HDFS stream moves un-acked entries into retry state and rolls
+//!   the writer;
+//! - `waitForSafePoint` (called by the log roller) waits on the condition
+//!   with a timeout and logs the `Failed to get sync result` warning.
+//!
+//! The stale state of the real incident is reachable: if the stream breaks
+//! while more than `BATCH` appends are un-acked and the roller reaches the
+//! safe-point wait before new appends arrive, `consume()` finds
+//! `writerLen == lenAtLastSync` but `unackedAppends` non-empty, so it
+//! neither syncs nor signals — ever again.
+
+use anduril_ir::builder::ProgramBuilder;
+use anduril_ir::expr::build as e;
+use anduril_ir::{ExceptionType, Level, Program, Value};
+
+use crate::util::{flaky_external, transient_info, transient_warn};
+
+/// Entries acknowledged per sync round trip (Figure 1's `batchSize`).
+pub const BATCH: i64 = 4;
+
+/// Node-main and workload function names exposed by [`build`].
+pub mod names {
+    /// Region-server main: `rs_main(rolls, repl_iters, idle_timeout)`.
+    pub const RS_MAIN: &str = "rs_main";
+    /// Master main: `master_main(idle_timeout)`.
+    pub const MASTER_MAIN: &str = "master_main";
+    /// Workload for HB-25905 (f17).
+    pub const WL_F17: &str = "wl_hb25905";
+    /// Workload for HB-18137 (f12).
+    pub const WL_F12: &str = "wl_hb18137";
+    /// Workload for HB-19608 (f13).
+    pub const WL_F13: &str = "wl_hb19608";
+    /// Workload for HB-19876 (f14).
+    pub const WL_F14: &str = "wl_hb19876";
+    /// Workload for HB-20583 (f15).
+    pub const WL_F15: &str = "wl_hb20583";
+    /// Workload for HB-16144 (f16).
+    pub const WL_F16: &str = "wl_hb16144";
+    /// Root-cause site of f17: the WAL pipeline ack read.
+    pub const SITE_F17: &str = "hdfs.channelRead0";
+    /// Root-cause site of f12: the WAL header write.
+    pub const SITE_F12: &str = "hdfs.writeWALHeader";
+    /// Root-cause site of f13: the procedure state update.
+    pub const SITE_F13: &str = "proc.updateState";
+    /// Root-cause site of f14: protobuf mutation conversion.
+    pub const SITE_F14: &str = "pb.toPut";
+    /// Root-cause site of f15: WAL file splitting.
+    pub const SITE_F15: &str = "fs.splitWALFile";
+    /// Root-cause site of f16: the replication queue copy.
+    pub const SITE_F16: &str = "repl.copyQueue";
+}
+
+/// Builds the mini-HBase program.
+pub fn build() -> Program {
+    let mut pb = ProgramBuilder::new("mini-hbase");
+
+    // ---- globals ---------------------------------------------------------
+    // WAL state (region servers).
+    let to_write = pb.global("toWriteAppends", Value::Int(0));
+    let unacked = pb.global("unackedAppends", Value::Int(0));
+    let reappend = pb.global("reappendPending", Value::Int(0));
+    let writer_len = pb.global("writerLen", Value::Int(0));
+    let len_at_last_sync = pb.global("lenAtLastSync", Value::Int(0));
+    let ready = pb.global("readyForRolling", Value::Bool(false));
+    let waiting_roll = pb.global("waitingRoll", Value::Bool(false));
+    let broken = pb.global("brokenStream", Value::Bool(false));
+    let wal_files = pb.global("walFiles", Value::Int(0));
+    let wal_len = pb.global("walFileLen", Value::Int(0));
+    // Replication (f12).
+    let wal_queue = pb.global("replWalQueue", Value::List(vec![]));
+    let replicated = pb.global("replicatedEntries", Value::Int(0));
+    let repl_stalled = pb.global("replStalled", Value::Bool(false));
+    // Procedures (f13, master).
+    let proc_failed = pb.global("procFailedFlag", Value::Bool(false));
+    let proc_done = pb.global("proceduresDone", Value::Int(0));
+    // Multi-mutation cell scanner (f14).
+    let cell_pos = pb.global("cellScannerPos", Value::Int(0));
+    let corrupt_rows = pb.global("corruptRows", Value::Int(0));
+    let applied = pb.global("mutationsApplied", Value::Int(0));
+    // Split log (f15, master).
+    let split_resubmits = pb.global("splitResubmits", Value::Int(0));
+    let splits_done = pb.global("splitTasksDone", Value::Int(0));
+    let double_split = pb.global("doubleSplitTasks", Value::Int(0));
+    let last_split_seen = pb.global("lastSplitTaskSeen", Value::Int(-1));
+    // Replication queue lock (f16, master). Meta-info: cluster membership
+    // and lock ownership (CrashTuner's candidate state).
+    let lock_holder = pb.meta_global("replLockHolder", Value::str(""));
+    let region_servers = pb.meta_global("onlineRegionServers", Value::Int(0));
+    let claim_failed = pb.global("claimPermanentlyFailed", Value::Bool(false));
+    let regions_online = pb.global("regionsOnline", Value::Int(0));
+    let flushes_done = pb.global("flushesDone", Value::Int(0));
+
+    // ---- channels / conds / executors -------------------------------------
+    let put_req = pb.chan("putReq");
+    let region_req = pb.chan("openRegionReq");
+    let master_req = pb.chan("masterReq");
+    let split_task_chan = pb.chan("splitTask");
+    let split_result_chan = pb.chan("splitResult");
+    let claim_resp = pb.chan("claimResp");
+    let ready_cond = pb.cond("readyForRollingCond");
+    let consume_exec = pb.executor("consumeExecutor");
+
+    // ---- function declarations --------------------------------------------
+    let append_pending = pb.declare("appendPending", 0);
+    let sync_wal = pb.declare("sync", 0);
+    let roll_writer = pb.declare("rollWriter", 0);
+    let consume = pb.declare("consume", 0);
+    let wal_append = pb.declare("walAppend", 0);
+    let wait_safe_point = pb.declare("waitForSafePoint", 0);
+    let log_roller = pb.declare("logRoller", 1); // rolls
+    let repl_source = pb.declare("replicationSource", 1); // iterations
+    let handle_multi = pb.declare("handleMulti", 2); // n, atomic
+    let run_procedure = pb.declare("runProcedure", 1); // id
+    let proc_executor = pb.declare("procExecutor", 1); // count
+    let do_split_task = pb.declare("executeSplitTask", 1); // task id
+    let split_manager = pb.declare("splitLogManager", 1); // tasks
+    let claim_and_transfer = pb.declare("claimQueuesAndTransfer", 1); // work items
+    let transfer_queue_item = pb.declare("transferQueueItem", 1); // item
+    let copy_queue_item = pb.declare("copyQueueItem", 1); // item
+    let open_region = pb.declare("openRegion", 1); // region id
+    let assign_regions = pb.declare("assignRegions", 2); // rs, count
+    let flush_region = pb.declare("flushRegion", 0);
+    let heartbeat = pb.declare("zkHeartbeat", 1); // iterations
+    let compactor = pb.declare("compactionChore", 1); // iterations
+    let mem_flusher = pb.declare("memstoreFlusher", 1); // iterations
+    let hfile_cleaner = pb.declare("hfileCleaner", 1); // iterations
+    let balancer_chore = pb.declare("balancerChore", 1); // iterations
+    let catalog_janitor = pb.declare("catalogJanitor", 1); // iterations
+    let split_listener = pb.declare("splitTaskListener", 1); // idle timeout
+    let region_open_listener = pb.declare("regionOpenListener", 1); // idle timeout
+    let periodic_flusher = pb.declare("periodicFlusher", 1); // iterations
+    let rs_main = pb.declare(names::RS_MAIN, 3); // rolls, repl_iters, idle_timeout
+    let master_main = pb.declare(names::MASTER_MAIN, 1); // idle_timeout
+    let wl_f17 = pb.declare(names::WL_F17, 1); // puts
+    let wl_f12 = pb.declare(names::WL_F12, 1); // puts
+    let wl_f13 = pb.declare(names::WL_F13, 1); // procedures
+    let wl_f14 = pb.declare(names::WL_F14, 1); // mutations
+    let wl_f15 = pb.declare(names::WL_F15, 1); // tasks
+    let wl_f16 = pb.declare(names::WL_F16, 1); // work items
+
+    // ---- WAL core (Figure 1) -----------------------------------------------
+
+    // appendPending: move up to BATCH entries into the writer — retried
+    // (re-append) entries first, then new ones. Suspended while the roller
+    // waits for the safe point, exactly like the real consumer, which must
+    // not append into a writer that is about to be rolled.
+    pb.body(append_pending, |b| {
+        b.if_(e::glob(waiting_roll), |b| {
+            b.ret(None);
+        });
+        let moved = b.local();
+        b.assign(moved, e::int(0));
+        b.while_(
+            e::and(
+                e::gt(e::glob(reappend), e::int(0)),
+                e::lt(e::var(moved), e::int(BATCH)),
+            ),
+            |b| {
+                b.external("hbase.wal.reappendEntry", &[ExceptionType::Io]);
+                b.set_global(reappend, e::sub(e::glob(reappend), e::int(1)));
+                b.set_global(writer_len, e::add(e::glob(writer_len), e::int(1)));
+                b.assign(moved, e::add(e::var(moved), e::int(1)));
+            },
+        );
+        b.while_(
+            e::and(
+                e::gt(e::glob(to_write), e::int(0)),
+                e::lt(e::var(moved), e::int(BATCH)),
+            ),
+            |b| {
+                b.external("hbase.wal.writeEntry", &[ExceptionType::Io]);
+                b.set_global(to_write, e::sub(e::glob(to_write), e::int(1)));
+                b.set_global(unacked, e::add(e::glob(unacked), e::int(1)));
+                b.set_global(writer_len, e::add(e::glob(writer_len), e::int(1)));
+                b.set_global(wal_len, e::add(e::glob(wal_len), e::int(1)));
+                b.assign(moved, e::add(e::var(moved), e::int(1)));
+            },
+        );
+        // Keep the consumer running while there is observable work.
+        b.if_(
+            e::and(
+                e::not(e::glob(ready)),
+                e::or(
+                    e::gt(e::glob(writer_len), e::glob(len_at_last_sync)),
+                    e::or(
+                        e::gt(e::glob(to_write), e::int(0)),
+                        e::gt(e::glob(reappend), e::int(0)),
+                    ),
+                ),
+            ),
+            |b| {
+                b.submit_forget(consume_exec, consume, vec![]);
+            },
+        );
+    });
+
+    // sync: one HDFS round trip; acknowledges everything appended since
+    // the last successful sync (the per-round batch cap lives in
+    // appendPending, as in the real WAL).
+    pb.body(sync_wal, |b| {
+        b.try_catch(
+            |b| {
+                // ROOT-CAUSE SITE of HB-25905: reading the pipeline ack.
+                b.external_lat(names::SITE_F17, &[ExceptionType::Io], 3);
+                let delta = b.local();
+                b.assign(
+                    delta,
+                    e::sub(e::glob(writer_len), e::glob(len_at_last_sync)),
+                );
+                b.if_(e::gt(e::var(delta), e::glob(unacked)), |b| {
+                    b.assign(delta, e::glob(unacked));
+                });
+                b.set_global(unacked, e::sub(e::glob(unacked), e::var(delta)));
+                b.set_global(len_at_last_sync, e::glob(writer_len));
+                b.log(
+                    Level::Debug,
+                    "synced WAL, unacked appends now {}",
+                    vec![e::glob(unacked)],
+                );
+            },
+            ExceptionType::Io,
+            |b| {
+                b.log_exc(
+                    Level::Warn,
+                    "Broken WAL stream detected, rolling writer",
+                    vec![],
+                );
+                b.set_global(broken, e::bool_(true));
+                b.call(roll_writer, vec![]);
+            },
+        );
+    });
+
+    // rollWriter: create a fresh writer/stream; every un-acked entry must
+    // be re-appended (batch at a time) before it can be acknowledged.
+    pb.body(roll_writer, |b| {
+        b.try_catch(
+            |b| {
+                b.external_lat("hdfs.createWALWriter", &[ExceptionType::Io], 4);
+                b.set_global(broken, e::bool_(false));
+                b.set_global(reappend, e::glob(unacked));
+                b.set_global(len_at_last_sync, e::int(0));
+                b.set_global(writer_len, e::int(0));
+                b.log(
+                    Level::Info,
+                    "Rolled WAL writer, retrying {} unacked appends",
+                    vec![e::glob(unacked)],
+                );
+            },
+            ExceptionType::Io,
+            |b| {
+                b.log_exc(Level::Error, "Failed to create new WAL writer", vec![]);
+            },
+        );
+    });
+
+    // consume: Figure 1's consumer body. The stale state: during
+    // `waitingRoll`, re-appends are suspended; if entries are still pending
+    // re-append, the consumer neither syncs (nothing new appended) nor
+    // signals (unacked not empty) in any later invocation.
+    pb.body(consume, |b| {
+        b.if_(e::glob(broken), |b| {
+            b.call(roll_writer, vec![]);
+        });
+        b.if_(e::gt(e::glob(writer_len), e::glob(len_at_last_sync)), |b| {
+            b.call(sync_wal, vec![]);
+        });
+        b.call(append_pending, vec![]);
+        // Figure 1: readiness depends only on `unackedAppends` being empty
+        // (entries still queued in `toWriteAppends` survive the roll).
+        b.if_(e::eq(e::glob(unacked), e::int(0)), |b| {
+            b.set_global(ready, e::bool_(true));
+            b.signal(ready_cond);
+        });
+    });
+
+    // walAppend: entry point for each write.
+    pb.body(wal_append, |b| {
+        b.set_global(to_write, e::add(e::glob(to_write), e::int(1)));
+        b.submit_forget(consume_exec, consume, vec![]);
+    });
+
+    // waitForSafePoint: the roller's wait, logging the timeout symptom.
+    pb.body(wait_safe_point, |b| {
+        b.submit_forget(consume_exec, consume, vec![]);
+        b.while_(e::not(e::glob(ready)), |b| {
+            let ok = b.local();
+            b.wait_cond(ready_cond, Some(e::int(400)), Some(ok));
+            b.if_(e::not(e::var(ok)), |b| {
+                b.log(Level::Warn, "Failed to get sync result", vec![]);
+                b.submit_forget(consume_exec, consume, vec![]);
+            });
+        });
+    });
+
+    // logRoller: periodic WAL rolling.
+    pb.body(log_roller, |b| {
+        let rolls = b.param(0);
+        let i = b.local();
+        b.assign(i, e::int(0));
+        b.while_(e::lt(e::var(i), e::var(rolls)), |b| {
+            b.sleep(e::rand(240, 360));
+            b.set_global(waiting_roll, e::bool_(true));
+            b.call(wait_safe_point, vec![]);
+            b.set_global(ready, e::bool_(false));
+            // Close the current WAL file: write the header of the next one
+            // and hand the closed file to replication.
+            b.try_catch(
+                |b| {
+                    // ROOT-CAUSE SITE of HB-18137: a fault here leaves the
+                    // new WAL file empty (created but header-less).
+                    b.external_lat(names::SITE_F12, &[ExceptionType::Io], 2);
+                    // The header counts as file content: a cleanly rolled
+                    // file is never empty, even with zero appends.
+                    b.push_back(wal_queue, e::add(e::glob(wal_len), e::int(1)));
+                    b.log(
+                        Level::Info,
+                        "Rolled WAL file {} with {} entries",
+                        vec![e::glob(wal_files), e::glob(wal_len)],
+                    );
+                },
+                ExceptionType::Io,
+                |b| {
+                    b.log_exc(
+                        Level::Warn,
+                        "Failed to write header of new WAL file",
+                        vec![],
+                    );
+                    // The closed file is still queued — with length zero.
+                    b.push_back(wal_queue, e::int(0));
+                },
+            );
+            b.set_global(wal_len, e::int(0));
+            b.set_global(wal_files, e::add(e::glob(wal_files), e::int(1)));
+            b.set_global(waiting_roll, e::bool_(false));
+            // Kick the consumer so appends queued during the roll resume.
+            b.submit_forget(consume_exec, consume, vec![]);
+            b.assign(i, e::add(e::var(i), e::int(1)));
+        });
+        b.log(Level::Info, "log roller finished", vec![]);
+    });
+
+    // replicationSource: registers the peer, then ships closed WAL files;
+    // wedges on an empty file (HB-18137) or on a failed peer registration
+    // (HB-28014 analog — the deeper cause behind the same symptom).
+    pb.body(repl_source, |b| {
+        let iters = b.param(0);
+        let i = b.local();
+        let flen = b.local();
+        let stall_rounds = b.local();
+        let peer_ok = b.local();
+        b.assign(peer_ok, e::bool_(true));
+        b.try_catch(
+            |b| {
+                b.external_lat("zk.addReplicationPeer", &[ExceptionType::Io], 3);
+                b.log(Level::Info, "Registered replication peer", vec![]);
+            },
+            ExceptionType::Io,
+            |b| {
+                b.log_exc(Level::Warn, "Failed to add replication peer", vec![]);
+                b.assign(peer_ok, e::bool_(false));
+            },
+        );
+        b.assign(i, e::int(0));
+        b.assign(stall_rounds, e::int(0));
+        b.while_(e::lt(e::var(i), e::var(iters)), |b| {
+            b.sleep(e::rand(60, 120));
+            b.if_(e::not(e::var(peer_ok)), |b| {
+                b.assign(stall_rounds, e::add(e::var(stall_rounds), e::int(1)));
+                b.if_(e::eq(e::var(stall_rounds), e::int(4)), |b| {
+                    b.set_global(repl_stalled, e::bool_(true));
+                    b.log(
+                        Level::Error,
+                        "Replication made no progress on current WAL",
+                        vec![],
+                    );
+                });
+            });
+            b.if_(
+                e::and(
+                    e::var(peer_ok),
+                    e::gt(e::len(e::glob(wal_queue)), e::int(0)),
+                ),
+                |b| {
+                    b.pop_front(wal_queue, flen);
+                    b.if_else(
+                        e::eq(e::var(flen), e::int(0)),
+                        |b| {
+                            // BUG (HB-18137): an empty WAL file is treated as a
+                            // mid-stream EOF and retried forever.
+                            b.log(
+                                Level::Warn,
+                                "Got EOF while reading WAL, retrying current file",
+                                vec![],
+                            );
+                            b.push_back(wal_queue, e::int(0));
+                            // Re-queue at the logical front: mark stalled.
+                            b.assign(stall_rounds, e::add(e::var(stall_rounds), e::int(1)));
+                            b.if_(e::ge(e::var(stall_rounds), e::int(4)), |b| {
+                                b.set_global(repl_stalled, e::bool_(true));
+                                b.log(
+                                    Level::Error,
+                                    "Replication made no progress on current WAL",
+                                    vec![],
+                                );
+                            });
+                        },
+                        |b| {
+                            b.try_catch(
+                                |b| {
+                                    b.external_lat("repl.shipEdits", &[ExceptionType::Io], 3);
+                                    b.set_global(
+                                        replicated,
+                                        e::add(e::glob(replicated), e::var(flen)),
+                                    );
+                                    b.log(
+                                        Level::Info,
+                                        "Shipped {} WAL entries to peer",
+                                        vec![e::var(flen)],
+                                    );
+                                },
+                                ExceptionType::Io,
+                                |b| {
+                                    b.log_exc(
+                                        Level::Warn,
+                                        "Failed to ship edits, will retry",
+                                        vec![],
+                                    );
+                                    b.push_back(wal_queue, e::var(flen));
+                                },
+                            );
+                        },
+                    );
+                },
+            );
+            b.assign(i, e::add(e::var(i), e::int(1)));
+        });
+    });
+
+    // handleMulti: the CellScanner bug (Figure 4 / HB-19876).
+    pb.body(handle_multi, |b| {
+        let n = b.param(0);
+        let atomic = b.param(1);
+        let m = b.local();
+        b.set_global(cell_pos, e::int(0));
+        b.assign(m, e::int(0));
+        b.while_(e::lt(e::var(m), e::var(n)), |b| {
+            // Before converting mutation m, the scanner must sit at 2*m.
+            b.if_(
+                e::ne(e::glob(cell_pos), e::mul(e::var(m), e::int(2))),
+                |b| {
+                    b.set_global(corrupt_rows, e::add(e::glob(corrupt_rows), e::int(1)));
+                    b.log(
+                        Level::Error,
+                        "Malformed cell data written to region (scanner at {})",
+                        vec![e::glob(cell_pos)],
+                    );
+                    // Resynchronize so at most one corrupt row per fault.
+                    b.set_global(cell_pos, e::mul(e::var(m), e::int(2)));
+                },
+            );
+            b.try_catch(
+                |b| {
+                    // ROOT-CAUSE SITE of HB-19876.
+                    b.external(names::SITE_F14, &[ExceptionType::Io]);
+                    b.set_global(cell_pos, e::add(e::glob(cell_pos), e::int(2)));
+                    b.set_global(applied, e::add(e::glob(applied), e::int(1)));
+                },
+                ExceptionType::Io,
+                |b| {
+                    b.if_else(
+                        e::eq(e::var(atomic), e::bool_(true)),
+                        |b| {
+                            b.log_exc(Level::Warn, "Atomic multi aborted", vec![]);
+                            b.rethrow();
+                        },
+                        |b| {
+                            // BUG: the scanner position is not advanced for
+                            // the skipped mutation.
+                            b.log(Level::Warn, "Failed to convert mutation, skipping", vec![]);
+                        },
+                    );
+                },
+            );
+            b.assign(m, e::add(e::var(m), e::int(1)));
+        });
+        b.log(
+            Level::Info,
+            "multi finished, {} mutations applied",
+            vec![e::glob(applied)],
+        );
+    });
+
+    // runProcedure / procExecutor: the failed-state flag bug (HB-19608).
+    pb.body(run_procedure, |b| {
+        let id = b.param(0);
+        b.try_catch(
+            |b| {
+                // ROOT-CAUSE SITE of HB-19608.
+                b.external(names::SITE_F13, &[ExceptionType::Io]);
+                b.set_global(proc_done, e::add(e::glob(proc_done), e::int(1)));
+                b.log(Level::Info, "Procedure {} finished", vec![e::var(id)]);
+            },
+            ExceptionType::Io,
+            |b| {
+                // BUG: an interrupted/failed store update marks the whole
+                // executor as failed.
+                b.log(Level::Warn, "Procedure store update failed", vec![]);
+                b.set_global(proc_failed, e::bool_(true));
+            },
+        );
+    });
+    pb.body(proc_executor, |b| {
+        let count = b.param(0);
+        let i = b.local();
+        b.assign(i, e::int(0));
+        b.while_(e::lt(e::var(i), e::var(count)), |b| {
+            b.if_else(
+                e::glob(proc_failed),
+                |b| {
+                    b.log(
+                        Level::Error,
+                        "Procedure blocked by failed-state flag",
+                        vec![],
+                    );
+                },
+                |b| {
+                    b.call(run_procedure, vec![e::var(i)]);
+                },
+            );
+            b.sleep(e::rand(5, 20));
+            b.assign(i, e::add(e::var(i), e::int(1)));
+        });
+    });
+
+    // executeSplitTask (region server side).
+    pb.body(do_split_task, |b| {
+        let task = b.param(0);
+        // Tasks normally arrive in increasing order; a lower id means an
+        // already-split WAL is being split again.
+        b.if_(e::lt(e::var(task), e::glob(last_split_seen)), |b| {
+            b.set_global(double_split, e::add(e::glob(double_split), e::int(1)));
+            b.log(
+                Level::Error,
+                "Split task {} executed twice",
+                vec![e::var(task)],
+            );
+        });
+        b.set_global(last_split_seen, e::var(task));
+        b.try_catch(
+            |b| {
+                // ROOT-CAUSE SITE of HB-20583.
+                b.external_lat(names::SITE_F15, &[ExceptionType::Io], 4);
+                b.set_global(splits_done, e::add(e::glob(splits_done), e::int(1)));
+                b.log(Level::Info, "Split task {} done", vec![e::var(task)]);
+                b.send(
+                    e::str_("master"),
+                    split_result_chan,
+                    e::list(vec![e::var(task), e::int(1)]),
+                );
+            },
+            ExceptionType::Io,
+            |b| {
+                b.log_exc(
+                    Level::Warn,
+                    "WAL splitting failed for task {}",
+                    vec![e::var(task)],
+                );
+                b.send(
+                    e::str_("master"),
+                    split_result_chan,
+                    e::list(vec![e::var(task), e::int(0)]),
+                );
+            },
+        );
+    });
+
+    // splitLogManager (master side): resubmit bug (HB-20583).
+    pb.body(split_manager, |b| {
+        let tasks = b.param(0);
+        let t = b.local();
+        let result = b.local();
+        b.assign(t, e::int(0));
+        b.while_(e::lt(e::var(t), e::var(tasks)), |b| {
+            b.send(e::str_("rs1"), split_task_chan, e::var(t));
+            b.try_catch(
+                |b| {
+                    b.recv(split_result_chan, result, Some(e::int(2_000)));
+                    b.if_(e::eq(e::index(e::var(result), 1), e::int(0)), |b| {
+                        b.set_global(split_resubmits, e::add(e::glob(split_resubmits), e::int(1)));
+                        // BUG: on failure of task t, the *previous* task is
+                        // resubmitted.
+                        let prev = b.local();
+                        b.assign(prev, e::sub(e::var(t), e::int(1)));
+                        b.if_(e::lt(e::var(prev), e::int(0)), |b| {
+                            b.assign(prev, e::int(0));
+                        });
+                        b.log(
+                            Level::Warn,
+                            "Resubmitting split task {} after failure",
+                            vec![e::var(prev)],
+                        );
+                        b.send(e::str_("rs1"), split_task_chan, e::var(prev));
+                    });
+                },
+                ExceptionType::Timeout,
+                |b| {
+                    b.log(Level::Warn, "Timed out waiting for split result", vec![]);
+                },
+            );
+            b.assign(t, e::add(e::var(t), e::int(1)));
+        });
+        b.log(Level::Info, "split log manager finished", vec![]);
+    });
+
+    // copyQueueItem / transferQueueItem: the two layers between the claim
+    // loop and the actual ZooKeeper multi-op, mirroring how deep the real
+    // HB-16144 root cause sits beneath the abort handler.
+    pb.body(copy_queue_item, |b| {
+        let item = b.param(0);
+        // ROOT-CAUSE SITE of HB-16144: an unexpected fault while holding
+        // the lock, two calls below the handler that aborts the server.
+        b.external_lat(names::SITE_F16, &[ExceptionType::Io], 3);
+        b.log(
+            Level::Debug,
+            "Copied replication queue item {}",
+            vec![e::var(item)],
+        );
+    });
+    pb.body(transfer_queue_item, |b| {
+        let item = b.param(0);
+        b.external("zk.getQueueZnode", &[ExceptionType::Io]);
+        b.call(copy_queue_item, vec![e::var(item)]);
+    });
+
+    // claimQueuesAndTransfer: the lock-leak bug (HB-16144). Runs on a
+    // region server; the lock lives on the master.
+    pb.body(claim_and_transfer, |b| {
+        let work = b.param(0);
+        let resp = b.local();
+        b.send(
+            e::str_("master"),
+            master_req,
+            e::list(vec![e::str_("claim"), e::self_node()]),
+        );
+        b.recv(claim_resp, resp, Some(e::int(2_000)));
+        b.if_else(
+            e::eq(e::var(resp), e::str_("ok")),
+            |b| {
+                b.log(Level::Info, "Claimed replication queue lock", vec![]);
+                let i = b.local();
+                b.assign(i, e::int(0));
+                b.while_(e::lt(e::var(i), e::var(work)), |b| {
+                    b.try_catch(
+                        |b| {
+                            b.call(transfer_queue_item, vec![e::var(i)]);
+                        },
+                        ExceptionType::Io,
+                        |b| {
+                            b.log_exc(
+                                Level::Error,
+                                "Unexpected exception in replication transfer",
+                                vec![],
+                            );
+                            b.abort("replication transfer failure");
+                        },
+                    );
+                    b.sleep(e::rand(8, 20));
+                    b.assign(i, e::add(e::var(i), e::int(1)));
+                });
+                // Release only on the success path — the leak.
+                b.send(
+                    e::str_("master"),
+                    master_req,
+                    e::list(vec![e::str_("release"), e::self_node()]),
+                );
+                b.log(Level::Info, "Released replication queue lock", vec![]);
+            },
+            |b| {
+                let tries = b.local();
+                b.assign(tries, e::int(0));
+                b.while_(e::lt(e::var(tries), e::int(4)), |b| {
+                    b.log(
+                        Level::Warn,
+                        "Failed to claim replication queue, lock held elsewhere",
+                        vec![],
+                    );
+                    b.sleep(e::int(150));
+                    b.send(
+                        e::str_("master"),
+                        master_req,
+                        e::list(vec![e::str_("claim"), e::self_node()]),
+                    );
+                    b.try_catch(
+                        |b| {
+                            b.recv(claim_resp, resp, Some(e::int(800)));
+                            b.if_(e::eq(e::var(resp), e::str_("ok")), |b| {
+                                b.log(Level::Info, "Claimed replication queue lock", vec![]);
+                                b.send(
+                                    e::str_("master"),
+                                    master_req,
+                                    e::list(vec![e::str_("release"), e::self_node()]),
+                                );
+                                b.assign(tries, e::int(100));
+                            });
+                        },
+                        ExceptionType::Timeout,
+                        |b| {
+                            b.log(Level::Warn, "Claim request timed out", vec![]);
+                        },
+                    );
+                    b.assign(tries, e::add(e::var(tries), e::int(1)));
+                });
+                b.if_(e::lt(e::var(tries), e::int(100)), |b| {
+                    b.set_global(claim_failed, e::bool_(true));
+                    b.log(
+                        Level::Error,
+                        "Could not claim replication queue, giving up",
+                        vec![],
+                    );
+                });
+            },
+        );
+    });
+
+    // ---- region lifecycle ------------------------------------------------------
+
+    // openRegion: replay recovered edits and bring a region online.
+    pb.body(open_region, |b| {
+        let region = b.param(0);
+        b.try_catch(
+            |b| {
+                b.external_lat("fs.openRegionStore", &[ExceptionType::Io], 3);
+                b.set_global(regions_online, e::add(e::glob(regions_online), e::int(1)));
+                b.log(Level::Info, "Region {} opened", vec![e::var(region)]);
+            },
+            ExceptionType::Io,
+            |b| {
+                b.log_exc(
+                    Level::Warn,
+                    "Failed to open region, reassignment required",
+                    vec![],
+                );
+            },
+        );
+    });
+
+    // assignRegions (master side): tell a region server to open regions.
+    pb.body(assign_regions, |b| {
+        let rs = b.param(0);
+        let count = b.param(1);
+        let r = b.local();
+        b.assign(r, e::int(0));
+        b.while_(e::lt(e::var(r), e::var(count)), |b| {
+            b.send(e::var(rs), region_req, e::var(r));
+            b.assign(r, e::add(e::var(r), e::int(1)));
+        });
+        b.log(
+            Level::Info,
+            "Assigned {} regions to {}",
+            vec![e::var(count), e::var(rs)],
+        );
+    });
+
+    // flushRegion: write a flush marker through the WAL — the operation
+    // the HBase-25905 user saw timing out.
+    pb.body(flush_region, |b| {
+        b.call(wal_append, vec![]);
+        b.set_global(flushes_done, e::add(e::glob(flushes_done), e::int(1)));
+        b.log(Level::Debug, "Flush marker appended to WAL", vec![]);
+    });
+
+    // ---- background chores (noise and decoy fault paths) ---------------------
+
+    // zkHeartbeat: a *decoy* for the ABORT observable — a single ping fault
+    // is tolerated; only two consecutive misses (impossible with a single
+    // injection) abort the server.
+    pb.body(heartbeat, |b| {
+        let iters = b.param(0);
+        let i = b.local();
+        let misses = b.local();
+        b.assign(i, e::int(0));
+        b.assign(misses, e::int(0));
+        b.while_(e::lt(e::var(i), e::var(iters)), |b| {
+            b.sleep(e::rand(50, 90));
+            b.try_catch(
+                |b| {
+                    b.external("zk.ping", &[ExceptionType::Io]);
+                    b.assign(misses, e::int(0));
+                    transient_warn(b, 4, "Slow ZooKeeper heartbeat round-trip");
+                },
+                ExceptionType::Io,
+                |b| {
+                    b.log_exc(Level::Warn, "Failed to ping ZooKeeper", vec![]);
+                    b.assign(misses, e::add(e::var(misses), e::int(1)));
+                    b.if_(e::ge(e::var(misses), e::int(2)), |b| {
+                        b.abort("ZooKeeper session lost");
+                    });
+                },
+            );
+            b.assign(i, e::add(e::var(i), e::int(1)));
+        });
+    });
+
+    // compactionChore: an abort-on-fault path — injections here *do* abort
+    // the region server, but at the wrong place/time for HB-16144's oracle.
+    pb.body(compactor, |b| {
+        let iters = b.param(0);
+        let i = b.local();
+        b.assign(i, e::int(0));
+        b.while_(e::lt(e::var(i), e::var(iters)), |b| {
+            b.sleep(e::rand(70, 130));
+            b.try_catch(
+                |b| {
+                    b.external_lat("fs.compactRegion", &[ExceptionType::Io], 3);
+                    transient_info(b, 6, "Completed minor compaction");
+                },
+                ExceptionType::Io,
+                |b| {
+                    b.log_exc(Level::Error, "Compaction failed unexpectedly", vec![]);
+                    b.abort("compaction failure");
+                },
+            );
+            b.assign(i, e::add(e::var(i), e::int(1)));
+        });
+    });
+
+    // memstoreFlusher / hfileCleaner / master chores: handled-fault noise.
+    pb.body(mem_flusher, |b| {
+        let iters = b.param(0);
+        let i = b.local();
+        b.assign(i, e::int(0));
+        b.while_(e::lt(e::var(i), e::var(iters)), |b| {
+            b.sleep(e::rand(45, 85));
+            flaky_external(
+                b,
+                "disk.flushMemstore",
+                ExceptionType::Io,
+                10,
+                "Memstore flush was slow",
+            );
+            b.assign(i, e::add(e::var(i), e::int(1)));
+        });
+    });
+    pb.body(hfile_cleaner, |b| {
+        let iters = b.param(0);
+        let i = b.local();
+        b.assign(i, e::int(0));
+        b.while_(e::lt(e::var(i), e::var(iters)), |b| {
+            b.sleep(e::rand(80, 140));
+            flaky_external(
+                b,
+                "fs.deleteOldHFiles",
+                ExceptionType::Io,
+                5,
+                "Failed to delete expired HFile",
+            );
+            b.assign(i, e::add(e::var(i), e::int(1)));
+        });
+    });
+    pb.body(balancer_chore, |b| {
+        let iters = b.param(0);
+        let i = b.local();
+        b.assign(i, e::int(0));
+        b.while_(e::lt(e::var(i), e::var(iters)), |b| {
+            b.sleep(e::rand(90, 150));
+            flaky_external(
+                b,
+                "rpc.moveRegion",
+                ExceptionType::Io,
+                5,
+                "Region move failed, will retry",
+            );
+            b.assign(i, e::add(e::var(i), e::int(1)));
+        });
+    });
+    pb.body(catalog_janitor, |b| {
+        let iters = b.param(0);
+        let i = b.local();
+        b.assign(i, e::int(0));
+        b.while_(e::lt(e::var(i), e::var(iters)), |b| {
+            b.sleep(e::rand(100, 160));
+            flaky_external(
+                b,
+                "meta.scanCatalog",
+                ExceptionType::Io,
+                4,
+                "Catalog scan interrupted",
+            );
+            b.assign(i, e::add(e::var(i), e::int(1)));
+        });
+    });
+
+    // ---- node mains ---------------------------------------------------------
+
+    pb.body(rs_main, |b| {
+        let rolls = b.param(0);
+        let repl_iters = b.param(1);
+        let idle_timeout = b.param(2);
+        b.set_global(region_servers, e::add(e::glob(region_servers), e::int(1)));
+        b.log(Level::Info, "Region server started", vec![]);
+        b.send(
+            e::str_("master"),
+            master_req,
+            e::list(vec![e::str_("registerRS"), e::self_node()]),
+        );
+        b.if_(e::gt(e::var(rolls), e::int(0)), |b| {
+            b.spawn("LogRoller", log_roller, vec![e::var(rolls)]);
+        });
+        b.if_(e::gt(e::var(repl_iters), e::int(0)), |b| {
+            b.spawn("ReplicationSource", repl_source, vec![e::var(repl_iters)]);
+        });
+        b.spawn("SplitLogWorker", split_listener, vec![e::var(idle_timeout)]);
+        b.spawn("ZkHeartbeat", heartbeat, vec![e::int(10)]);
+        b.spawn(
+            "RegionOpener",
+            region_open_listener,
+            vec![e::var(idle_timeout)],
+        );
+        b.spawn("CompactionChore", compactor, vec![e::int(6)]);
+        b.spawn("MemStoreFlusher", mem_flusher, vec![e::int(8)]);
+        b.if_(e::gt(e::var(rolls), e::int(0)), |b| {
+            b.spawn("PeriodicFlusher", periodic_flusher, vec![e::int(4)]);
+        });
+        b.spawn("HFileCleaner", hfile_cleaner, vec![e::int(6)]);
+        let req = b.local();
+        b.loop_(|b| {
+            b.try_catch(
+                |b| {
+                    b.recv(put_req, req, Some(e::var(idle_timeout)));
+                },
+                ExceptionType::Timeout,
+                |b| {
+                    b.log(
+                        Level::Info,
+                        "Region server idle, stopping request loop",
+                        vec![],
+                    );
+                    b.break_();
+                },
+            );
+            transient_warn(b, 3, "Slow sync cost detected");
+            b.if_else(
+                e::eq(e::index(e::var(req), 0), e::str_("put")),
+                |b| {
+                    b.call(wal_append, vec![]);
+                },
+                |b| {
+                    b.if_else(
+                        e::eq(e::index(e::var(req), 0), e::str_("multi")),
+                        |b| {
+                            b.try_catch(
+                                |b| {
+                                    b.call(
+                                        handle_multi,
+                                        vec![e::index(e::var(req), 1), e::index(e::var(req), 2)],
+                                    );
+                                },
+                                ExceptionType::Io,
+                                |b| {
+                                    b.log(Level::Warn, "multi request rejected", vec![]);
+                                },
+                            );
+                        },
+                        |b| {
+                            b.if_(e::eq(e::index(e::var(req), 0), e::str_("claimwork")), |b| {
+                                b.call(claim_and_transfer, vec![e::index(e::var(req), 1)]);
+                            });
+                        },
+                    );
+                },
+            );
+        });
+        b.log(Level::Info, "Region server request loop exited", vec![]);
+    });
+
+    // Periodic flusher: writes flush markers through the WAL while the
+    // roller is active (HBase-25905's flush path).
+    pb.body(periodic_flusher, |b| {
+        let iters = b.param(0);
+        let i = b.local();
+        b.assign(i, e::int(0));
+        b.while_(e::lt(e::var(i), e::var(iters)), |b| {
+            b.sleep(e::rand(280, 420));
+            b.call(flush_region, vec![]);
+            b.assign(i, e::add(e::var(i), e::int(1)));
+        });
+    });
+
+    // Region-open listener: executes master assignment requests.
+    pb.body(region_open_listener, |b| {
+        let idle = b.param(0);
+        let region = b.local();
+        b.loop_(|b| {
+            b.try_catch(
+                |b| {
+                    b.recv(region_req, region, Some(e::var(idle)));
+                },
+                ExceptionType::Timeout,
+                |b| {
+                    b.break_();
+                },
+            );
+            b.call(open_region, vec![e::var(region)]);
+        });
+    });
+
+    // Split-task listener: a bounded-lifetime worker thread each region
+    // server runs to execute split tasks from the master.
+    pb.body(split_listener, |b| {
+        let idle = b.param(0);
+        let task = b.local();
+        b.loop_(|b| {
+            b.try_catch(
+                |b| {
+                    b.recv(split_task_chan, task, Some(e::var(idle)));
+                },
+                ExceptionType::Timeout,
+                |b| {
+                    b.break_();
+                },
+            );
+            b.call(do_split_task, vec![e::var(task)]);
+        });
+    });
+
+    pb.body(master_main, |b| {
+        let idle_timeout = b.param(0);
+        b.log(Level::Info, "Master started", vec![]);
+        b.spawn("BalancerChore", balancer_chore, vec![e::int(6)]);
+        b.spawn("CatalogJanitor", catalog_janitor, vec![e::int(6)]);
+        let req = b.local();
+        b.loop_(|b| {
+            b.try_catch(
+                |b| {
+                    b.recv(master_req, req, Some(e::var(idle_timeout)));
+                },
+                ExceptionType::Timeout,
+                |b| {
+                    b.log(Level::Info, "Master idle, stopping", vec![]);
+                    b.break_();
+                },
+            );
+            transient_info(b, 4, "Balancer ran a rebalancing round");
+            b.if_else(
+                e::eq(e::index(e::var(req), 0), e::str_("claim")),
+                |b| {
+                    b.if_else(
+                        e::eq(e::glob(lock_holder), e::str_("")),
+                        |b| {
+                            b.set_global(lock_holder, e::index(e::var(req), 1));
+                            b.log(
+                                Level::Info,
+                                "Granted replication queue lock to {}",
+                                vec![e::glob(lock_holder)],
+                            );
+                            b.send(e::index(e::var(req), 1), claim_resp, e::str_("ok"));
+                        },
+                        |b| {
+                            b.if_else(
+                                e::eq(e::glob(lock_holder), e::index(e::var(req), 1)),
+                                |b| {
+                                    b.send(e::index(e::var(req), 1), claim_resp, e::str_("ok"));
+                                },
+                                |b| {
+                                    b.send(e::index(e::var(req), 1), claim_resp, e::str_("busy"));
+                                },
+                            );
+                        },
+                    );
+                },
+                |b| {
+                    b.if_else(
+                        e::eq(e::index(e::var(req), 0), e::str_("release")),
+                        |b| {
+                            b.set_global(lock_holder, e::str_(""));
+                            b.log(Level::Info, "Replication queue lock released", vec![]);
+                        },
+                        |b| {
+                            b.if_else(
+                                e::eq(e::index(e::var(req), 0), e::str_("runprocs")),
+                                |b| {
+                                    b.call(proc_executor, vec![e::index(e::var(req), 1)]);
+                                },
+                                |b| {
+                                    b.if_(
+                                        e::eq(e::index(e::var(req), 0), e::str_("splitlogs")),
+                                        |b| {
+                                            b.call(split_manager, vec![e::index(e::var(req), 1)]);
+                                        },
+                                    );
+                                    b.if_(
+                                        e::eq(e::index(e::var(req), 0), e::str_("registerRS")),
+                                        |b| {
+                                            b.log(
+                                                Level::Info,
+                                                "Region server {} registered with master",
+                                                vec![e::index(e::var(req), 1)],
+                                            );
+                                            b.call(
+                                                assign_regions,
+                                                vec![e::index(e::var(req), 1), e::int(3)],
+                                            );
+                                        },
+                                    );
+                                },
+                            );
+                        },
+                    );
+                },
+            );
+        });
+    });
+
+    // ---- workloads ------------------------------------------------------------
+
+    // f17: stream puts at rs1 while its roller rolls.
+    pb.body(wl_f17, |b| {
+        let puts = b.param(0);
+        let i = b.local();
+        b.assign(i, e::int(0));
+        b.while_(e::lt(e::var(i), e::var(puts)), |b| {
+            b.send(
+                e::str_("rs1"),
+                put_req,
+                e::list(vec![e::str_("put"), e::var(i)]),
+            );
+            // Mostly a slow trickle, with occasional bursts that push the
+            // un-acked backlog past the batch size.
+            b.if_else(
+                e::lt(e::rem(e::var(i), e::int(16)), e::int(5)),
+                |b| {
+                    b.sleep(e::rand(1, 4));
+                },
+                |b| {
+                    b.sleep(e::rand(22, 40));
+                },
+            );
+            b.assign(i, e::add(e::var(i), e::int(1)));
+        });
+        b.log(Level::Info, "workload finished", vec![]);
+    });
+
+    // f12: bursts of puts with long gaps so some roll windows are empty.
+    pb.body(wl_f12, |b| {
+        let puts = b.param(0);
+        let i = b.local();
+        b.assign(i, e::int(0));
+        b.while_(e::lt(e::var(i), e::var(puts)), |b| {
+            b.send(
+                e::str_("rs1"),
+                put_req,
+                e::list(vec![e::str_("put"), e::var(i)]),
+            );
+            b.if_else(
+                e::eq(e::rem(e::var(i), e::int(6)), e::int(5)),
+                |b| {
+                    b.sleep(e::rand(350, 500));
+                },
+                |b| {
+                    b.sleep(e::rand(3, 12));
+                },
+            );
+            b.assign(i, e::add(e::var(i), e::int(1)));
+        });
+        b.log(Level::Info, "workload finished", vec![]);
+    });
+
+    // f13: ask the master to run procedures.
+    pb.body(wl_f13, |b| {
+        let count = b.param(0);
+        b.send(
+            e::str_("master"),
+            master_req,
+            e::list(vec![e::str_("runprocs"), e::var(count)]),
+        );
+        b.log(Level::Info, "workload finished", vec![]);
+    });
+
+    // f14: one non-atomic multi-mutation batch.
+    pb.body(wl_f14, |b| {
+        let n = b.param(0);
+        b.send(
+            e::str_("rs1"),
+            put_req,
+            e::list(vec![e::str_("multi"), e::var(n), e::bool_(false)]),
+        );
+        b.log(Level::Info, "workload finished", vec![]);
+    });
+
+    // f15: ask the master to split WAL files.
+    pb.body(wl_f15, |b| {
+        let tasks = b.param(0);
+        b.send(
+            e::str_("master"),
+            master_req,
+            e::list(vec![e::str_("splitlogs"), e::var(tasks)]),
+        );
+        b.log(Level::Info, "workload finished", vec![]);
+    });
+
+    // f16: rs1 claims and transfers; rs2 then tries to claim.
+    pb.body(wl_f16, |b| {
+        let work = b.param(0);
+        b.send(
+            e::str_("rs1"),
+            put_req,
+            e::list(vec![e::str_("claimwork"), e::var(work)]),
+        );
+        b.sleep(e::int(250));
+        b.send(
+            e::str_("rs2"),
+            put_req,
+            e::list(vec![e::str_("claimwork"), e::var(work)]),
+        );
+        b.log(Level::Info, "workload finished", vec![]);
+    });
+
+    pb.finish().expect("mini-hbase program is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anduril_sim::{run, InjectionPlan, NodeSpec, SimConfig, Topology};
+
+    fn topo(p: &Program, wl: &str, wl_args: Vec<Value>) -> Topology {
+        Topology::new(vec![
+            NodeSpec::new(
+                "master",
+                p.func_named(names::MASTER_MAIN).unwrap(),
+                vec![Value::Int(1_500)],
+            ),
+            NodeSpec::new(
+                "rs1",
+                p.func_named(names::RS_MAIN).unwrap(),
+                vec![Value::Int(6), Value::Int(0), Value::Int(900)],
+            ),
+            NodeSpec::new("client", p.func_named(wl).unwrap(), wl_args),
+        ])
+    }
+
+    #[test]
+    fn normal_f17_workload_completes() {
+        let p = build();
+        let topo = topo(&p, names::WL_F17, vec![Value::Int(64)]);
+        let cfg = SimConfig {
+            max_time: 30_000,
+            ..SimConfig::default()
+        };
+        let r = run(&p, &topo, &cfg, InjectionPlan::none()).unwrap();
+        assert!(r.has_log("log roller finished"), "log:\n{}", r.log_text());
+        assert!(r.has_log("workload finished"));
+        assert!(!r.has_log("Failed to get sync result"));
+        assert_eq!(r.global("rs1", "unackedAppends"), Some(&Value::Int(0)));
+        // The ack-read site runs many times.
+        let f17_site = p.sites.iter().find(|s| s.desc == names::SITE_F17).unwrap();
+        assert!(
+            r.site_occurrences[f17_site.id.index()] >= 10,
+            "occurrences: {}",
+            r.site_occurrences[f17_site.id.index()]
+        );
+    }
+
+    #[test]
+    fn f17_stale_state_is_reachable() {
+        let p = build();
+        let topo = topo(&p, names::WL_F17, vec![Value::Int(64)]);
+        let cfg = SimConfig {
+            max_time: 30_000,
+            ..SimConfig::default()
+        };
+        let f17_site = p
+            .sites
+            .iter()
+            .find(|s| s.desc == names::SITE_F17)
+            .unwrap()
+            .id;
+        let clean = run(&p, &topo, &cfg, InjectionPlan::none()).unwrap();
+        let total = clean.site_occurrences[f17_site.index()];
+        let mut wedged = 0;
+        for occ in 0..total {
+            let r = run(
+                &p,
+                &topo,
+                &cfg,
+                InjectionPlan::exact(f17_site, occ, ExceptionType::Io),
+            )
+            .unwrap();
+            let stuck =
+                r.count_log("Failed to get sync result") >= 3 && !r.thread_done("LogRoller");
+            if stuck {
+                wedged += 1;
+            }
+        }
+        assert!(
+            wedged >= 1,
+            "at least one of {total} ack-read occurrences must wedge the roller"
+        );
+        assert!(
+            wedged < total as i64 as u32,
+            "not every occurrence may wedge it (timing must matter)"
+        );
+    }
+}

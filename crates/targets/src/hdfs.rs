@@ -1,0 +1,881 @@
+//! Mini-HDFS: a namenode, secondary namenode, datanodes, a balancer, and
+//! an HDFS client.
+//!
+//! Failure paths implemented:
+//!
+//! - **HD-4233 (f5)** — the periodic namespace-image save fails but the
+//!   namenode silently keeps serving.
+//! - **HD-12248 (f6)** — the secondary's image transfer is interrupted and
+//!   checkpointing proceeds while skipping the image backup.
+//! - **HD-12070 (f7)** — failed block recovery leaves files open forever
+//!   (leases never released). Deeper cause (HD-17157 analog): a network
+//!   fault in the *second* stage of recovery produces the same symptom.
+//! - **HD-13039 (f8)** — block creation leaks the receiving socket on the
+//!   exception path.
+//! - **HD-16332 (f9)** — an expired block token is retried without a
+//!   refresh, making reads pathologically slow.
+//! - **HD-14333 (f10)** — a disk error during storage initialization makes
+//!   the datanode fail to start.
+//! - **HD-15032 (f11)** — the balancer crashes with an uncaught socket
+//!   exception when a namenode is unreachable.
+
+use anduril_ir::builder::ProgramBuilder;
+use anduril_ir::expr::build as e;
+use anduril_ir::{ExceptionPattern, ExceptionType, Level, Program, Value};
+
+use crate::util::{flaky_external, transient_warn};
+
+/// Function and site names exposed by [`build`].
+pub mod names {
+    /// Namenode main: `nn_main(image_saves, idle_timeout)`.
+    pub const NN_MAIN: &str = "nn_main";
+    /// Secondary namenode main: `snn_main(checkpoints)`.
+    pub const SNN_MAIN: &str = "snn_main";
+    /// Datanode main: `dn_main(idle_timeout)`.
+    pub const DN_MAIN: &str = "dn_main";
+    /// Balancer main: `balancer_main(namenodes)`.
+    pub const BALANCER_MAIN: &str = "balancer_main";
+    /// Workload for HD-4233 (f5): `wl_hd4233(files)`.
+    pub const WL_F5: &str = "wl_hd4233";
+    /// Workload for HD-12248 (f6): `wl_hd12248(files)`.
+    pub const WL_F6: &str = "wl_hd12248";
+    /// Workload for HD-12070 (f7): `wl_hd12070(files)`.
+    pub const WL_F7: &str = "wl_hd12070";
+    /// Workload for HD-13039 (f8): `wl_hd13039(files)`.
+    pub const WL_F8: &str = "wl_hd13039";
+    /// Workload for HD-16332 (f9): `wl_hd16332(reads)`.
+    pub const WL_F9: &str = "wl_hd16332";
+    /// Workload for HD-14333 (f10): `wl_hd14333(files)`.
+    pub const WL_F10: &str = "wl_hd14333";
+    /// f5 root cause: saving the namespace image.
+    pub const SITE_F5: &str = "disk.saveImage";
+    /// f6 root cause: downloading the image to the secondary.
+    pub const SITE_F6: &str = "http.downloadImage";
+    /// f7 root cause: the first stage of block recovery.
+    pub const SITE_F7: &str = "dn.recoverBlock";
+    /// f7 deeper cause: the second stage (commit) of block recovery.
+    pub const SITE_F7_DEEPER: &str = "dn.commitBlockSync";
+    /// f8 root cause: creating the on-disk block file.
+    pub const SITE_F8: &str = "dn.createBlockFile";
+    /// f9 root cause: validating the client's block token.
+    pub const SITE_F9: &str = "token.validate";
+    /// f10 root cause: initializing the datanode storage directory.
+    pub const SITE_F10: &str = "disk.initStorage";
+    /// f11 root cause: the balancer's namenode connection.
+    pub const SITE_F11: &str = "socket.connectNN";
+}
+
+/// Builds the mini-HDFS program.
+pub fn build() -> Program {
+    let mut pb = ProgramBuilder::new("mini-hdfs");
+
+    // ---- globals -----------------------------------------------------------
+    let open_files = pb.global("openFiles", Value::Int(0));
+    let leases_released = pb.global("leasesReleased", Value::Int(0));
+    let backup_images = pb.global("backupImages", Value::Int(0));
+    let checkpoints = pb.global("checkpointsDone", Value::Int(0));
+    let leaked_sockets = pb.global("leakedSockets", Value::Int(0));
+    let blocks_written = pb.global("blocksWritten", Value::Int(0));
+    let dn_started = pb.global("dnStarted", Value::Bool(false));
+    let token_invalid = pb.global("blockTokenInvalid", Value::Bool(false));
+    let read_retries = pb.global("readRetries", Value::Int(0));
+    let reads_done = pb.global("readsCompleted", Value::Int(0));
+    let balancer_rounds = pb.global("balancerRounds", Value::Int(0));
+    let under_replicated = pb.global("underReplicatedBlocks", Value::Int(0));
+    let live_datanodes = pb.meta_global("liveDatanodes", Value::Int(0));
+    let active_nn = pb.meta_global("activeNamenode", Value::str("nn"));
+
+    // ---- channels ---------------------------------------------------------------
+    let nn_req = pb.chan("nnReq");
+    let client_resp = pb.chan("clientResp");
+    let dn_req = pb.chan("dnReq");
+
+    // ---- declarations -------------------------------------------------------------
+    let block_recovery = pb.declare("recoverLease", 1); // requester
+    let lease_monitor = pb.declare("leaseMonitor", 1); // iterations
+    let repl_monitor = pb.declare("replicationMonitor", 1); // iterations
+    let trash_emptier = pb.declare("trashEmptier", 1); // iterations
+    let receive_packet = pb.declare("receivePacket", 0);
+    let image_saver = pb.declare("imageSaver", 1); // iterations
+    let edit_tailer = pb.declare("editLogTailer", 1); // iterations
+    let dn_heartbeat = pb.declare("dnHeartbeat", 1); // iterations
+    let block_reporter = pb.declare("blockReportChore", 1); // iterations
+    let nn_main = pb.declare(names::NN_MAIN, 2); // image_saves, idle
+    let snn_main = pb.declare(names::SNN_MAIN, 1); // checkpoints
+    let dn_main = pb.declare(names::DN_MAIN, 1); // idle
+    let balancer_main = pb.declare(names::BALANCER_MAIN, 1); // namenodes
+    let write_file = pb.declare("writeFile", 1); // hiccup_pct
+    let read_block = pb.declare("readBlock", 0);
+    let wl_f5 = pb.declare(names::WL_F5, 1);
+    let wl_f6 = pb.declare(names::WL_F6, 1);
+    let wl_f7 = pb.declare(names::WL_F7, 1);
+    let wl_f8 = pb.declare(names::WL_F8, 1);
+    let wl_f9 = pb.declare(names::WL_F9, 1);
+    let wl_f10 = pb.declare(names::WL_F10, 1);
+
+    // ---- namenode -----------------------------------------------------------------
+
+    // recoverLease: two-stage block recovery (HD-12070 / HD-17157).
+    pb.body(block_recovery, |b| {
+        let requester = b.param(0);
+        b.try_catch(
+            |b| {
+                // ROOT-CAUSE SITE of HD-12070 (stage one).
+                b.external_lat(names::SITE_F7, &[ExceptionType::Io], 4);
+                // Deeper cause (HD-17157 analog): the commit stage gets no
+                // response over the network.
+                b.external_lat(names::SITE_F7_DEEPER, &[ExceptionType::Socket], 3);
+                b.set_global(open_files, e::sub(e::glob(open_files), e::int(1)));
+                b.set_global(leases_released, e::add(e::glob(leases_released), e::int(1)));
+                b.log(
+                    Level::Info,
+                    "Block recovery completed, lease released",
+                    vec![],
+                );
+                b.send(e::var(requester), client_resp, e::str_("recovered"));
+            },
+            ExceptionPattern::OneOf(vec![ExceptionType::Io, ExceptionType::Socket]),
+            |b| {
+                // BUG: the file stays open; no retry is ever scheduled.
+                b.log_exc(
+                    Level::Error,
+                    "Block recovery failed, file remains open",
+                    vec![],
+                );
+                b.send(e::var(requester), client_resp, e::str_("recovery-failed"));
+            },
+        );
+    });
+
+    // imageSaver: the rolling-backup chore (HD-4233).
+    pb.body(image_saver, |b| {
+        let iters = b.param(0);
+        let i = b.local();
+        b.assign(i, e::int(0));
+        b.while_(e::lt(e::var(i), e::var(iters)), |b| {
+            b.sleep(e::rand(180, 260));
+            b.try_catch(
+                |b| {
+                    // ROOT-CAUSE SITE of HD-4233.
+                    b.external_lat(
+                        names::SITE_F5,
+                        &[ExceptionType::FileNotFound, ExceptionType::Io],
+                        5,
+                    );
+                    b.log(Level::Info, "Saved namespace image", vec![]);
+                },
+                ExceptionPattern::OneOf(vec![ExceptionType::FileNotFound, ExceptionType::Io]),
+                |b| {
+                    // BUG: the failure is logged and forgotten; the
+                    // namenode keeps serving without a usable backup.
+                    b.log_exc(
+                        Level::Error,
+                        "Rolling upgrade image backup failed, continuing to serve",
+                        vec![],
+                    );
+                },
+            );
+            b.assign(i, e::add(e::var(i), e::int(1)));
+        });
+    });
+
+    pb.body(edit_tailer, |b| {
+        let iters = b.param(0);
+        let i = b.local();
+        b.assign(i, e::int(0));
+        b.while_(e::lt(e::var(i), e::var(iters)), |b| {
+            b.sleep(e::rand(70, 120));
+            flaky_external(
+                b,
+                "disk.tailEditLog",
+                ExceptionType::Io,
+                7,
+                "Edit log tailing fell behind",
+            );
+            b.assign(i, e::add(e::var(i), e::int(1)));
+        });
+    });
+
+    pb.body(nn_main, |b| {
+        let image_saves = b.param(0);
+        let idle = b.param(1);
+        b.log(
+            Level::Info,
+            "NameNode started, entering active state",
+            vec![],
+        );
+        b.set_global(active_nn, e::self_node());
+        b.if_(e::gt(e::var(image_saves), e::int(0)), |b| {
+            b.spawn("FSImageSaver", image_saver, vec![e::var(image_saves)]);
+        });
+        b.spawn("EditLogTailer", edit_tailer, vec![e::int(7)]);
+        b.spawn("LeaseMonitor", lease_monitor, vec![e::int(5)]);
+        b.spawn("ReplicationMonitor", repl_monitor, vec![e::int(6)]);
+        b.spawn("TrashEmptier", trash_emptier, vec![e::int(4)]);
+        let req = b.local();
+        b.loop_(|b| {
+            b.try_catch(
+                |b| {
+                    b.recv(nn_req, req, Some(e::var(idle)));
+                },
+                ExceptionType::Timeout,
+                |b| {
+                    b.log(Level::Info, "NameNode idle, stopping RPC server", vec![]);
+                    b.break_();
+                },
+            );
+            transient_warn(b, 3, "Detected pause in JVM or host machine (eg GC)");
+            let kind = b.local();
+            b.assign(kind, e::index(e::var(req), 0));
+            b.if_(e::eq(e::var(kind), e::str_("create")), |b| {
+                b.set_global(open_files, e::add(e::glob(open_files), e::int(1)));
+                b.log(Level::Info, "Allocated new file, lease granted", vec![]);
+                b.send(e::index(e::var(req), 1), client_resp, e::str_("created"));
+            });
+            b.if_(e::eq(e::var(kind), e::str_("complete")), |b| {
+                b.set_global(open_files, e::sub(e::glob(open_files), e::int(1)));
+                b.set_global(leases_released, e::add(e::glob(leases_released), e::int(1)));
+                b.send(e::index(e::var(req), 1), client_resp, e::str_("closed"));
+            });
+            b.if_(e::eq(e::var(kind), e::str_("recover")), |b| {
+                b.call(block_recovery, vec![e::index(e::var(req), 1)]);
+            });
+            b.if_(e::eq(e::var(kind), e::str_("register")), |b| {
+                b.set_global(live_datanodes, e::add(e::glob(live_datanodes), e::int(1)));
+                b.log(
+                    Level::Info,
+                    "Registered datanode {}",
+                    vec![e::index(e::var(req), 1)],
+                );
+            });
+            b.if_(e::eq(e::var(kind), e::str_("imageUpload")), |b| {
+                b.set_global(backup_images, e::add(e::glob(backup_images), e::int(1)));
+                b.log(
+                    Level::Info,
+                    "Received checkpoint image from secondary",
+                    vec![],
+                );
+            });
+        });
+    });
+
+    // leaseMonitor: watches for aged leases on open files.
+    pb.body(lease_monitor, |b| {
+        let iters = b.param(0);
+        let i = b.local();
+        b.assign(i, e::int(0));
+        b.while_(e::lt(e::var(i), e::var(iters)), |b| {
+            b.sleep(e::rand(150, 230));
+            b.if_(e::gt(e::glob(open_files), e::int(0)), |b| {
+                b.log(
+                    Level::Info,
+                    "Lease monitor: {} files still open",
+                    vec![e::glob(open_files)],
+                );
+            });
+            b.assign(i, e::add(e::var(i), e::int(1)));
+        });
+    });
+
+    // replicationMonitor: schedules re-replication of under-replicated
+    // blocks.
+    pb.body(repl_monitor, |b| {
+        let iters = b.param(0);
+        let i = b.local();
+        b.assign(i, e::int(0));
+        b.while_(e::lt(e::var(i), e::var(iters)), |b| {
+            b.sleep(e::rand(120, 190));
+            // Replica losses are detected from block reports; model them
+            // as a seed-dependent arrival process.
+            b.if_(e::lt(e::rand(0, 100), e::int(25)), |b| {
+                b.set_global(
+                    under_replicated,
+                    e::add(e::glob(under_replicated), e::int(1)),
+                );
+                b.log(Level::Info, "Detected under-replicated block", vec![]);
+            });
+            b.if_(e::gt(e::glob(under_replicated), e::int(0)), |b| {
+                b.try_catch(
+                    |b| {
+                        b.external_lat("dn.replicateBlock", &[ExceptionType::Io], 4);
+                        b.set_global(
+                            under_replicated,
+                            e::sub(e::glob(under_replicated), e::int(1)),
+                        );
+                        b.log(
+                            Level::Info,
+                            "Re-replicated one under-replicated block",
+                            vec![],
+                        );
+                    },
+                    ExceptionType::Io,
+                    |b| {
+                        b.log_exc(
+                            Level::Warn,
+                            "Block re-replication failed, rescheduling",
+                            vec![],
+                        );
+                    },
+                );
+            });
+            b.assign(i, e::add(e::var(i), e::int(1)));
+        });
+    });
+
+    // trashEmptier: periodic checkpoint deletion.
+    pb.body(trash_emptier, |b| {
+        let iters = b.param(0);
+        let i = b.local();
+        b.assign(i, e::int(0));
+        b.while_(e::lt(e::var(i), e::var(iters)), |b| {
+            b.sleep(e::rand(170, 260));
+            flaky_external(
+                b,
+                "disk.deleteTrashCheckpoint",
+                ExceptionType::Io,
+                6,
+                "Trash checkpoint deletion was slow",
+            );
+            b.assign(i, e::add(e::var(i), e::int(1)));
+        });
+    });
+
+    // ---- secondary namenode (f6) -----------------------------------------------
+    pb.body(snn_main, |b| {
+        let rounds = b.param(0);
+        b.log(Level::Info, "SecondaryNameNode started", vec![]);
+        let i = b.local();
+        b.assign(i, e::int(0));
+        b.while_(e::lt(e::var(i), e::var(rounds)), |b| {
+            b.sleep(e::rand(220, 320));
+            b.try_catch(
+                |b| {
+                    // ROOT-CAUSE SITE of HD-12248.
+                    b.external_lat(
+                        names::SITE_F6,
+                        &[ExceptionType::Interrupted, ExceptionType::Io],
+                        6,
+                    );
+                    b.external_lat("disk.mergeImage", &[ExceptionType::Io], 4);
+                    b.send(
+                        e::str_("nn"),
+                        nn_req,
+                        e::list(vec![e::str_("imageUpload"), e::self_node()]),
+                    );
+                    b.set_global(checkpoints, e::add(e::glob(checkpoints), e::int(1)));
+                    b.log(Level::Info, "Checkpoint uploaded to namenode", vec![]);
+                },
+                ExceptionPattern::OneOf(vec![ExceptionType::Interrupted, ExceptionType::Io]),
+                |b| {
+                    // BUG: the checkpoint is recorded as done even though
+                    // the image backup was skipped.
+                    b.log_exc(
+                        Level::Warn,
+                        "Image transfer to namenode interrupted",
+                        vec![],
+                    );
+                    b.set_global(checkpoints, e::add(e::glob(checkpoints), e::int(1)));
+                    b.log(
+                        Level::Info,
+                        "Checkpoint completed without image backup",
+                        vec![],
+                    );
+                },
+            );
+            b.assign(i, e::add(e::var(i), e::int(1)));
+        });
+        b.log(
+            Level::Info,
+            "SecondaryNameNode finished checkpointing",
+            vec![],
+        );
+    });
+
+    // ---- datanode ------------------------------------------------------------------
+    pb.body(dn_heartbeat, |b| {
+        let iters = b.param(0);
+        let i = b.local();
+        b.assign(i, e::int(0));
+        b.while_(e::lt(e::var(i), e::var(iters)), |b| {
+            b.sleep(e::rand(50, 90));
+            flaky_external(
+                b,
+                "net.heartbeatNN",
+                ExceptionType::Io,
+                7,
+                "Slow heartbeat to namenode",
+            );
+            b.assign(i, e::add(e::var(i), e::int(1)));
+        });
+    });
+    pb.body(block_reporter, |b| {
+        let iters = b.param(0);
+        let i = b.local();
+        b.assign(i, e::int(0));
+        b.while_(e::lt(e::var(i), e::var(iters)), |b| {
+            b.sleep(e::rand(110, 170));
+            flaky_external(
+                b,
+                "net.sendBlockReport",
+                ExceptionType::Io,
+                6,
+                "Block report took longer than expected",
+            );
+            b.assign(i, e::add(e::var(i), e::int(1)));
+        });
+    });
+
+    // receivePacket: the pipeline's per-packet loop with mirror
+    // forwarding (dn1 -> dn2), adding realistic packet-level fault sites.
+    pb.body(receive_packet, |b| {
+        let pkt = b.local();
+        b.assign(pkt, e::int(0));
+        b.while_(e::lt(e::var(pkt), e::int(3)), |b| {
+            b.external("dn.readPacket", &[ExceptionType::Io]);
+            b.try_catch(
+                |b| {
+                    b.external_lat("dn.mirrorPacket", &[ExceptionType::Io], 2);
+                },
+                ExceptionType::Io,
+                |b| {
+                    // A broken mirror degrades the pipeline but the local
+                    // replica still lands; the block becomes
+                    // under-replicated.
+                    b.log_exc(
+                        Level::Warn,
+                        "Mirror connection lost, continuing with local replica",
+                        vec![],
+                    );
+                    b.set_global(
+                        under_replicated,
+                        e::add(e::glob(under_replicated), e::int(1)),
+                    );
+                    b.break_();
+                },
+            );
+            b.assign(pkt, e::add(e::var(pkt), e::int(1)));
+        });
+    });
+
+    pb.body(dn_main, |b| {
+        let idle = b.param(0);
+        b.log(Level::Info, "DataNode starting", vec![]);
+        b.try_catch(
+            |b| {
+                // ROOT-CAUSE SITE of HD-14333.
+                b.external_lat(names::SITE_F10, &[ExceptionType::Io], 4);
+            },
+            ExceptionType::Io,
+            |b| {
+                b.log_exc(
+                    Level::Error,
+                    "Failed to initialize storage directory, shutting down",
+                    vec![],
+                );
+                b.throw_new("dn.startupFailure", ExceptionType::Io);
+            },
+        );
+        b.set_global(dn_started, e::bool_(true));
+        b.send(
+            e::str_("nn"),
+            nn_req,
+            e::list(vec![e::str_("register"), e::self_node()]),
+        );
+        b.spawn("DNHeartbeat", dn_heartbeat, vec![e::int(10)]);
+        b.spawn("BlockReport", block_reporter, vec![e::int(6)]);
+        let req = b.local();
+        b.loop_(|b| {
+            b.try_catch(
+                |b| {
+                    b.recv(dn_req, req, Some(e::var(idle)));
+                },
+                ExceptionType::Timeout,
+                |b| {
+                    b.log(
+                        Level::Info,
+                        "DataNode idle, stopping xceiver server",
+                        vec![],
+                    );
+                    b.break_();
+                },
+            );
+            let kind = b.local();
+            b.assign(kind, e::index(e::var(req), 0));
+            b.if_(e::eq(e::var(kind), e::str_("writeBlock")), |b| {
+                // The receiving socket is "opened" here.
+                b.set_global(leaked_sockets, e::add(e::glob(leaked_sockets), e::int(1)));
+                b.try_catch(
+                    |b| {
+                        // ROOT-CAUSE SITE of HD-13039.
+                        b.external(names::SITE_F8, &[ExceptionType::Io]);
+                        b.call(receive_packet, vec![]);
+                        b.external_lat("dn.writeBlockData", &[ExceptionType::Io], 3);
+                        b.set_global(blocks_written, e::add(e::glob(blocks_written), e::int(1)));
+                        // The success path closes the socket.
+                        b.set_global(leaked_sockets, e::sub(e::glob(leaked_sockets), e::int(1)));
+                        b.send(e::index(e::var(req), 1), client_resp, e::str_("block-ok"));
+                    },
+                    ExceptionType::Io,
+                    |b| {
+                        // BUG: the exception path never closes the socket.
+                        b.log_exc(Level::Warn, "Block creation failed", vec![]);
+                        b.send(e::index(e::var(req), 1), client_resp, e::str_("block-fail"));
+                    },
+                );
+            });
+            b.if_(e::eq(e::var(kind), e::str_("readBlock")), |b| {
+                b.try_catch(
+                    |b| {
+                        // ROOT-CAUSE SITE of HD-16332.
+                        b.external(names::SITE_F9, &[ExceptionType::Io]);
+                    },
+                    ExceptionType::Io,
+                    |b| {
+                        b.log_exc(Level::Warn, "Block token could not be verified", vec![]);
+                        b.set_global(token_invalid, e::bool_(true));
+                    },
+                );
+                b.if_else(
+                    e::glob(token_invalid),
+                    |b| {
+                        b.send(
+                            e::index(e::var(req), 1),
+                            client_resp,
+                            e::str_("token-expired"),
+                        );
+                    },
+                    |b| {
+                        b.send(e::index(e::var(req), 1), client_resp, e::str_("read-ok"));
+                    },
+                );
+            });
+            b.if_(e::eq(e::var(kind), e::str_("refreshToken")), |b| {
+                b.set_global(token_invalid, e::bool_(false));
+                b.log(Level::Info, "Block token refreshed", vec![]);
+                b.send(e::index(e::var(req), 1), client_resp, e::str_("token-ok"));
+            });
+        });
+    });
+
+    // ---- balancer (f11) ---------------------------------------------------------
+    pb.body(balancer_main, |b| {
+        let namenodes = b.param(0);
+        b.log(Level::Info, "Balancer starting", vec![]);
+        let i = b.local();
+        b.assign(i, e::int(0));
+        b.while_(e::lt(e::var(i), e::var(namenodes)), |b| {
+            // ROOT-CAUSE SITE of HD-15032: no handler — an unreachable
+            // namenode kills the whole balancer.
+            b.external_lat(names::SITE_F11, &[ExceptionType::Socket], 4);
+            b.log(Level::Info, "Connected to namenode {}", vec![e::var(i)]);
+            b.try_catch(
+                |b| {
+                    b.external_lat("nn.getBlocks", &[ExceptionType::Io], 3);
+                    b.log(
+                        Level::Info,
+                        "Fetched block list from namenode {}",
+                        vec![e::var(i)],
+                    );
+                },
+                ExceptionType::Io,
+                |b| {
+                    b.log_exc(Level::Warn, "Failed to fetch block list, skipping", vec![]);
+                },
+            );
+            b.set_global(balancer_rounds, e::add(e::glob(balancer_rounds), e::int(1)));
+            b.sleep(e::rand(40, 80));
+            b.assign(i, e::add(e::var(i), e::int(1)));
+        });
+        b.log(Level::Info, "Balancing round complete", vec![]);
+    });
+
+    // ---- client helpers ----------------------------------------------------------
+
+    // writeFile: create → write block to dn1 → complete (or recover on a
+    // simulated pipeline hiccup).
+    pb.body(write_file, |b| {
+        let hiccup_pct = b.param(0);
+        let resp = b.local();
+        b.send(
+            e::str_("nn"),
+            nn_req,
+            e::list(vec![e::str_("create"), e::self_node()]),
+        );
+        b.recv(client_resp, resp, Some(e::int(1_000)));
+        b.send(
+            e::str_("dn1"),
+            dn_req,
+            e::list(vec![e::str_("writeBlock"), e::self_node()]),
+        );
+        b.try_catch(
+            |b| {
+                b.recv(client_resp, resp, Some(e::int(1_000)));
+            },
+            ExceptionType::Timeout,
+            |b| {
+                b.log(Level::Warn, "Write pipeline timed out", vec![]);
+                b.assign(resp, e::str_("block-fail"));
+            },
+        );
+        b.if_else(
+            e::or(
+                e::eq(e::var(resp), e::str_("block-fail")),
+                e::lt(e::rand(0, 100), e::var(hiccup_pct)),
+            ),
+            |b| {
+                // A (possibly transient) pipeline failure: ask the
+                // namenode to recover the block and release the lease.
+                b.log(
+                    Level::Warn,
+                    "Pipeline hiccup, requesting block recovery",
+                    vec![],
+                );
+                b.send(
+                    e::str_("nn"),
+                    nn_req,
+                    e::list(vec![e::str_("recover"), e::self_node()]),
+                );
+                b.try_catch(
+                    |b| {
+                        b.recv(client_resp, resp, Some(e::int(1_500)));
+                    },
+                    ExceptionType::Timeout,
+                    |b| {
+                        b.log(Level::Warn, "Recovery response timed out", vec![]);
+                    },
+                );
+            },
+            |b| {
+                b.send(
+                    e::str_("nn"),
+                    nn_req,
+                    e::list(vec![e::str_("complete"), e::self_node()]),
+                );
+                b.try_catch(
+                    |b| {
+                        b.recv(client_resp, resp, Some(e::int(1_000)));
+                        b.log(Level::Debug, "File closed", vec![]);
+                    },
+                    ExceptionType::Timeout,
+                    |b| {
+                        b.log(Level::Warn, "Close request timed out", vec![]);
+                    },
+                );
+            },
+        );
+    });
+
+    // readBlock: HD-16332's slow-read loop.
+    pb.body(read_block, |b| {
+        let resp = b.local();
+        let attempts = b.local();
+        b.assign(attempts, e::int(0));
+        b.loop_(|b| {
+            b.send(
+                e::str_("dn1"),
+                dn_req,
+                e::list(vec![e::str_("readBlock"), e::self_node()]),
+            );
+            b.recv(client_resp, resp, Some(e::int(1_000)));
+            b.if_(e::eq(e::var(resp), e::str_("read-ok")), |b| {
+                b.set_global(reads_done, e::add(e::glob(reads_done), e::int(1)));
+                b.log(
+                    Level::Info,
+                    "Read completed after {} retries",
+                    vec![e::var(attempts)],
+                );
+                b.break_();
+            });
+            // BUG: the whole pipeline is retried with backoff; the token
+            // is only refreshed after several wasted attempts.
+            b.set_global(read_retries, e::add(e::glob(read_retries), e::int(1)));
+            b.assign(attempts, e::add(e::var(attempts), e::int(1)));
+            b.log(Level::Warn, "Retrying read after block token error", vec![]);
+            b.sleep(e::int(120));
+            b.if_(e::ge(e::var(attempts), e::int(3)), |b| {
+                b.send(
+                    e::str_("dn1"),
+                    dn_req,
+                    e::list(vec![e::str_("refreshToken"), e::self_node()]),
+                );
+                b.recv(client_resp, resp, Some(e::int(1_000)));
+            });
+        });
+    });
+
+    // ---- workloads -------------------------------------------------------------------
+    fn simple_file_workload(
+        b: &mut anduril_ir::builder::BodyBuilder<'_>,
+        write_file: anduril_ir::FuncId,
+        hiccup_pct: i64,
+        gap: (i64, i64),
+    ) {
+        let files = b.param(0);
+        let i = b.local();
+        b.assign(i, e::int(0));
+        b.while_(e::lt(e::var(i), e::var(files)), |b| {
+            b.call(write_file, vec![e::int(hiccup_pct)]);
+            b.sleep(e::rand(gap.0, gap.1));
+            b.assign(i, e::add(e::var(i), e::int(1)));
+        });
+        b.log(Level::Info, "workload finished", vec![]);
+    }
+
+    pb.body(wl_f5, |b| simple_file_workload(b, write_file, 0, (60, 110)));
+    pb.body(wl_f6, |b| simple_file_workload(b, write_file, 0, (80, 140)));
+    pb.body(wl_f7, |b| simple_file_workload(b, write_file, 25, (30, 70)));
+    pb.body(wl_f8, |b| simple_file_workload(b, write_file, 0, (25, 60)));
+    pb.body(wl_f10, |b| simple_file_workload(b, write_file, 0, (40, 80)));
+
+    pb.body(wl_f9, |b| {
+        let reads = b.param(0);
+        let i = b.local();
+        b.assign(i, e::int(0));
+        b.while_(e::lt(e::var(i), e::var(reads)), |b| {
+            b.call(read_block, vec![]);
+            b.sleep(e::rand(30, 70));
+            b.assign(i, e::add(e::var(i), e::int(1)));
+        });
+        b.log(Level::Info, "workload finished", vec![]);
+    });
+
+    pb.finish().expect("mini-hdfs program is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anduril_sim::{run, InjectionPlan, NodeSpec, SimConfig, Topology};
+
+    fn topo(p: &Program, wl: &str, arg: i64, with_snn: bool, with_balancer: bool) -> Topology {
+        let mut nodes = vec![
+            NodeSpec::new(
+                "nn",
+                p.func_named(names::NN_MAIN).unwrap(),
+                vec![Value::Int(4), Value::Int(1_200)],
+            ),
+            NodeSpec::new(
+                "dn1",
+                p.func_named(names::DN_MAIN).unwrap(),
+                vec![Value::Int(900)],
+            ),
+            NodeSpec::new(
+                "dn2",
+                p.func_named(names::DN_MAIN).unwrap(),
+                vec![Value::Int(900)],
+            ),
+        ];
+        if with_snn {
+            nodes.push(NodeSpec::new(
+                "snn",
+                p.func_named(names::SNN_MAIN).unwrap(),
+                vec![Value::Int(3)],
+            ));
+        }
+        if with_balancer {
+            nodes.push(NodeSpec::new(
+                "balancer",
+                p.func_named(names::BALANCER_MAIN).unwrap(),
+                vec![Value::Int(2)],
+            ));
+        }
+        nodes.push(NodeSpec::new(
+            "client",
+            p.func_named(wl).unwrap(),
+            vec![Value::Int(arg)],
+        ));
+        Topology::new(nodes)
+    }
+
+    #[test]
+    fn normal_write_workload_closes_all_files() {
+        let p = build();
+        let t = topo(&p, names::WL_F8, 10, false, false);
+        let cfg = SimConfig {
+            max_time: 25_000,
+            ..SimConfig::default()
+        };
+        let r = run(&p, &t, &cfg, InjectionPlan::none()).unwrap();
+        assert!(r.has_log("workload finished"), "{}", r.log_text());
+        assert_eq!(r.global("nn", "openFiles"), Some(&Value::Int(0)));
+        assert_eq!(r.global("dn1", "leakedSockets"), Some(&Value::Int(0)));
+        assert_eq!(r.global("dn1", "blocksWritten"), Some(&Value::Int(10)));
+    }
+
+    #[test]
+    fn block_creation_fault_leaks_socket() {
+        let p = build();
+        let t = topo(&p, names::WL_F8, 10, false, false);
+        let cfg = SimConfig {
+            max_time: 25_000,
+            ..SimConfig::default()
+        };
+        let site = p
+            .sites
+            .iter()
+            .find(|s| s.desc == names::SITE_F8)
+            .unwrap()
+            .id;
+        let r = run(
+            &p,
+            &t,
+            &cfg,
+            InjectionPlan::exact(site, 4, ExceptionType::Io),
+        )
+        .unwrap();
+        assert!(r.has_log("Block creation failed"));
+        assert_eq!(r.global("dn1", "leakedSockets"), Some(&Value::Int(1)));
+    }
+
+    #[test]
+    fn balancer_crashes_on_unreachable_namenode() {
+        let p = build();
+        let t = topo(&p, names::WL_F5, 3, false, true);
+        let cfg = SimConfig {
+            max_time: 25_000,
+            ..SimConfig::default()
+        };
+        let site = p
+            .sites
+            .iter()
+            .find(|s| s.desc == names::SITE_F11)
+            .unwrap()
+            .id;
+        let r = run(
+            &p,
+            &t,
+            &cfg,
+            InjectionPlan::exact(site, 1, ExceptionType::Socket),
+        )
+        .unwrap();
+        assert!(r.has_log("Uncaught exception SocketException"));
+        assert!(!r.has_log("Balancing round complete"));
+        assert_eq!(r.global("balancer", "balancerRounds"), Some(&Value::Int(1)));
+    }
+
+    #[test]
+    fn token_expiry_makes_read_slow_but_successful() {
+        let p = build();
+        let t = topo(&p, names::WL_F9, 6, false, false);
+        let cfg = SimConfig {
+            max_time: 25_000,
+            ..SimConfig::default()
+        };
+        let site = p
+            .sites
+            .iter()
+            .find(|s| s.desc == names::SITE_F9)
+            .unwrap()
+            .id;
+        let r = run(
+            &p,
+            &t,
+            &cfg,
+            InjectionPlan::exact(site, 2, ExceptionType::Io),
+        )
+        .unwrap();
+        assert!(r.count_log("Retrying read after block token error") >= 3);
+        assert!(r.has_log("Read completed after"));
+        assert_eq!(r.global("client", "readsCompleted"), Some(&Value::Int(6)));
+    }
+}

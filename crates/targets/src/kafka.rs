@@ -1,0 +1,735 @@
+//! Mini-Kafka: brokers, a Connect worker, a Streams table, and a
+//! MirrorMaker-2 replicator.
+//!
+//! Failure paths implemented:
+//!
+//! - **KA-12508 (f18)** — an emit-on-change table advances its last-seen
+//!   value before the changelog append is durable; after the error+restart
+//!   the duplicate update is suppressed and the change is lost.
+//! - **KA-9374 (f19)** — a connector whose admin connection is poisoned
+//!   retries inside the herder tick, blocking every other connector and
+//!   REST request on the worker.
+//! - **KA-10048 (f20)** — a failed consumer-group offset sync leaves a
+//!   stale translated offset; a consumer failing over to the target
+//!   cluster resumes past the gap.
+
+use anduril_ir::builder::ProgramBuilder;
+use anduril_ir::expr::build as e;
+use anduril_ir::{ExceptionType, Level, Program, Value};
+
+use crate::util::{flaky_external, transient_warn};
+
+/// Function and site names exposed by [`build`].
+pub mod names {
+    /// Broker main: `broker_main(idle_timeout)`.
+    pub const BROKER_MAIN: &str = "broker_main";
+    /// Streams app main: `streams_main(idle_timeout)`.
+    pub const STREAMS_MAIN: &str = "streams_main";
+    /// Connect worker main: `worker_main(idle_timeout)`.
+    pub const WORKER_MAIN: &str = "worker_main";
+    /// MM2 main: `mm2_main(polls)`.
+    pub const MM2_MAIN: &str = "mm2_main";
+    /// Workload for KA-12508 (f18): `wl_ka12508(pairs)`.
+    pub const WL_F18: &str = "wl_ka12508";
+    /// Workload for KA-9374 (f19): `wl_ka9374(unused)`.
+    pub const WL_F19: &str = "wl_ka9374";
+    /// Workload for KA-10048 (f20): `wl_ka10048(records)`.
+    pub const WL_F20: &str = "wl_ka10048";
+    /// f18 root cause: the changelog append.
+    pub const SITE_F18: &str = "store.appendChangelog";
+    /// f19 root cause: the connector's admin connection.
+    pub const SITE_F19: &str = "kafka.adminConnect";
+    /// f20 root cause: the MM2 consumer-group offset sync.
+    pub const SITE_F20: &str = "mm2.syncGroupOffsets";
+}
+
+/// Builds the mini-Kafka program.
+pub fn build() -> Program {
+    let mut pb = ProgramBuilder::new("mini-kafka");
+
+    // ---- globals -----------------------------------------------------------
+    // Streams (f18).
+    let last_value = pb.global("lastSeenValue", Value::Int(-1));
+    let emitted = pb.global("changesEmitted", Value::Int(0));
+    let restarts = pb.global("taskRestarts", Value::Int(0));
+    // Connect (f19).
+    let poisoned = pb.global("adminConnPoisoned", Value::Bool(false));
+    let connectors_started = pb.global("connectorsStarted", Value::Int(0));
+    // Brokers / MM2 (f20).
+    let log_end_offset = pb.global("logEndOffset", Value::Int(0));
+    let replicated_offset = pb.global("replicatedOffset", Value::Int(0));
+    let translated_offset = pb.global("translatedGroupOffset", Value::Int(0));
+    let gap_records = pb.global("gapRecords", Value::Int(0));
+    let group_generation = pb.meta_global("groupGeneration", Value::Int(0));
+    let group_members = pb.meta_global("groupMembers", Value::Int(0));
+    let group_leader = pb.meta_global("groupLeader", Value::str("broker1"));
+    let isr_size = pb.meta_global("inSyncReplicas", Value::Int(2));
+
+    // ---- channels ---------------------------------------------------------------
+    let produce_chan = pb.chan("produce");
+    let group_chan = pb.chan("groupCoordinator");
+    let group_resp = pb.chan("groupResp");
+    let records_chan = pb.chan("streamsRecords");
+    let herder_chan = pb.chan("herderReq");
+    let rest_resp = pb.chan("restResp");
+
+    // ---- declarations --------------------------------------------------------------
+    let process_record = pb.declare("processEmitOnChange", 1); // value
+    let handle_group_req = pb.declare("handleGroupRequest", 1); // req
+    let group_listener = pb.declare("groupCoordinatorLoop", 1); // idle
+    let replica_fetcher = pb.declare("replicaFetcherChore", 1); // iterations
+    let start_connector = pb.declare("startConnector", 1); // name
+    let log_cleaner = pb.declare("logCleanerChore", 1); // iterations
+    let store_flusher = pb.declare("stateStoreFlusher", 1); // iterations
+    let rest_monitor = pb.declare("restHeartbeatChore", 1); // iterations
+    let isr_monitor = pb.declare("isrMonitorChore", 1); // iterations
+    let broker_main = pb.declare(names::BROKER_MAIN, 1); // idle
+    let streams_main = pb.declare(names::STREAMS_MAIN, 1); // idle
+    let worker_main = pb.declare(names::WORKER_MAIN, 1); // idle
+    let mm2_main = pb.declare(names::MM2_MAIN, 1); // polls
+    let wl_f18 = pb.declare(names::WL_F18, 1); // pairs
+    let wl_f19 = pb.declare(names::WL_F19, 1); // unused
+    let wl_f20 = pb.declare(names::WL_F20, 1); // records
+
+    // ---- Streams emit-on-change (f18) --------------------------------------------
+    pb.body(process_record, |b| {
+        let v = b.param(0);
+        b.if_(e::ne(e::var(v), e::glob(last_value)), |b| {
+            b.try_catch(
+                |b| {
+                    // ROOT-CAUSE SITE of KA-12508.
+                    b.external_lat(names::SITE_F18, &[ExceptionType::Io], 3);
+                    b.set_global(last_value, e::var(v));
+                    b.set_global(emitted, e::add(e::glob(emitted), e::int(1)));
+                    b.log(Level::Info, "Emitted change for value {}", vec![e::var(v)]);
+                },
+                ExceptionType::Io,
+                |b| {
+                    b.log_exc(
+                        Level::Error,
+                        "Changelog append failed, restarting stream task",
+                        vec![],
+                    );
+                    b.set_global(restarts, e::add(e::glob(restarts), e::int(1)));
+                    // BUG: the in-memory checkpoint advances even though the
+                    // change was neither stored nor emitted; the retried
+                    // (duplicate) record is then suppressed.
+                    b.set_global(last_value, e::var(v));
+                },
+            );
+        });
+    });
+
+    pb.body(store_flusher, |b| {
+        let iters = b.param(0);
+        let i = b.local();
+        b.assign(i, e::int(0));
+        b.while_(e::lt(e::var(i), e::var(iters)), |b| {
+            b.sleep(e::rand(60, 110));
+            flaky_external(
+                b,
+                "disk.flushStateStore",
+                ExceptionType::Io,
+                8,
+                "State store flush was slow",
+            );
+            b.assign(i, e::add(e::var(i), e::int(1)));
+        });
+    });
+    pb.body(rest_monitor, |b| {
+        let iters = b.param(0);
+        let i = b.local();
+        b.assign(i, e::int(0));
+        b.while_(e::lt(e::var(i), e::var(iters)), |b| {
+            b.sleep(e::rand(70, 130));
+            flaky_external(
+                b,
+                "net.restHeartbeat",
+                ExceptionType::Io,
+                7,
+                "REST heartbeat round-trip was slow",
+            );
+            b.assign(i, e::add(e::var(i), e::int(1)));
+        });
+    });
+
+    pb.body(streams_main, |b| {
+        let idle = b.param(0);
+        b.log(Level::Info, "Streams application started", vec![]);
+        b.spawn("StateStoreFlusher", store_flusher, vec![e::int(8)]);
+        let rec = b.local();
+        b.loop_(|b| {
+            b.try_catch(
+                |b| {
+                    b.recv(records_chan, rec, Some(e::var(idle)));
+                },
+                ExceptionType::Timeout,
+                |b| {
+                    b.log(Level::Info, "Streams app idle, closing", vec![]);
+                    b.break_();
+                },
+            );
+            transient_warn(b, 4, "Rebalance listener invoked late");
+            b.call(process_record, vec![e::var(rec)]);
+        });
+    });
+
+    // ---- Connect worker (f19) ------------------------------------------------------
+    pb.body(start_connector, |b| {
+        let name = b.param(0);
+        b.log(Level::Info, "Starting connector {}", vec![e::var(name)]);
+        b.try_catch(
+            |b| {
+                // Deeper-cause SITE (KA-15339 analog): appending the
+                // connector config to the internal topic at startup.
+                b.external_lat("store.appendConfigLog", &[ExceptionType::Io], 2);
+            },
+            ExceptionType::Io,
+            |b| {
+                b.log_exc(
+                    Level::Warn,
+                    "Failed to append connector config to log",
+                    vec![],
+                );
+                b.set_global(poisoned, e::bool_(true));
+            },
+        );
+        b.try_catch(
+            |b| {
+                // ROOT-CAUSE SITE of KA-9374.
+                b.external_lat(names::SITE_F19, &[ExceptionType::Io], 4);
+            },
+            ExceptionType::Io,
+            |b| {
+                b.log_exc(
+                    Level::Warn,
+                    "Connector admin connection failed, retrying inside herder tick",
+                    vec![],
+                );
+                b.set_global(poisoned, e::bool_(true));
+            },
+        );
+        // BUG: the retry loop runs inside the herder thread and the
+        // poisoned connection never recovers, so the herder is blocked.
+        let tries = b.local();
+        b.assign(tries, e::int(0));
+        b.while_(
+            e::and(e::glob(poisoned), e::lt(e::var(tries), e::int(500))),
+            |b| {
+                b.sleep(e::int(100));
+                b.if_(e::eq(e::rem(e::var(tries), e::int(20)), e::int(0)), |b| {
+                    b.log(
+                        Level::Warn,
+                        "Still waiting for connector admin connection",
+                        vec![],
+                    );
+                });
+                b.assign(tries, e::add(e::var(tries), e::int(1)));
+            },
+        );
+        b.if_(e::not(e::glob(poisoned)), |b| {
+            b.set_global(
+                connectors_started,
+                e::add(e::glob(connectors_started), e::int(1)),
+            );
+            b.log(Level::Info, "Connector {} started", vec![e::var(name)]);
+        });
+    });
+
+    pb.body(worker_main, |b| {
+        let idle = b.param(0);
+        b.log(Level::Info, "Connect worker started", vec![]);
+        b.spawn("RestHeartbeat", rest_monitor, vec![e::int(8)]);
+        let req = b.local();
+        b.loop_(|b| {
+            b.try_catch(
+                |b| {
+                    b.recv(herder_chan, req, Some(e::var(idle)));
+                },
+                ExceptionType::Timeout,
+                |b| {
+                    b.log(Level::Info, "Connect worker idle, stopping herder", vec![]);
+                    b.break_();
+                },
+            );
+            b.if_else(
+                e::eq(e::index(e::var(req), 0), e::str_("start")),
+                |b| {
+                    b.call(start_connector, vec![e::index(e::var(req), 1)]);
+                },
+                |b| {
+                    // A REST status request.
+                    b.send(e::index(e::var(req), 1), rest_resp, e::str_("ok"));
+                },
+            );
+        });
+    });
+
+    // ---- group coordinator -----------------------------------------------------
+    // handleGroupRequest: join/sync/heartbeat for consumer groups.
+    pb.body(handle_group_req, |b| {
+        let req = b.param(0);
+        let kind = b.local();
+        b.assign(kind, e::index(e::var(req), 0));
+        b.if_(e::eq(e::var(kind), e::str_("join")), |b| {
+            b.set_global(group_members, e::add(e::glob(group_members), e::int(1)));
+            b.set_global(
+                group_generation,
+                e::add(e::glob(group_generation), e::int(1)),
+            );
+            b.set_global(group_leader, e::index(e::var(req), 1));
+            b.log(
+                Level::Info,
+                "Member {} joined group (generation {})",
+                vec![e::index(e::var(req), 1), e::glob(group_generation)],
+            );
+            b.send(
+                e::index(e::var(req), 1),
+                group_resp,
+                e::glob(group_generation),
+            );
+        });
+        b.if_(e::eq(e::var(kind), e::str_("heartbeat")), |b| {
+            transient_warn(b, 5, "Member heartbeat arrived close to session timeout");
+            b.send(e::index(e::var(req), 1), group_resp, e::str_("ok"));
+        });
+    });
+
+    // groupCoordinatorLoop: serves group requests until idle.
+    pb.body(group_listener, |b| {
+        let idle = b.param(0);
+        let req = b.local();
+        b.loop_(|b| {
+            b.try_catch(
+                |b| {
+                    b.recv(group_chan, req, Some(e::var(idle)));
+                },
+                ExceptionType::Timeout,
+                |b| {
+                    b.break_();
+                },
+            );
+            b.call(handle_group_req, vec![e::var(req)]);
+        });
+    });
+
+    // replicaFetcherChore: follower brokers pulling from the leader.
+    pb.body(replica_fetcher, |b| {
+        let iters = b.param(0);
+        let i = b.local();
+        b.assign(i, e::int(0));
+        b.while_(e::lt(e::var(i), e::var(iters)), |b| {
+            b.sleep(e::rand(55, 100));
+            flaky_external(
+                b,
+                "net.fetchReplicaRecords",
+                ExceptionType::Io,
+                7,
+                "Replica fetch fell behind the leader",
+            );
+            b.assign(i, e::add(e::var(i), e::int(1)));
+        });
+    });
+
+    // ---- brokers + chores ----------------------------------------------------------
+    pb.body(log_cleaner, |b| {
+        let iters = b.param(0);
+        let i = b.local();
+        b.assign(i, e::int(0));
+        b.while_(e::lt(e::var(i), e::var(iters)), |b| {
+            b.sleep(e::rand(80, 140));
+            flaky_external(
+                b,
+                "disk.cleanLogSegment",
+                ExceptionType::Io,
+                6,
+                "Log cleaner round took too long",
+            );
+            b.assign(i, e::add(e::var(i), e::int(1)));
+        });
+    });
+    pb.body(isr_monitor, |b| {
+        let iters = b.param(0);
+        let i = b.local();
+        b.assign(i, e::int(0));
+        b.while_(e::lt(e::var(i), e::var(iters)), |b| {
+            b.sleep(e::rand(90, 150));
+            b.if_(e::lt(e::rand(0, 100), e::int(6)), |b| {
+                b.set_global(isr_size, e::int(1));
+                b.log(Level::Warn, "Shrinking ISR for partition to 1", vec![]);
+                b.set_global(isr_size, e::int(2));
+            });
+            b.assign(i, e::add(e::var(i), e::int(1)));
+        });
+    });
+
+    pb.body(broker_main, |b| {
+        let idle = b.param(0);
+        b.log(Level::Info, "Broker started", vec![]);
+        b.spawn("LogCleaner", log_cleaner, vec![e::int(7)]);
+        b.spawn("IsrMonitor", isr_monitor, vec![e::int(6)]);
+        b.spawn("ReplicaFetcher", replica_fetcher, vec![e::int(6)]);
+        b.spawn("GroupCoordinator", group_listener, vec![e::var(idle)]);
+        let rec = b.local();
+        b.loop_(|b| {
+            b.try_catch(
+                |b| {
+                    b.recv(produce_chan, rec, Some(e::var(idle)));
+                },
+                ExceptionType::Timeout,
+                |b| {
+                    b.log(Level::Info, "Broker idle, shutting down", vec![]);
+                    b.break_();
+                },
+            );
+            b.try_catch(
+                |b| {
+                    b.external("disk.appendSegment", &[ExceptionType::Io]);
+                    b.set_global(log_end_offset, e::add(e::glob(log_end_offset), e::int(1)));
+                },
+                ExceptionType::Io,
+                |b| {
+                    b.log_exc(Level::Warn, "Segment append failed, record dropped", vec![]);
+                },
+            );
+        });
+    });
+
+    // ---- MM2 (f20) --------------------------------------------------------------------
+    pb.body(mm2_main, |b| {
+        let polls = b.param(0);
+        b.log(Level::Info, "MirrorMaker2 started", vec![]);
+        let i = b.local();
+        b.assign(i, e::int(0));
+        b.while_(e::lt(e::var(i), e::var(polls)), |b| {
+            b.sleep(e::rand(45, 80));
+            // Replicate whatever broker1 accumulated (read via the shared
+            // offset counter of broker1; modelled locally on mm2).
+            b.try_catch(
+                |b| {
+                    b.external_lat("mm2.pollSourceRecords", &[ExceptionType::Io], 3);
+                    b.set_global(
+                        replicated_offset,
+                        e::add(e::glob(replicated_offset), e::int(2)),
+                    );
+                    b.log(
+                        Level::Debug,
+                        "Mirrored records up to offset {}",
+                        vec![e::glob(replicated_offset)],
+                    );
+                },
+                ExceptionType::Io,
+                |b| {
+                    b.log_exc(Level::Warn, "Mirror poll failed, will retry", vec![]);
+                },
+            );
+            // Periodic consumer-group offset sync with translation.
+            b.if_(e::eq(e::rem(e::var(i), e::int(2)), e::int(1)), |b| {
+                b.try_catch(
+                    |b| {
+                        // ROOT-CAUSE SITE of KA-10048.
+                        b.external_lat(names::SITE_F20, &[ExceptionType::Io], 3);
+                        b.set_global(translated_offset, e::glob(replicated_offset));
+                        b.log(
+                            Level::Debug,
+                            "Synced group offsets at translated offset {}",
+                            vec![e::glob(translated_offset)],
+                        );
+                    },
+                    ExceptionType::Io,
+                    |b| {
+                        // BUG: the stale translated offset silently persists.
+                        b.log_exc(
+                            Level::Warn,
+                            "Offset sync failed, will retry next round",
+                            vec![],
+                        );
+                    },
+                );
+            });
+            b.assign(i, e::add(e::var(i), e::int(1)));
+        });
+        // Failover: the consumer group moves to the target cluster and
+        // resumes from the translated offset.
+        b.log(
+            Level::Info,
+            "Consumer group failing over to target cluster",
+            vec![],
+        );
+        b.if_else(
+            e::lt(e::glob(translated_offset), e::glob(replicated_offset)),
+            |b| {
+                b.set_global(
+                    gap_records,
+                    e::sub(e::glob(replicated_offset), e::glob(translated_offset)),
+                );
+                b.log(
+                    Level::Error,
+                    "Data gap of {} records between clusters after failover",
+                    vec![e::glob(gap_records)],
+                );
+            },
+            |b| {
+                b.log(Level::Info, "Failover completed with no data gap", vec![]);
+            },
+        );
+    });
+
+    // ---- workloads -----------------------------------------------------------------------
+    // f18: pairs of duplicate values, so emit-on-change sees each change
+    // twice (the retry after restart is the duplicate).
+    pb.body(wl_f18, |b| {
+        let pairs = b.param(0);
+        let v = b.local();
+        b.assign(v, e::int(0));
+        b.while_(e::lt(e::var(v), e::var(pairs)), |b| {
+            b.send(e::str_("streams"), records_chan, e::var(v));
+            b.sleep(e::rand(10, 25));
+            b.send(e::str_("streams"), records_chan, e::var(v));
+            b.sleep(e::rand(20, 45));
+            b.assign(v, e::add(e::var(v), e::int(1)));
+        });
+        b.log(Level::Info, "workload finished", vec![]);
+    });
+
+    // f19: start connector A, then B, then poll REST status.
+    pb.body(wl_f19, |b| {
+        let _unused = b.param(0);
+        b.send(
+            e::str_("worker"),
+            herder_chan,
+            e::list(vec![e::str_("start"), e::str_("connector-a")]),
+        );
+        b.sleep(e::int(120));
+        b.send(
+            e::str_("worker"),
+            herder_chan,
+            e::list(vec![e::str_("start"), e::str_("connector-b")]),
+        );
+        b.sleep(e::int(80));
+        let resp = b.local();
+        let i = b.local();
+        b.assign(i, e::int(0));
+        b.while_(e::lt(e::var(i), e::int(3)), |b| {
+            b.send(
+                e::str_("worker"),
+                herder_chan,
+                e::list(vec![e::str_("status"), e::self_node()]),
+            );
+            b.try_catch(
+                |b| {
+                    b.recv(rest_resp, resp, Some(e::int(500)));
+                    b.log(Level::Info, "REST status ok", vec![]);
+                },
+                ExceptionType::Timeout,
+                |b| {
+                    b.log(Level::Error, "REST request timed out", vec![]);
+                },
+            );
+            b.sleep(e::int(200));
+            b.assign(i, e::add(e::var(i), e::int(1)));
+        });
+        b.log(Level::Info, "workload finished", vec![]);
+    });
+
+    // f20: produce records while MM2 mirrors and syncs offsets; the
+    // consumer group joins and heartbeats against broker1.
+    pb.body(wl_f20, |b| {
+        let records = b.param(0);
+        let i = b.local();
+        let resp = b.local();
+        b.send(
+            e::str_("broker1"),
+            group_chan,
+            e::list(vec![e::str_("join"), e::self_node()]),
+        );
+        b.try_catch(
+            |b| {
+                b.recv(group_resp, resp, Some(e::int(600)));
+            },
+            ExceptionType::Timeout,
+            |b| {
+                b.log(Level::Warn, "Group join timed out", vec![]);
+            },
+        );
+        b.assign(i, e::int(0));
+        b.while_(e::lt(e::var(i), e::var(records)), |b| {
+            b.send(e::str_("broker1"), produce_chan, e::var(i));
+            b.if_(e::eq(e::rem(e::var(i), e::int(5)), e::int(4)), |b| {
+                b.send(
+                    e::str_("broker1"),
+                    group_chan,
+                    e::list(vec![e::str_("heartbeat"), e::self_node()]),
+                );
+                b.try_catch(
+                    |b| {
+                        b.recv(group_resp, resp, Some(e::int(400)));
+                    },
+                    ExceptionType::Timeout,
+                    |b| {
+                        b.log(Level::Warn, "Group heartbeat timed out", vec![]);
+                    },
+                );
+            });
+            b.sleep(e::rand(15, 35));
+            b.assign(i, e::add(e::var(i), e::int(1)));
+        });
+        b.log(Level::Info, "workload finished", vec![]);
+    });
+
+    pb.finish().expect("mini-kafka program is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anduril_sim::{run, InjectionPlan, NodeSpec, SimConfig, Topology};
+
+    #[test]
+    fn emit_on_change_loses_update_after_fault() {
+        let p = build();
+        let topo = Topology::new(vec![
+            NodeSpec::new(
+                "streams",
+                p.func_named(names::STREAMS_MAIN).unwrap(),
+                vec![Value::Int(700)],
+            ),
+            NodeSpec::new(
+                "client",
+                p.func_named(names::WL_F18).unwrap(),
+                vec![Value::Int(5)],
+            ),
+        ]);
+        let cfg = SimConfig {
+            max_time: 20_000,
+            ..SimConfig::default()
+        };
+        let clean = run(&p, &topo, &cfg, InjectionPlan::none()).unwrap();
+        assert_eq!(
+            clean.global("streams", "changesEmitted"),
+            Some(&Value::Int(5))
+        );
+        let site = p
+            .sites
+            .iter()
+            .find(|s| s.desc == names::SITE_F18)
+            .unwrap()
+            .id;
+        let faulty = run(
+            &p,
+            &topo,
+            &cfg,
+            InjectionPlan::exact(site, 2, ExceptionType::Io),
+        )
+        .unwrap();
+        assert!(faulty.has_log("restarting stream task"));
+        assert_eq!(
+            faulty.global("streams", "changesEmitted"),
+            Some(&Value::Int(4)),
+            "one change is silently lost"
+        );
+    }
+
+    #[test]
+    fn blocked_connector_disables_worker() {
+        let p = build();
+        let topo = Topology::new(vec![
+            NodeSpec::new(
+                "worker",
+                p.func_named(names::WORKER_MAIN).unwrap(),
+                vec![Value::Int(1_200)],
+            ),
+            NodeSpec::new(
+                "client",
+                p.func_named(names::WL_F19).unwrap(),
+                vec![Value::Int(0)],
+            ),
+        ]);
+        let cfg = SimConfig {
+            max_time: 20_000,
+            ..SimConfig::default()
+        };
+        let clean = run(&p, &topo, &cfg, InjectionPlan::none()).unwrap();
+        assert_eq!(
+            clean.global("worker", "connectorsStarted"),
+            Some(&Value::Int(2))
+        );
+        assert_eq!(clean.count_log("REST request timed out"), 0);
+        let site = p
+            .sites
+            .iter()
+            .find(|s| s.desc == names::SITE_F19)
+            .unwrap()
+            .id;
+        let faulty = run(
+            &p,
+            &topo,
+            &cfg,
+            InjectionPlan::exact(site, 0, ExceptionType::Io),
+        )
+        .unwrap();
+        assert!(
+            faulty.has_log("REST request timed out"),
+            "{}",
+            faulty.log_text()
+        );
+        assert_eq!(
+            faulty.global("worker", "connectorsStarted"),
+            Some(&Value::Int(0))
+        );
+    }
+
+    #[test]
+    fn stale_offset_sync_creates_failover_gap() {
+        let p = build();
+        let topo = Topology::new(vec![
+            NodeSpec::new(
+                "broker1",
+                p.func_named(names::BROKER_MAIN).unwrap(),
+                vec![Value::Int(900)],
+            ),
+            NodeSpec::new(
+                "mm2",
+                p.func_named(names::MM2_MAIN).unwrap(),
+                vec![Value::Int(8)],
+            ),
+            NodeSpec::new(
+                "client",
+                p.func_named(names::WL_F20).unwrap(),
+                vec![Value::Int(12)],
+            ),
+        ]);
+        let cfg = SimConfig {
+            max_time: 20_000,
+            ..SimConfig::default()
+        };
+        let clean = run(&p, &topo, &cfg, InjectionPlan::none()).unwrap();
+        assert!(clean.has_log("no data gap"), "{}", clean.log_text());
+        let site = p
+            .sites
+            .iter()
+            .find(|s| s.desc == names::SITE_F20)
+            .unwrap()
+            .id;
+        // The *last* offset sync before failover must be the faulty one.
+        let syncs = clean.site_occurrences[site.index()];
+        assert!(syncs >= 2);
+        let faulty = run(
+            &p,
+            &topo,
+            &cfg,
+            InjectionPlan::exact(site, syncs - 1, ExceptionType::Io),
+        )
+        .unwrap();
+        assert!(faulty.has_log("Data gap of"), "{}", faulty.log_text());
+        // An early sync failure is overwritten by later successful syncs.
+        let early = run(
+            &p,
+            &topo,
+            &cfg,
+            InjectionPlan::exact(site, 0, ExceptionType::Io),
+        )
+        .unwrap();
+        assert!(early.has_log("no data gap"), "timing must matter");
+    }
+}

@@ -1,0 +1,18 @@
+//! The five mini distributed systems ANDURIL is evaluated against.
+//!
+//! Each module builds one target system as an [`anduril_ir::Program`]:
+//! ZooKeeper, HDFS, HBase, Kafka, and Cassandra analogs, each implementing
+//! the subsystems its failure tickets exercise (leader election, WAL
+//! pipelines, block recovery, replication queues, snapshot repair, ...)
+//! plus background noise so the log-diff problem stays realistic. Workload
+//! driver functions live in the same program; `anduril-failures` assembles
+//! per-ticket topologies around them.
+
+#![warn(missing_docs)]
+
+pub mod cassandra;
+pub mod hbase;
+pub mod hdfs;
+pub mod kafka;
+pub mod util;
+pub mod zookeeper;

@@ -1,0 +1,57 @@
+//! Shared building blocks for the mini target systems.
+
+use anduril_ir::builder::BodyBuilder;
+use anduril_ir::expr::build as e;
+use anduril_ir::Level;
+
+/// Emits a log line with probability `percent`/100 per execution — the
+/// seed-dependent "noisy error messages" production logs are full of.
+///
+/// Because the noise is seed-dependent, some of these lines appear only in
+/// the failure log and get (wrongly) picked up as relevant observables,
+/// which is exactly the imprecision the paper's feedback loop must absorb.
+pub fn transient_warn(b: &mut BodyBuilder<'_>, percent: i64, template: &str) {
+    b.if_(e::lt(e::rand(0, 100), e::int(percent)), |b| {
+        b.log(Level::Warn, template, vec![]);
+    });
+}
+
+/// Emits an info log line with probability `percent`/100.
+pub fn transient_info(b: &mut BodyBuilder<'_>, percent: i64, template: &str) {
+    b.if_(e::lt(e::rand(0, 100), e::int(percent)), |b| {
+        b.log(Level::Info, template, vec![]);
+    });
+}
+
+/// An external call with a handled fault path that shares its warning
+/// template with seed-dependent organic noise.
+///
+/// The call site is a real fault-site candidate (its handler logs `warn`),
+/// and with probability `percent`/100 the same warning is logged without
+/// any fault — so across seeds the warning's occurrence count differs and
+/// the per-thread diff sometimes flags it as a relevant observable. This
+/// recreates the paper's setting: noisy handled-error messages drag
+/// causally related but irrelevant fault sites into the candidate set, and
+/// the dynamic feedback must deprioritize them.
+pub fn flaky_external(
+    b: &mut BodyBuilder<'_>,
+    desc: &str,
+    exc: anduril_ir::ExceptionType,
+    percent: i64,
+    warn: &str,
+) {
+    let warn_owned = warn.to_string();
+    let warn2 = warn_owned.clone();
+    b.try_catch(
+        |b| {
+            b.external(desc, &[exc]);
+            b.if_(e::lt(e::rand(0, 100), e::int(percent)), |b| {
+                b.log(Level::Warn, &warn_owned, vec![]);
+            });
+        },
+        exc,
+        |b| {
+            b.log_exc(Level::Warn, &warn2, vec![]);
+        },
+    );
+}

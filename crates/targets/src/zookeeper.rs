@@ -1,0 +1,720 @@
+//! Mini-ZooKeeper: a three-server ensemble with leader election, a
+//! transaction log, client sessions, and snapshot loading.
+//!
+//! Failure paths implemented:
+//!
+//! - **ZK-2247 (f1)** — the leader's transaction-log write fails; the
+//!   server treats it as unrecoverable and exits, leaving clients without
+//!   service.
+//! - **ZK-3157 (f2)** — a connection-handler fault closes the session with
+//!   no response; the client reconnects, learns the session expired, and
+//!   (the bug) crashes when this happens mid-`multi`.
+//! - **ZK-4203 (f3)** — an I/O fault while reading a vote makes the
+//!   election listener thread exit its accept loop permanently (defective
+//!   design); later followers can never join the quorum.
+//! - **ZK-3006 (f4)** — a failed snapshot read leaves the in-memory
+//!   database uninitialized; the first request dereferences it and dies
+//!   with the NPE analog. The deeper-cause variant (ZK-4737 analog): both
+//!   the network dataset sync *and* the local snapshot-header read can
+//!   leave the database uninitialized.
+
+use anduril_ir::builder::ProgramBuilder;
+use anduril_ir::expr::build as e;
+use anduril_ir::{ExceptionType, Level, Program, Value};
+
+use crate::util::{flaky_external, transient_warn};
+
+/// Function and site names exposed by [`build`].
+pub mod names {
+    /// Server main: `zk_server_main(is_leader, join_delay, idle_timeout)`.
+    pub const SERVER_MAIN: &str = "zk_server_main";
+    /// Workload for ZK-2247 (f1): `wl_zk2247(ops)`.
+    pub const WL_F1: &str = "wl_zk2247";
+    /// Workload for ZK-3157 (f2): `wl_zk3157(ops)`.
+    pub const WL_F2: &str = "wl_zk3157";
+    /// Workload for ZK-3006 (f4): `wl_zk3006(ops)`.
+    pub const WL_F4: &str = "wl_zk3006";
+    /// f1 root cause: the leader's transaction-log write.
+    pub const SITE_F1: &str = "disk.writeTxnLog";
+    /// f2 root cause: the connection handler's request read.
+    pub const SITE_F2: &str = "net.readRequest";
+    /// f3 root cause: reading a follower's vote in the listener.
+    pub const SITE_F3: &str = "election.readVote";
+    /// f4 root cause (developer's diagnosis): syncing the dataset from the
+    /// leader over the network.
+    pub const SITE_F4: &str = "net.syncFromLeader";
+    /// f4 deeper cause (ANDURIL's finding): the local snapshot-header read.
+    pub const SITE_F4_DEEPER: &str = "disk.readSnapshotHeader";
+}
+
+/// Builds the mini-ZooKeeper program.
+pub fn build() -> Program {
+    let mut pb = ProgramBuilder::new("mini-zookeeper");
+
+    // ---- globals -----------------------------------------------------------
+    let db_initialized = pb.global("dbInitialized", Value::Bool(false));
+    let session_valid = pb.global("sessionValid", Value::Bool(true));
+    let txn_count = pb.global("txnCount", Value::Int(0));
+    let election_stuck = pb.global("electionStuck", Value::Bool(false));
+    let zxid = pb.global("lastZxid", Value::Int(0));
+    let outstanding = pb.global("outstandingProposals", Value::Int(0));
+    let snapshots_written = pb.global("snapshotsWritten", Value::Int(0));
+    let joined = pb.meta_global("joinedQuorum", Value::Bool(false));
+    let leader_id = pb.meta_global("leaderId", Value::str("zk1"));
+
+    // ---- channels ------------------------------------------------------------
+    let request_chan = pb.chan("request");
+    let resp_chan = pb.chan("response");
+    let election_chan = pb.chan("election");
+    let election_ack = pb.chan("electionAck");
+    let admin_chan = pb.chan("adminCmd");
+    let admin_resp = pb.chan("adminResp");
+    let _sync_chan = pb.chan("followerSync");
+
+    // ---- declarations ----------------------------------------------------------
+    let load_snapshot = pb.declare("loadSnapshot", 0);
+    let prep_request = pb.declare("prepRequestProcessor", 1); // req
+    let sync_request = pb.declare("syncRequestProcessor", 0);
+    let final_request = pb.declare("finalRequestProcessor", 1); // req
+    let snapshot_writer = pb.declare("snapshotWriterChore", 1); // iterations
+    let follower_syncer = pb.declare("followerSyncThread", 1); // iterations
+    let admin_handler = pb.declare("adminCommandHandler", 1); // req
+    let admin_listener = pb.declare("adminServerLoop", 1); // idle
+    let election_listener = pb.declare("electionListener", 0);
+    let join_quorum = pb.declare("joinQuorum", 0);
+    let process_request = pb.declare("processRequest", 1); // req
+    let purge_chore = pb.declare("snapshotPurgeChore", 1); // iterations
+    let session_tracker = pb.declare("sessionTracker", 1); // iterations
+    let server_main = pb.declare(names::SERVER_MAIN, 3); // is_leader, join_delay, idle
+    let do_op = pb.declare("clientOp", 2); // type, multi_flag
+    let wl_f1 = pb.declare(names::WL_F1, 1); // ops
+    let wl_f2 = pb.declare(names::WL_F2, 1); // ops
+    let wl_f4 = pb.declare(names::WL_F4, 1); // ops
+
+    // ---- snapshot loading (f4) --------------------------------------------------
+    pb.body(load_snapshot, |b| {
+        b.try_catch(
+            |b| {
+                // Deeper cause (ZK-4737 analog): a failed header read also
+                // leaves the database uninitialized.
+                b.external_lat(names::SITE_F4_DEEPER, &[ExceptionType::Io], 3);
+                b.try_catch(
+                    |b| {
+                        // Developer-diagnosed cause: the network dataset
+                        // sync from the leader.
+                        b.external_lat(names::SITE_F4, &[ExceptionType::Io], 4);
+                        b.set_global(db_initialized, e::bool_(true));
+                        b.log(
+                            Level::Info,
+                            "Restored dataset from snapshot and leader",
+                            vec![],
+                        );
+                    },
+                    ExceptionType::Io,
+                    |b| {
+                        b.log_exc(
+                            Level::Warn,
+                            "Unable to sync dataset from leader, serving local data",
+                            vec![],
+                        );
+                        // BUG: the database is still treated as loadable.
+                    },
+                );
+            },
+            ExceptionType::Io,
+            |b| {
+                b.log_exc(
+                    Level::Warn,
+                    "Unable to read snapshot header, rebuilding database",
+                    vec![],
+                );
+                // BUG: the rebuild never happens; dbInitialized stays false.
+            },
+        );
+    });
+
+    // ---- election (f3) ------------------------------------------------------------
+    pb.body(election_listener, |b| {
+        let vote = b.local();
+        b.loop_(|b| {
+            b.try_catch(
+                |b| {
+                    b.recv(election_chan, vote, Some(e::int(2_500)));
+                },
+                ExceptionType::Timeout,
+                |b| {
+                    b.log(Level::Info, "Election listener idle, exiting", vec![]);
+                    b.break_();
+                },
+            );
+            b.try_catch(
+                |b| {
+                    // ROOT-CAUSE SITE of ZK-4203.
+                    b.external(names::SITE_F3, &[ExceptionType::Io]);
+                    b.log(
+                        Level::Info,
+                        "Received connection request from {}",
+                        vec![e::index(e::var(vote), 0)],
+                    );
+                    b.send(e::index(e::var(vote), 0), election_ack, e::str_("ack"));
+                },
+                ExceptionType::Io,
+                |b| {
+                    // ZK-4203's defective design: one fault ends the
+                    // listener forever.
+                    b.log_exc(
+                        Level::Error,
+                        "Exception while listening for election connections, shutting down listener thread",
+                        vec![],
+                    );
+                    b.break_();
+                },
+            );
+        });
+    });
+
+    pb.body(join_quorum, |b| {
+        let attempts = b.local();
+        let ack = b.local();
+        b.assign(attempts, e::int(0));
+        b.while_(e::lt(e::var(attempts), e::int(3)), |b| {
+            b.send(
+                e::glob(leader_id),
+                election_chan,
+                e::list(vec![e::self_node()]),
+            );
+            b.try_catch(
+                |b| {
+                    b.recv(election_ack, ack, Some(e::int(400)));
+                    b.set_global(joined, e::bool_(true));
+                    b.log(
+                        Level::Info,
+                        "Joined quorum led by {}",
+                        vec![e::glob(leader_id)],
+                    );
+                    b.ret(None);
+                },
+                ExceptionType::Timeout,
+                |b| {
+                    b.log(
+                        Level::Warn,
+                        "Cannot open channel to leader at election address, retrying",
+                        vec![],
+                    );
+                },
+            );
+            b.assign(attempts, e::add(e::var(attempts), e::int(1)));
+        });
+        b.set_global(election_stuck, e::bool_(true));
+        b.log(
+            Level::Error,
+            "Leader election stuck, no response from leader",
+            vec![],
+        );
+    });
+
+    // ---- request processor pipeline ------------------------------------------
+    // PrepRequestProcessor: validate the request and create a proposal.
+    pb.body(prep_request, |b| {
+        let req = b.param(0);
+        b.if_(e::not(e::glob(db_initialized)), |b| {
+            // The NPE analog of ZK-3006 surfaces in request preparation.
+            b.throw_new("npe.derefNullDataTree", ExceptionType::Runtime);
+        });
+        b.set_global(outstanding, e::add(e::glob(outstanding), e::int(1)));
+        b.set_global(zxid, e::add(e::glob(zxid), e::int(1)));
+        b.log(
+            Level::Debug,
+            "Created proposal for zxid {}",
+            vec![e::glob(zxid)],
+        );
+        b.ret(Some(e::var(req)));
+    });
+
+    // SyncRequestProcessor: persist the transaction to the log.
+    pb.body(sync_request, |b| {
+        // ROOT-CAUSE SITE of ZK-2247 lives in the sync stage.
+        b.external_lat(names::SITE_F1, &[ExceptionType::Io], 2);
+        b.set_global(txn_count, e::add(e::glob(txn_count), e::int(1)));
+        transient_warn(b, 4, "fsync-ing the write-ahead log took too long");
+    });
+
+    // FinalRequestProcessor: apply and acknowledge.
+    pb.body(final_request, |b| {
+        let req = b.param(0);
+        b.set_global(outstanding, e::sub(e::glob(outstanding), e::int(1)));
+        b.send(e::index(e::var(req), 1), resp_chan, e::str_("ok"));
+    });
+
+    // Snapshot writer chore: periodic fuzzy snapshots.
+    pb.body(snapshot_writer, |b| {
+        let iters = b.param(0);
+        let i = b.local();
+        b.assign(i, e::int(0));
+        b.while_(e::lt(e::var(i), e::var(iters)), |b| {
+            b.sleep(e::rand(200, 320));
+            b.try_catch(
+                |b| {
+                    b.external_lat("disk.writeFuzzySnapshot", &[ExceptionType::Io], 5);
+                    b.set_global(
+                        snapshots_written,
+                        e::add(e::glob(snapshots_written), e::int(1)),
+                    );
+                    b.log(
+                        Level::Info,
+                        "Snapshot written up to zxid {}",
+                        vec![e::glob(zxid)],
+                    );
+                },
+                ExceptionType::Io,
+                |b| {
+                    b.log_exc(Level::Warn, "Fuzzy snapshot failed, will retry", vec![]);
+                },
+            );
+            b.assign(i, e::add(e::var(i), e::int(1)));
+        });
+    });
+
+    // Follower sync thread: periodically pulls committed transactions.
+    pb.body(follower_syncer, |b| {
+        let iters = b.param(0);
+        let i = b.local();
+        b.assign(i, e::int(0));
+        b.while_(e::lt(e::var(i), e::var(iters)), |b| {
+            b.sleep(e::rand(70, 130));
+            flaky_external(
+                b,
+                "net.syncCommittedTxns",
+                ExceptionType::Io,
+                7,
+                "Follower sync round fell behind the leader",
+            );
+            b.assign(i, e::add(e::var(i), e::int(1)));
+        });
+    });
+
+    // Four-letter admin command handler (`ruok` and friends).
+    pb.body(admin_handler, |b| {
+        let req = b.param(0);
+        b.if_else(
+            e::eq(e::index(e::var(req), 0), e::str_("ruok")),
+            |b| {
+                b.send(e::index(e::var(req), 1), admin_resp, e::str_("imok"));
+            },
+            |b| {
+                b.log(
+                    Level::Debug,
+                    "Processing stat command for {}",
+                    vec![e::index(e::var(req), 1)],
+                );
+                b.send(e::index(e::var(req), 1), admin_resp, e::glob(zxid));
+            },
+        );
+    });
+
+    // Admin server loop: serves four-letter commands until idle.
+    pb.body(admin_listener, |b| {
+        let idle = b.param(0);
+        let req = b.local();
+        b.loop_(|b| {
+            b.try_catch(
+                |b| {
+                    b.recv(admin_chan, req, Some(e::var(idle)));
+                },
+                ExceptionType::Timeout,
+                |b| {
+                    b.break_();
+                },
+            );
+            b.call(admin_handler, vec![e::var(req)]);
+        });
+    });
+
+    // ---- request processing (f1, f2, f4) ----------------------------------------
+    // req = [kind, client, multi_flag]
+    pb.body(process_request, |b| {
+        let req = b.param(0);
+        b.try_catch(
+            |b| {
+                // ROOT-CAUSE SITE of ZK-3157: reading the request from the
+                // connection.
+                b.external(names::SITE_F2, &[ExceptionType::Io]);
+            },
+            ExceptionType::Io,
+            |b| {
+                b.log_exc(
+                    Level::Warn,
+                    "Unexpected exception reading request, closing session",
+                    vec![],
+                );
+                b.set_global(session_valid, e::bool_(false));
+                b.ret(None); // no response: the client will time out
+            },
+        );
+        b.if_else(
+            e::eq(e::index(e::var(req), 0), e::str_("reconnect")),
+            |b| {
+                b.if_else(
+                    e::glob(session_valid),
+                    |b| {
+                        b.send(e::index(e::var(req), 1), resp_chan, e::str_("ok"));
+                    },
+                    |b| {
+                        b.log(Level::Info, "Telling client its session expired", vec![]);
+                        b.set_global(session_valid, e::bool_(true));
+                        b.send(e::index(e::var(req), 1), resp_chan, e::str_("expired"));
+                    },
+                );
+            },
+            |b| {
+                // A write operation flows through the three-stage request
+                // processor pipeline (prep -> sync -> final).
+                let prepared = b.local();
+                b.call_ret(prep_request, vec![e::var(req)], prepared);
+                b.try_catch(
+                    |b| {
+                        b.call(sync_request, vec![]);
+                        b.call(final_request, vec![e::var(prepared)]);
+                    },
+                    ExceptionType::Io,
+                    |b| {
+                        b.log_exc(
+                            Level::Error,
+                            "Severe unrecoverable error: unable to write transaction log, exiting",
+                            vec![],
+                        );
+                        b.abort("transaction log write failure");
+                    },
+                );
+            },
+        );
+    });
+
+    // ---- chores -----------------------------------------------------------------
+    pb.body(purge_chore, |b| {
+        let iters = b.param(0);
+        let i = b.local();
+        b.assign(i, e::int(0));
+        b.while_(e::lt(e::var(i), e::var(iters)), |b| {
+            b.sleep(e::rand(90, 150));
+            flaky_external(
+                b,
+                "disk.purgeTxnLogs",
+                ExceptionType::Io,
+                6,
+                "Failed to purge old transaction logs",
+            );
+            b.assign(i, e::add(e::var(i), e::int(1)));
+        });
+    });
+    pb.body(session_tracker, |b| {
+        let iters = b.param(0);
+        let i = b.local();
+        b.assign(i, e::int(0));
+        b.while_(e::lt(e::var(i), e::var(iters)), |b| {
+            b.sleep(e::rand(60, 110));
+            flaky_external(
+                b,
+                "disk.fsyncSessionState",
+                ExceptionType::Io,
+                7,
+                "Session state fsync was slow",
+            );
+            b.assign(i, e::add(e::var(i), e::int(1)));
+        });
+    });
+
+    // ---- server main -----------------------------------------------------------
+    pb.body(server_main, |b| {
+        let is_leader = b.param(0);
+        let join_delay = b.param(1);
+        let idle = b.param(2);
+        b.log(Level::Info, "ZooKeeper server starting", vec![]);
+        b.call(load_snapshot, vec![]);
+        b.spawn("PurgeTask", purge_chore, vec![e::int(6)]);
+        b.spawn("SessionTracker", session_tracker, vec![e::int(8)]);
+        b.spawn("SnapshotWriter", snapshot_writer, vec![e::int(4)]);
+        b.if_else(
+            e::eq(e::var(is_leader), e::bool_(true)),
+            |b| {
+                b.spawn("ListenerThread", election_listener, vec![]);
+                b.spawn("AdminServer", admin_listener, vec![e::var(idle)]);
+                b.log(Level::Info, "Serving as quorum leader", vec![]);
+                let req = b.local();
+                b.loop_(|b| {
+                    b.try_catch(
+                        |b| {
+                            b.recv(request_chan, req, Some(e::var(idle)));
+                        },
+                        ExceptionType::Timeout,
+                        |b| {
+                            b.log(
+                                Level::Info,
+                                "Leader idle, shutting down request loop",
+                                vec![],
+                            );
+                            b.break_();
+                        },
+                    );
+                    b.call(process_request, vec![e::var(req)]);
+                });
+            },
+            |b| {
+                b.sleep(e::var(join_delay));
+                b.call(join_quorum, vec![]);
+                b.if_(e::glob(joined), |b| {
+                    b.spawn("FollowerSync", follower_syncer, vec![e::int(6)]);
+                });
+                b.sleep(e::var(idle));
+                b.log(Level::Info, "Follower shutting down", vec![]);
+            },
+        );
+    });
+
+    // ---- client workloads ---------------------------------------------------------
+
+    // clientOp: one request round-trip with timeout/reconnect handling.
+    // `multi_flag` true marks a multi-op, whose session expiry crashes the
+    // client (ZK-3157's bug).
+    pb.body(do_op, |b| {
+        let kind = b.param(0);
+        let multi = b.param(1);
+        let resp = b.local();
+        b.send(
+            e::str_("zk1"),
+            request_chan,
+            e::list(vec![e::var(kind), e::self_node(), e::var(multi)]),
+        );
+        b.try_catch(
+            |b| {
+                b.recv(resp_chan, resp, Some(e::int(300)));
+                b.log(Level::Debug, "Operation acknowledged", vec![]);
+            },
+            ExceptionType::Timeout,
+            |b| {
+                b.log(
+                    Level::Warn,
+                    "Request timed out, reconnecting session",
+                    vec![],
+                );
+                b.send(
+                    e::str_("zk1"),
+                    request_chan,
+                    e::list(vec![e::str_("reconnect"), e::self_node(), e::bool_(false)]),
+                );
+                b.try_catch(
+                    |b| {
+                        b.recv(resp_chan, resp, Some(e::int(400)));
+                        b.if_else(
+                            e::eq(e::var(resp), e::str_("expired")),
+                            |b| {
+                                b.if_else(
+                                    e::eq(e::var(multi), e::bool_(true)),
+                                    |b| {
+                                        // ZK-3157's bug: expiry mid-multi is
+                                        // not handled.
+                                        b.throw_new(
+                                            "client.sessionExpiredMidMulti",
+                                            ExceptionType::IllegalState,
+                                        );
+                                    },
+                                    |b| {
+                                        b.log(
+                                            Level::Warn,
+                                            "Session expired, established a new session",
+                                            vec![],
+                                        );
+                                    },
+                                );
+                            },
+                            |b| {
+                                b.log(Level::Info, "Reconnected to quorum", vec![]);
+                            },
+                        );
+                    },
+                    ExceptionType::Timeout,
+                    |b| {
+                        b.log(Level::Error, "Giving up on server connection", vec![]);
+                    },
+                );
+            },
+        );
+    });
+
+    // f1: a stream of writes interleaved with monitoring pings.
+    pb.body(wl_f1, |b| {
+        let ops = b.param(0);
+        let i = b.local();
+        let pong = b.local();
+        b.assign(i, e::int(0));
+        b.while_(e::lt(e::var(i), e::var(ops)), |b| {
+            b.call(do_op, vec![e::str_("create"), e::bool_(false)]);
+            b.if_(e::eq(e::rem(e::var(i), e::int(4)), e::int(3)), |b| {
+                b.send(
+                    e::str_("zk1"),
+                    admin_chan,
+                    e::list(vec![e::str_("ruok"), e::self_node()]),
+                );
+                b.try_catch(
+                    |b| {
+                        b.recv(admin_resp, pong, Some(e::int(300)));
+                        b.log(Level::Debug, "Ensemble health check ok", vec![]);
+                    },
+                    ExceptionType::Timeout,
+                    |b| {
+                        b.log(Level::Warn, "Ensemble health check timed out", vec![]);
+                    },
+                );
+            });
+            b.sleep(e::rand(15, 40));
+            b.assign(i, e::add(e::var(i), e::int(1)));
+        });
+        b.log(Level::Info, "workload finished", vec![]);
+    });
+
+    // f2: plain ops with one multi in the middle.
+    pb.body(wl_f2, |b| {
+        let ops = b.param(0);
+        let i = b.local();
+        b.assign(i, e::int(0));
+        b.while_(e::lt(e::var(i), e::var(ops)), |b| {
+            b.if_else(
+                e::eq(e::var(i), e::int(5)),
+                |b| {
+                    b.call(do_op, vec![e::str_("multi"), e::bool_(true)]);
+                },
+                |b| {
+                    b.call(do_op, vec![e::str_("set"), e::bool_(false)]);
+                },
+            );
+            b.sleep(e::rand(15, 40));
+            b.assign(i, e::add(e::var(i), e::int(1)));
+        });
+        b.log(Level::Info, "workload finished", vec![]);
+    });
+
+    // f4: a short write workload against a freshly booted ensemble.
+    pb.body(wl_f4, |b| {
+        let ops = b.param(0);
+        b.sleep(e::int(60));
+        let i = b.local();
+        b.assign(i, e::int(0));
+        b.while_(e::lt(e::var(i), e::var(ops)), |b| {
+            b.call(do_op, vec![e::str_("create"), e::bool_(false)]);
+            b.sleep(e::rand(20, 45));
+            b.assign(i, e::add(e::var(i), e::int(1)));
+        });
+        b.log(Level::Info, "workload finished", vec![]);
+    });
+
+    pb.finish().expect("mini-zookeeper program is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anduril_sim::{run, InjectionPlan, NodeSpec, SimConfig, Topology};
+
+    fn topo(p: &Program, wl: Option<(&str, i64)>) -> Topology {
+        let mut nodes = vec![
+            NodeSpec::new(
+                "zk1",
+                p.func_named(names::SERVER_MAIN).unwrap(),
+                vec![Value::Bool(true), Value::Int(0), Value::Int(1_200)],
+            ),
+            NodeSpec::new(
+                "zk2",
+                p.func_named(names::SERVER_MAIN).unwrap(),
+                vec![Value::Bool(false), Value::Int(100), Value::Int(600)],
+            ),
+            NodeSpec::new(
+                "zk3",
+                p.func_named(names::SERVER_MAIN).unwrap(),
+                vec![Value::Bool(false), Value::Int(700), Value::Int(600)],
+            ),
+        ];
+        if let Some((wl, arg)) = wl {
+            nodes.push(NodeSpec::new(
+                "client",
+                p.func_named(wl).unwrap(),
+                vec![Value::Int(arg)],
+            ));
+        }
+        Topology::new(nodes)
+    }
+
+    #[test]
+    fn normal_boot_and_writes_succeed() {
+        let p = build();
+        let t = topo(&p, Some((names::WL_F1, 12)));
+        let cfg = SimConfig {
+            max_time: 20_000,
+            ..SimConfig::default()
+        };
+        let r = run(&p, &t, &cfg, InjectionPlan::none()).unwrap();
+        assert!(r.has_log("Joined quorum led by zk1"), "{}", r.log_text());
+        assert_eq!(r.count_log("Joined quorum"), 2, "both followers join");
+        assert!(r.has_log("workload finished"));
+        assert_eq!(r.global("zk1", "txnCount"), Some(&Value::Int(12)));
+        assert!(!r.has_log("shutting down listener thread"));
+        assert!(!r.node_aborted("zk1"));
+    }
+
+    #[test]
+    fn listener_fault_wedges_late_follower() {
+        let p = build();
+        let t = topo(&p, None);
+        let cfg = SimConfig {
+            max_time: 20_000,
+            ..SimConfig::default()
+        };
+        let site = p
+            .sites
+            .iter()
+            .find(|s| s.desc == names::SITE_F3)
+            .unwrap()
+            .id;
+        // Occurrence 0 is zk2's vote read: the listener dies; zk3 (joining
+        // later) can never get in.
+        let r = run(
+            &p,
+            &t,
+            &cfg,
+            InjectionPlan::exact(site, 0, ExceptionType::Io),
+        )
+        .unwrap();
+        assert!(
+            r.has_log("shutting down listener thread"),
+            "{}",
+            r.log_text()
+        );
+        assert!(r.has_log("no response from leader"));
+    }
+
+    #[test]
+    fn txn_log_fault_aborts_leader() {
+        let p = build();
+        let t = topo(&p, Some((names::WL_F1, 12)));
+        let cfg = SimConfig {
+            max_time: 20_000,
+            ..SimConfig::default()
+        };
+        let site = p
+            .sites
+            .iter()
+            .find(|s| s.desc == names::SITE_F1)
+            .unwrap()
+            .id;
+        let r = run(
+            &p,
+            &t,
+            &cfg,
+            InjectionPlan::exact(site, 3, ExceptionType::Io),
+        )
+        .unwrap();
+        assert!(r.has_log("unable to write transaction log"));
+        assert!(r.node_aborted("zk1"));
+        assert!(r.has_log("Request timed out"));
+        assert!(r.has_log("Giving up on server connection"));
+    }
+}

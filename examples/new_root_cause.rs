@@ -1,0 +1,53 @@
+//! Demonstrate the Table 6 finding: a reproduction can surface a *deeper*
+//! root cause than the developers' diagnosis, behind the same oracle.
+//!
+//! Run with `cargo run --example new_root_cause`.
+
+use anduril::failures::all_cases;
+use anduril::sim::InjectionPlan;
+
+fn main() {
+    for case in all_cases() {
+        if case.deeper_causes.is_empty() {
+            continue;
+        }
+        println!("{} ({}) — {}", case.ticket, case.id, case.description);
+        println!("  developer-diagnosed cause: {}", case.root_site_desc);
+        for deeper in &case.deeper_causes {
+            // Verify the deeper cause also satisfies the failure oracle.
+            let site = case
+                .scenario
+                .program
+                .sites
+                .iter()
+                .find(|s| s.desc == deeper.site_desc)
+                .expect("deeper site exists")
+                .id;
+            let normal = case
+                .scenario
+                .run(case.failure_seed, InjectionPlan::none())
+                .expect("normal run");
+            let total = normal.site_occurrences[site.index()].max(1);
+            let satisfying = (0..total).find(|&occ| {
+                case.scenario
+                    .run(
+                        case.failure_seed,
+                        InjectionPlan::exact(site, occ, deeper.exc),
+                    )
+                    .map(|r| r.injected.is_some() && case.oracle.check(&r))
+                    .unwrap_or(false)
+            });
+            match satisfying {
+                Some(occ) => println!(
+                    "  deeper cause CONFIRMED   : {} {} at occurrence {occ} satisfies the same oracle\n    ({})",
+                    deeper.exc, deeper.site_desc, deeper.note
+                ),
+                None => println!(
+                    "  deeper cause NOT confirmed: {} {}",
+                    deeper.exc, deeper.site_desc
+                ),
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,217 @@
+//! The `anduril` command-line tool: inspect and reproduce the bundled
+//! failure cases.
+//!
+//! ```console
+//! $ anduril list
+//! $ anduril show f17
+//! $ anduril log f17 | head
+//! $ anduril reproduce f17 [--strategy full|exhaustive|site-distance|...]
+//! ```
+
+use anduril::baselines::{CrashTuner, Fate, StacktraceInjector};
+use anduril::failures::{all_cases, case_by_id};
+use anduril::{explore, ExplorerConfig, FeedbackConfig, FeedbackStrategy, SearchContext, Strategy};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  anduril list\n  anduril show <case>\n  anduril log <case>\n  \
+         anduril reproduce <case> [--strategy NAME] [--max-rounds N] [--emit-script FILE]\n  \
+         anduril replay <case> <script-file>\n  \
+         anduril explain <case>\n\n\
+         strategies: full (default), exhaustive, site-distance, site-distance-limit3,\n\
+         site-feedback, multiply, sum-aggregate, order-distance, global-diff,\n\
+         fate, crashtuner, crashtuner-meta-exc, stacktrace"
+    );
+    std::process::exit(2);
+}
+
+fn strategy_by_name(name: &str) -> Option<Box<dyn Strategy>> {
+    Some(match name {
+        "full" => Box::new(FeedbackStrategy::new(FeedbackConfig::full())),
+        "exhaustive" => Box::new(FeedbackStrategy::new(FeedbackConfig::exhaustive())),
+        "site-distance" => Box::new(FeedbackStrategy::new(FeedbackConfig::site_distance())),
+        "site-distance-limit3" => Box::new(FeedbackStrategy::new(
+            FeedbackConfig::site_distance_limited(),
+        )),
+        "site-feedback" => Box::new(FeedbackStrategy::new(FeedbackConfig::site_feedback())),
+        "multiply" => Box::new(FeedbackStrategy::new(FeedbackConfig::multiply())),
+        "sum-aggregate" => Box::new(FeedbackStrategy::new(FeedbackConfig::sum_aggregate())),
+        "order-distance" => Box::new(FeedbackStrategy::new(FeedbackConfig::order_distance())),
+        "global-diff" => Box::new(FeedbackStrategy::new(FeedbackConfig::global_diff())),
+        "fate" => Box::new(Fate::new()),
+        "crashtuner" => Box::new(CrashTuner::crashes()),
+        "crashtuner-meta-exc" => Box::new(CrashTuner::meta_exceptions()),
+        "stacktrace" => Box::new(StacktraceInjector::new()),
+        _ => return None,
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            println!("{:4} {:10} {:10} description", "id", "ticket", "system");
+            for c in all_cases() {
+                println!(
+                    "{:4} {:10} {:10} {}",
+                    c.id, c.ticket, c.system, c.description
+                );
+            }
+        }
+        Some("show") => {
+            let case = args
+                .get(1)
+                .and_then(|id| case_by_id(id))
+                .unwrap_or_else(|| usage());
+            println!("{} ({}) on {}", case.ticket, case.id, case.system);
+            println!("  {}", case.description);
+            println!("  root cause : {} ({})", case.root_site_desc, case.root_exc);
+            match case.ground_truth() {
+                Ok(gt) => println!(
+                    "  ground truth: occurrence {} under seed {}",
+                    gt.occurrence, gt.seed
+                ),
+                Err(e) => println!("  ground truth: UNRESOLVABLE ({e})"),
+            }
+            for d in &case.deeper_causes {
+                println!("  deeper cause: {} ({}) — {}", d.site_desc, d.exc, d.note);
+            }
+        }
+        Some("log") => {
+            let case = args
+                .get(1)
+                .and_then(|id| case_by_id(id))
+                .unwrap_or_else(|| usage());
+            print!("{}", case.failure_log().expect("failure log"));
+        }
+        Some("reproduce") => {
+            let case = args
+                .get(1)
+                .and_then(|id| case_by_id(id))
+                .unwrap_or_else(|| usage());
+            let mut strategy_name = "full".to_string();
+            let mut max_rounds = 2_000usize;
+            let mut emit_script: Option<String> = None;
+            let mut i = 2;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--strategy" => {
+                        strategy_name = args.get(i + 1).cloned().unwrap_or_else(|| usage());
+                        i += 2;
+                    }
+                    "--max-rounds" => {
+                        max_rounds = args
+                            .get(i + 1)
+                            .and_then(|s| s.parse().ok())
+                            .unwrap_or_else(|| usage());
+                        i += 2;
+                    }
+                    "--emit-script" => {
+                        emit_script = Some(args.get(i + 1).cloned().unwrap_or_else(|| usage()));
+                        i += 2;
+                    }
+                    _ => usage(),
+                }
+            }
+            let mut strategy = strategy_by_name(&strategy_name).unwrap_or_else(|| usage());
+            let gt = case.ground_truth().expect("ground truth");
+            let failure_log = case.failure_log().expect("failure log");
+            let ctx = SearchContext::prepare(case.scenario.clone(), &failure_log, 1_000)
+                .expect("context");
+            eprintln!(
+                "{}: {} observables, {} candidate units, causal graph {}v/{}e",
+                case.id,
+                ctx.observables.len(),
+                ctx.units.len(),
+                ctx.graph.node_count(),
+                ctx.graph.edge_count()
+            );
+            let cfg = ExplorerConfig {
+                max_rounds,
+                ..ExplorerConfig::default()
+            };
+            let r = explore(&ctx, &case.oracle, strategy.as_mut(), &cfg, Some(gt.site))
+                .expect("explore");
+            if r.success {
+                println!(
+                    "reproduced in {} rounds ({} sim ticks, {:?} wall) with {}",
+                    r.rounds, r.sim_time_total, r.wall, r.strategy
+                );
+                if let Some(s) = r.script {
+                    println!(
+                        "script: seed {} inject {} at `{}` occurrence {} (replay verified: {})",
+                        s.seed, s.exc, s.desc, s.occurrence, r.replay_verified
+                    );
+                    if let Some(path) = emit_script {
+                        std::fs::write(&path, s.to_text()).expect("write script");
+                        println!("script written to {path}");
+                    }
+                }
+            } else {
+                println!(
+                    "NOT reproduced within {} rounds with {}",
+                    r.rounds, r.strategy
+                );
+                std::process::exit(1);
+            }
+        }
+        Some("explain") => {
+            let case = args
+                .get(1)
+                .and_then(|id| case_by_id(id))
+                .unwrap_or_else(|| usage());
+            let failure_log = case.failure_log().expect("failure log");
+            let ctx = SearchContext::prepare(case.scenario.clone(), &failure_log, 1_000)
+                .expect("context");
+            let mut s = FeedbackStrategy::new(FeedbackConfig::full());
+            s.init(&ctx);
+            let _ = s.plan_round(&ctx, 0);
+            println!(
+                "{}: initial priority breakdown (F_i = L + I via argmin observable k*)",
+                case.id
+            );
+            println!(
+                "{:32} {:>5} {:>4} {:>5} {:>5} {:>10} {:>6}",
+                "site", "F_i", "k*", "L", "I_k", "best occ", "T"
+            );
+            let mut explanations: Vec<_> = ctx
+                .units
+                .iter()
+                .filter_map(|&u| s.explain(&ctx, u))
+                .collect();
+            explanations.sort_by(|a, b| a.f_i.partial_cmp(&b.f_i).unwrap());
+            for ex in explanations {
+                let (occ, t) = ex
+                    .best_instance
+                    .map(|(o, t)| (format!("{o:?}"), format!("{t:.1}")))
+                    .unwrap_or(("-".into(), "-".into()));
+                println!(
+                    "{:32} {:>5} {:>4} {:>5} {:>5} {:>10} {:>6}",
+                    ctx.scenario.program.sites[ex.unit.site.index()].desc,
+                    ex.f_i,
+                    ex.k_star,
+                    ex.l,
+                    ex.i_k,
+                    occ,
+                    t
+                );
+            }
+        }
+        Some("replay") => {
+            let case = args
+                .get(1)
+                .and_then(|id| case_by_id(id))
+                .unwrap_or_else(|| usage());
+            let path = args.get(2).unwrap_or_else(|| usage());
+            let text = std::fs::read_to_string(path).expect("read script file");
+            let script = anduril::ReproScript::parse(&text).expect("well-formed script");
+            let r = script.replay(&case.scenario).expect("replay runs");
+            println!(
+                "replayed {}: oracle satisfied = {}",
+                case.id,
+                case.oracle.check(&r)
+            );
+        }
+        _ => usage(),
+    }
+}

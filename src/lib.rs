@@ -1,0 +1,82 @@
+//! ANDURIL in Rust: feedback-driven fault injection for reproducing
+//! fault-induced failures in distributed systems.
+//!
+//! This workspace reproduces the SOSP '24 paper *Efficient Reproduction of
+//! Fault-Induced Failures in Distributed Systems with Feedback-Driven
+//! Fault Injection* end to end: the static causal analysis, the
+//! feedback-driven Explorer, five mini target distributed systems, the 22
+//! evaluated failures, the ablation variants, and the external
+//! comparators. See `DESIGN.md` for the system inventory and
+//! `EXPERIMENTS.md` for the regenerated evaluation.
+//!
+//! This facade crate re-exports the public API of every component crate:
+//!
+//! - [`ir`] — the program IR targets are written in;
+//! - [`sim`] — the deterministic simulator and fault-injection runtime;
+//! - [`logdiff`] — log parsing, per-thread Myers diff, timeline alignment;
+//! - [`causal`] — the static causal graph (Algorithm 1);
+//! - the Explorer types at the crate root (re-exported from
+//!   `anduril-core`);
+//! - [`baselines`] — ablation variants and external comparators;
+//! - [`targets`] — the five mini distributed systems;
+//! - [`failures`] — the 22 failure cases.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use anduril::{reproduce, ExplorerConfig};
+//! use anduril::failures::case_by_id;
+//!
+//! let case = case_by_id("f17").expect("motivating example");
+//! let failure_log = case.failure_log().expect("ground truth resolvable");
+//! let (repro, _ctx) = reproduce(
+//!     case.scenario.clone(),
+//!     &failure_log,
+//!     &case.oracle,
+//!     &ExplorerConfig::default(),
+//! )
+//! .expect("exploration runs");
+//! assert!(repro.success);
+//! println!("reproduced in {} rounds: {:?}", repro.rounds, repro.script);
+//! ```
+
+pub use anduril_core::{
+    explore, reproduce, Combine, ExplorerConfig, FaultUnit, FeedbackConfig, FeedbackStrategy,
+    ObservableInfo, Oracle, ReproScript, Reproduction, RoundOutcome, RoundRecord, Scenario,
+    SearchContext, Strategy,
+};
+
+/// The program IR (re-export of `anduril-ir`).
+pub mod ir {
+    pub use anduril_ir::*;
+}
+
+/// The deterministic simulator (re-export of `anduril-sim`).
+pub mod sim {
+    pub use anduril_sim::*;
+}
+
+/// Log processing (re-export of `anduril-logdiff`).
+pub mod logdiff {
+    pub use anduril_logdiff::*;
+}
+
+/// Static causal analysis (re-export of `anduril-causal`).
+pub mod causal {
+    pub use anduril_causal::*;
+}
+
+/// Baseline strategies (re-export of `anduril-baselines`).
+pub mod baselines {
+    pub use anduril_baselines::*;
+}
+
+/// The five mini target systems (re-export of `anduril-targets`).
+pub mod targets {
+    pub use anduril_targets::*;
+}
+
+/// The 22 failure cases (re-export of `anduril-failures`).
+pub mod failures {
+    pub use anduril_failures::*;
+}
