@@ -1,14 +1,38 @@
-//! Criterion microbenchmarks for ANDURIL's building blocks: the per-thread
-//! Myers diff, log parsing, causal-graph construction, priority planning
-//! (the Explorer's decision latency), and raw simulator throughput.
+//! Microbenchmarks for ANDURIL's building blocks: the per-thread Myers
+//! diff, log parsing, causal-graph construction, priority planning (the
+//! Explorer's decision latency), and raw simulator throughput.
+//!
+//! Plain timing harness (`harness = false`): the environment is offline, so
+//! the suite measures with `std::time::Instant` instead of criterion. Each
+//! benchmark warms up briefly, then reports the mean over a fixed iteration
+//! budget.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
 
 use anduril_bench::prepare;
 use anduril_core::{FeedbackConfig, FeedbackStrategy, Strategy};
 use anduril_failures::case_by_id;
 use anduril_logdiff::{compare, myers_matches, parse_log, Alignment};
 use anduril_sim::InjectionPlan;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+
+/// Times `f` with a warmup pass and prints mean ns/iter.
+fn bench(name: &str, mut f: impl FnMut()) {
+    const WARMUP: Duration = Duration::from_millis(200);
+    const MEASURE: Duration = Duration::from_millis(800);
+    let start = Instant::now();
+    while start.elapsed() < WARMUP {
+        f();
+    }
+    let mut iters: u64 = 0;
+    let start = Instant::now();
+    while start.elapsed() < MEASURE {
+        f();
+        iters += 1;
+    }
+    let per_iter = start.elapsed().as_nanos() as u64 / iters.max(1);
+    println!("{name:40} {per_iter:>12} ns/iter ({iters} iters)");
+}
 
 /// Synthetic log-like sequences with ~5% divergence.
 fn divergent_seqs(n: usize) -> (Vec<u32>, Vec<u32>) {
@@ -22,39 +46,34 @@ fn divergent_seqs(n: usize) -> (Vec<u32>, Vec<u32>) {
     (a, b)
 }
 
-fn bench_myers(c: &mut Criterion) {
-    let mut g = c.benchmark_group("myers_diff");
+fn bench_myers() {
     for n in [100usize, 400, 1_600] {
         let (a, b) = divergent_seqs(n);
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
-            bench.iter(|| black_box(myers_matches(&a, &b).len()));
+        bench(&format!("myers_diff/{n}"), || {
+            black_box(myers_matches(&a, &b).len());
         });
     }
-    g.finish();
 }
 
-fn bench_log_pipeline(c: &mut Criterion) {
+fn bench_log_pipeline() {
     let prepared = prepare(case_by_id("f17").expect("f17"));
     let normal_text = prepared.ctx.normal.log_text();
-    c.bench_function("parse_log_f17", |b| {
-        b.iter(|| black_box(parse_log(&normal_text).len()));
+    bench("parse_log_f17", || {
+        black_box(parse_log(&normal_text).len());
     });
     let normal = parse_log(&normal_text);
     let failure = parse_log(&prepared.failure_log);
-    c.bench_function("per_thread_compare_f17", |b| {
-        b.iter(|| black_box(compare(&normal, &failure).missing.len()));
+    bench("per_thread_compare_f17", || {
+        black_box(compare(&normal, &failure).missing.len());
     });
     let diff = compare(&normal, &failure);
-    c.bench_function("alignment_build_f17", |b| {
-        b.iter(|| {
-            let a = Alignment::build(&diff.matches, normal.len(), failure.len());
-            black_box(a.map(17.0))
-        });
+    bench("alignment_build_f17", || {
+        let a = Alignment::build(&diff.matches, normal.len(), failure.len());
+        black_box(a.map(17.0));
     });
 }
 
-fn bench_causal_graph(c: &mut Criterion) {
-    let mut g = c.benchmark_group("causal_graph_build");
+fn bench_causal_graph() {
     for id in ["f3", "f10", "f17"] {
         let prepared = prepare(case_by_id(id).expect("case"));
         let program = prepared.ctx.scenario.program.clone();
@@ -67,44 +86,37 @@ fn bench_causal_graph(c: &mut Criterion) {
             })
             .collect();
         let roots = prepared.ctx.scenario.roots();
-        g.bench_with_input(BenchmarkId::from_parameter(id), &id, |bench, _| {
-            bench.iter(|| {
-                let (graph, _) = anduril_causal::build_graph(&program, &observables, &roots);
-                black_box(graph.node_count())
-            });
+        bench(&format!("causal_graph_build/{id}"), || {
+            let (graph, _) = anduril_causal::build_graph(&program, &observables, &roots);
+            black_box(graph.node_count());
         });
     }
-    g.finish();
 }
 
-fn bench_round_planning(c: &mut Criterion) {
+fn bench_round_planning() {
     // The Explorer's per-round initialization (priority recomputation) —
     // the cost Table 4 calls "Round Init".
     let prepared = prepare(case_by_id("f17").expect("f17"));
     let mut strategy = FeedbackStrategy::new(FeedbackConfig::full());
     strategy.init(&prepared.ctx);
-    c.bench_function("round_planning_f17", |b| {
-        b.iter(|| black_box(strategy.plan_round(&prepared.ctx, 0).len()));
+    bench("round_planning_f17", || {
+        black_box(strategy.plan_round(&prepared.ctx, 0).len());
     });
 }
 
-fn bench_sim_throughput(c: &mut Criterion) {
+fn bench_sim_throughput() {
     let prepared = prepare(case_by_id("f17").expect("f17"));
     let scenario = prepared.ctx.scenario.clone();
-    c.bench_function("workload_run_f17", |b| {
-        b.iter(|| {
-            let r = scenario.run(7, InjectionPlan::none()).expect("run");
-            black_box(r.steps)
-        });
+    bench("workload_run_f17", || {
+        let r = scenario.run(7, InjectionPlan::none()).expect("run");
+        black_box(r.steps);
     });
 }
 
-criterion_group!(
-    benches,
-    bench_myers,
-    bench_log_pipeline,
-    bench_causal_graph,
-    bench_round_planning,
-    bench_sim_throughput
-);
-criterion_main!(benches);
+fn main() {
+    bench_myers();
+    bench_log_pipeline();
+    bench_causal_graph();
+    bench_round_planning();
+    bench_sim_throughput();
+}

@@ -1,11 +1,31 @@
-//! Property-based tests: causal-graph invariants over randomized
+//! Property-style tests: causal-graph invariants over randomized
 //! structured programs.
+//!
+//! Hand-rolled deterministic case generation (seeded SplitMix64) stands in
+//! for `proptest`: the build environment is offline, so the suite carries
+//! its own tiny generator instead of an external dependency.
 
 use anduril_causal::{analyze, build_graph, Observable};
 use anduril_ir::builder::{BodyBuilder, ProgramBuilder};
 use anduril_ir::expr::build as e;
 use anduril_ir::{ExceptionType, Level, Program};
-use proptest::prelude::*;
+
+/// Deterministic generator for randomized cases.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
 
 /// A tiny recipe language for generating structured function bodies.
 #[derive(Debug, Clone)]
@@ -17,14 +37,24 @@ enum Step {
     CallPrev,
 }
 
-fn step_strategy() -> impl Strategy<Value = Step> {
-    prop_oneof![
-        (0u8..4).prop_map(Step::External),
-        (0u8..4).prop_map(Step::TryExternal),
-        (0u8..4).prop_map(Step::LogWarn),
-        (0u8..4).prop_map(Step::IfExternal),
-        Just(Step::CallPrev),
-    ]
+fn random_step(rng: &mut Rng) -> Step {
+    match rng.below(5) {
+        0 => Step::External(rng.below(4) as u8),
+        1 => Step::TryExternal(rng.below(4) as u8),
+        2 => Step::LogWarn(rng.below(4) as u8),
+        3 => Step::IfExternal(rng.below(4) as u8),
+        _ => Step::CallPrev,
+    }
+}
+
+fn random_funcs(rng: &mut Rng, max_funcs: usize, max_steps: usize) -> Vec<Vec<Step>> {
+    let n = 1 + rng.below(max_funcs);
+    (0..n)
+        .map(|_| {
+            let len = 1 + rng.below(max_steps);
+            (0..len).map(|_| random_step(rng)).collect()
+        })
+        .collect()
 }
 
 fn apply_step(b: &mut BodyBuilder<'_>, step: &Step, prev: Option<anduril_ir::FuncId>) {
@@ -78,61 +108,60 @@ fn build_program(funcs: &[Vec<Step>]) -> Program {
     pb.finish().expect("generated programs are valid")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// The graph's sources are always real program fault sites, and every
-    /// observable distance refers to a source.
-    #[test]
-    fn sources_are_program_sites(
-        funcs in prop::collection::vec(
-            prop::collection::vec(step_strategy(), 1..6),
-            1..4,
-        ),
-    ) {
+/// The graph's sources are always real program fault sites, and every
+/// observable distance refers to a source.
+#[test]
+fn sources_are_program_sites() {
+    let mut rng = Rng(31);
+    for _ in 0..48 {
+        let funcs = random_funcs(&mut rng, 3, 5);
         let p = build_program(&funcs);
         let main = p.func_named(&format!("f{}", funcs.len() - 1)).unwrap();
         let observables: Vec<Observable> = (0..p.templates.len())
-            .map(|t| Observable { template: anduril_ir::TemplateId(t as u32) })
+            .map(|t| Observable {
+                template: anduril_ir::TemplateId(t as u32),
+            })
             .collect();
         let (g, _) = build_graph(&p, &observables, &[main]);
-        let site_ids: std::collections::HashSet<_> =
-            p.sites.iter().map(|s| s.id).collect();
+        let site_ids: std::collections::HashSet<_> = p.sites.iter().map(|s| s.id).collect();
         for s in g.sources() {
-            prop_assert!(site_ids.contains(&s));
+            assert!(site_ids.contains(&s));
         }
         for k in 0..observables.len() {
             for (site, d) in g.distances(k) {
-                prop_assert!(g.sources().contains(&site));
-                prop_assert!(d as usize <= g.node_count());
+                assert!(g.sources().contains(&site));
+                assert!(d as usize <= g.node_count());
             }
         }
     }
+}
 
-    /// Graph construction is deterministic.
-    #[test]
-    fn build_is_deterministic(
-        funcs in prop::collection::vec(
-            prop::collection::vec(step_strategy(), 1..5),
-            1..4,
-        ),
-    ) {
+/// Graph construction is deterministic.
+#[test]
+fn build_is_deterministic() {
+    let mut rng = Rng(32);
+    for _ in 0..48 {
+        let funcs = random_funcs(&mut rng, 3, 4);
         let p = build_program(&funcs);
         let main = p.func_named("f0").unwrap();
         let observables: Vec<Observable> = (0..p.templates.len())
-            .map(|t| Observable { template: anduril_ir::TemplateId(t as u32) })
+            .map(|t| Observable {
+                template: anduril_ir::TemplateId(t as u32),
+            })
             .collect();
         let (g1, _) = build_graph(&p, &observables, &[main]);
         let (g2, _) = build_graph(&p, &observables, &[main]);
-        prop_assert_eq!(g1.node_count(), g2.node_count());
-        prop_assert_eq!(g1.edge_count(), g2.edge_count());
-        prop_assert_eq!(g1.sources(), g2.sources());
+        assert_eq!(g1.node_count(), g2.node_count());
+        assert_eq!(g1.edge_count(), g2.edge_count());
+        assert_eq!(g1.sources(), g2.sources());
     }
+}
 
-    /// Exception analysis: a handler-protected site never escapes its
-    /// function; an unprotected one always does.
-    #[test]
-    fn escape_analysis_respects_handlers(protected in any::<bool>()) {
+/// Exception analysis: a handler-protected site never escapes its
+/// function; an unprotected one always does.
+#[test]
+fn escape_analysis_respects_handlers() {
+    for protected in [false, true] {
         let mut pb = ProgramBuilder::new("esc");
         let f = pb.declare("f", 0);
         pb.body(f, |b| {
@@ -152,6 +181,6 @@ proptest! {
         });
         let p = pb.finish().unwrap();
         let a = analyze(&p);
-        prop_assert_eq!(a.escapes[0].contains(&ExceptionType::Io), !protected);
+        assert_eq!(a.escapes[0].contains(&ExceptionType::Io), !protected);
     }
 }

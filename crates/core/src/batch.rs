@@ -1,0 +1,231 @@
+//! Parallel batched exploration: speculate → execute → validate.
+//!
+//! The sequential Explorer is a strict feedback loop — round `r+1`'s plan
+//! depends on round `r`'s outcome — so it cannot be parallelized naively.
+//! This module batches it with *speculative execution*:
+//!
+//! 1. **Speculate.** Clone the strategy and roll it forward up to
+//!    `batch_size` rounds, predicting each round's outcome from the normal
+//!    run's fault-instance timeline ([`Strategy::speculate`]). This yields
+//!    a batch of `(round, plan)` jobs.
+//! 2. **Execute.** Run the jobs concurrently with scoped threads against
+//!    the shared immutable [`SearchContext`]. A run is a pure function of
+//!    `(seed, plan)` — the simulator's RNG and log buffers are run-local —
+//!    so results are position-independent artifacts.
+//! 3. **Validate & merge.** Replay the *real* sequential algorithm in
+//!    round order: recompute each round's plan from the trusted strategy;
+//!    when it equals the speculative plan, reuse the precomputed result,
+//!    otherwise discard it and run inline.
+//!
+//! Because the merge step is literally the sequential loop with a result
+//! cache, the emitted [`Reproduction`] — script, round count, per-round
+//! records (up to host-time fields) — is **byte-identical** to
+//! [`explore`]'s for any `batch_size`/`threads`, for any predictor
+//! quality. Prediction accuracy only decides how much parallel work is
+//! reusable, i.e. the speedup.
+//!
+//! [`explore`]: crate::explorer::explore
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use anduril_ir::SiteId;
+use anduril_sim::{Candidate, InjectionPlan, RunResult, SimError};
+
+use crate::context::SearchContext;
+use crate::explorer::{round_seed, ExploreState, ExplorerConfig, Reproduction};
+use crate::feedback::{FeedbackConfig, FeedbackStrategy};
+use crate::oracle::Oracle;
+use crate::scenario::Scenario;
+use crate::strategy::Strategy;
+
+/// Configuration of the batched explorer.
+#[derive(Debug, Clone)]
+pub struct BatchExplorerConfig {
+    /// Rounds speculated (and executed concurrently) per epoch.
+    pub batch_size: usize,
+    /// Worker threads executing speculative runs. `1` keeps execution on
+    /// the calling thread; results are identical for any value.
+    pub threads: usize,
+}
+
+impl Default for BatchExplorerConfig {
+    fn default() -> Self {
+        BatchExplorerConfig {
+            batch_size: 8,
+            threads: 4,
+        }
+    }
+}
+
+/// Predicts which armed candidate a round will inject, from the normal
+/// run's fault-instance timeline.
+///
+/// The round runs use seeds adjacent to the normal run's, so their dynamic
+/// fault-site orderings are usually close to the normal run's: the armed
+/// candidate whose exact occurrence happened *earliest* in the normal run
+/// is the best guess for the one that fires first. Any-occurrence
+/// candidates target sites the normal run never reached and are assumed
+/// not to fire.
+struct Predictor {
+    /// `(site, occurrence)` → simulated time of that instance in the
+    /// normal run.
+    first_firing: HashMap<(SiteId, u32), u64>,
+}
+
+impl Predictor {
+    fn new(ctx: &SearchContext) -> Self {
+        let mut first_firing = HashMap::new();
+        for t in &ctx.normal.trace {
+            first_firing.entry((t.site, t.occurrence)).or_insert(t.time);
+        }
+        Predictor { first_firing }
+    }
+
+    fn fired(&self, plan: &InjectionPlan) -> Option<(Candidate, u32)> {
+        let mut best: Option<(u64, &Candidate, u32)> = None;
+        for c in &plan.candidates {
+            let Some(occ) = c.occurrence else { continue };
+            let Some(&time) = self.first_firing.get(&(c.site, occ)) else {
+                continue;
+            };
+            if best.map(|(t, _, _)| time < t).unwrap_or(true) {
+                best = Some((time, c, occ));
+            }
+        }
+        best.map(|(_, c, occ)| (c.clone(), occ))
+    }
+}
+
+/// Executes a batch of speculative `(round, plan)` jobs, returning one
+/// result slot per job (in job order).
+fn run_batch(
+    ctx: &SearchContext,
+    cfg: &ExplorerConfig,
+    jobs: &[(usize, InjectionPlan)],
+    threads: usize,
+) -> Vec<Option<Result<RunResult, SimError>>> {
+    let mut results: Vec<Option<Result<RunResult, SimError>>> = Vec::with_capacity(jobs.len());
+    results.resize_with(jobs.len(), || None);
+    let workers = threads.min(jobs.len());
+    if workers <= 1 {
+        for (slot, (r, plan)) in results.iter_mut().zip(jobs) {
+            *slot = Some(ctx.scenario.run(round_seed(cfg, *r), plan.clone()));
+        }
+        return results;
+    }
+    let next = AtomicUsize::new(0);
+    let collected: Vec<(usize, Result<RunResult, SimError>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some((r, plan)) = jobs.get(i) else { break };
+                        out.push((i, ctx.scenario.run(round_seed(cfg, *r), plan.clone())));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    });
+    for (i, res) in collected {
+        results[i] = Some(res);
+    }
+    results
+}
+
+/// Runs the exploration loop in speculative parallel batches.
+///
+/// Equivalent to [`explore`] — same script, same round count, same
+/// per-round records (host-time fields aside) — for any `batch` settings,
+/// because every round's plan is re-derived from the real strategy state
+/// and speculative results are only reused when the plans match exactly.
+///
+/// The strategy must be `Clone` so a throwaway copy can be rolled forward
+/// during speculation; the real strategy only ever sees true outcomes.
+///
+/// [`explore`]: crate::explorer::explore
+pub fn explore_batched<S: Strategy + Clone>(
+    ctx: &SearchContext,
+    oracle: &Oracle,
+    strategy: &mut S,
+    cfg: &ExplorerConfig,
+    batch: &BatchExplorerConfig,
+    ground_truth: Option<SiteId>,
+) -> Result<Reproduction, SimError> {
+    let mut state = ExploreState::new(ctx, oracle, cfg);
+    strategy.init(ctx);
+    let predictor = Predictor::new(ctx);
+    let batch_size = batch.batch_size.max(1);
+
+    let mut round = 0usize;
+    while round < cfg.max_rounds {
+        // 1. Speculative planning on a throwaway clone.
+        let horizon = batch_size.min(cfg.max_rounds - round);
+        let mut spec = strategy.clone();
+        let mut jobs: Vec<(usize, InjectionPlan)> = Vec::with_capacity(horizon);
+        for i in 0..horizon {
+            let Some(plan) = spec.plan_injection(ctx, round + i) else {
+                break;
+            };
+            spec.speculate(ctx, predictor.fired(&plan));
+            jobs.push((round + i, plan));
+        }
+
+        // 2. Concurrent execution of the speculative (seed, plan) pairs.
+        let mut results = run_batch(ctx, cfg, &jobs, batch.threads);
+
+        // 3. Sequential validation and merge. Always processes at least
+        //    one round so an over-pessimistic speculation (empty `jobs`)
+        //    still makes progress exactly as the sequential loop would.
+        let mut merged = 0usize;
+        for i in 0..jobs.len().max(1) {
+            let r = round + i;
+            let init_start = Instant::now();
+            let plan = strategy.plan_injection(ctx, r);
+            let init_ns = init_start.elapsed().as_nanos() as u64;
+            let gt_rank = ground_truth.and_then(|s| strategy.site_rank(s));
+            let Some(plan) = plan else {
+                return Ok(state.give_up(strategy.name()));
+            };
+            let armed = plan.candidates.len() + usize::from(plan.crash_at.is_some());
+            let result = match jobs.get(i) {
+                Some((jr, spec_plan)) if *jr == r && plan == *spec_plan => results
+                    .get_mut(i)
+                    .and_then(Option::take)
+                    .expect("each speculative job ran once")?,
+                _ => ctx.scenario.run(round_seed(cfg, r), plan)?,
+            };
+            merged += 1;
+            if let Some(done) = state.absorb(strategy, r, gt_rank, init_ns, armed, result)? {
+                return Ok(done);
+            }
+        }
+        round += merged;
+    }
+    Ok(state.give_up(strategy.name()))
+}
+
+/// One-call batched ANDURIL: prepare the context and reproduce with the
+/// full feedback strategy, executing rounds in speculative parallel
+/// batches. The batched counterpart of [`crate::explorer::reproduce`].
+pub fn reproduce_batched(
+    scenario: Scenario,
+    failure_log_text: &str,
+    oracle: &Oracle,
+    cfg: &ExplorerConfig,
+    batch: &BatchExplorerConfig,
+) -> Result<(Reproduction, SearchContext), SimError> {
+    let ctx = SearchContext::prepare(scenario, failure_log_text, cfg.base_seed)?;
+    let mut strategy = FeedbackStrategy::new(FeedbackConfig::full());
+    let repro = explore_batched(&ctx, oracle, &mut strategy, cfg, batch, None)?;
+    Ok((repro, ctx))
+}

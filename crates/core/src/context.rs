@@ -11,7 +11,7 @@ use std::collections::{HashMap, HashSet};
 
 use anduril_causal::{build_graph, BuildTimings, CausalGraph, Observable};
 use anduril_ir::{ExceptionType, SiteId, TemplateId};
-use anduril_logdiff::{compare, parse_log, Alignment, ParsedEntry};
+use anduril_logdiff::{compare_with, parse_log, Alignment, GroupedLog, ParsedEntry};
 use anduril_sim::{RunResult, SimError};
 
 use crate::scenario::Scenario;
@@ -43,6 +43,9 @@ pub struct SearchContext {
     pub scenario: Scenario,
     /// Parsed failure log (from the uninstrumented production system).
     pub failure: Vec<ParsedEntry>,
+    /// `failure` pre-grouped by `(node, thread)`, so the per-round diff
+    /// skips regrouping the (constant) failure side every round.
+    pub failure_grouped: GroupedLog,
     /// The fault-free run.
     pub normal: RunResult,
     /// Relevant observables (failure-only messages).
@@ -72,8 +75,9 @@ impl SearchContext {
     ) -> Result<SearchContext, SimError> {
         let normal = scenario.run(base_seed, anduril_sim::InjectionPlan::none())?;
         let failure = parse_log(failure_log_text);
+        let failure_grouped = GroupedLog::new(&failure);
         let normal_parsed = parse_log(&normal.log_text());
-        let diff = compare(&normal_parsed, &failure);
+        let diff = compare_with(&normal_parsed, &failure, &failure_grouped);
 
         // Map failure-only entries to templates; one observable per
         // template, holding every position it is missing at.
@@ -121,6 +125,7 @@ impl SearchContext {
         Ok(SearchContext {
             scenario,
             failure,
+            failure_grouped,
             normal,
             observables,
             graph,
@@ -156,7 +161,7 @@ impl SearchContext {
         let diff = if global {
             anduril_logdiff::compare_global(&parsed, &self.failure)
         } else {
-            compare(&parsed, &self.failure)
+            compare_with(&parsed, &self.failure, &self.failure_grouped)
         };
         let missing: HashSet<usize> = diff.missing.iter().copied().collect();
         self.observables
@@ -167,6 +172,14 @@ impl SearchContext {
             .collect()
     }
 }
+
+// The batched explorer shares one context across worker threads; every
+// field is plain owned data, so this holds structurally — the assertion
+// turns an accidental `Rc`/`RefCell` regression into a compile error.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SearchContext>();
+};
 
 /// Picks the most specific template whose rendered form matches `body`
 /// (longest literal text wins; ties broken by id for determinism).

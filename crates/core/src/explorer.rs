@@ -1,5 +1,6 @@
 //! The Explorer's round loop (§3, steps 1–5).
 
+use std::collections::HashSet;
 use std::time::{Duration, Instant};
 
 use anduril_ir::{ExceptionType, SiteId};
@@ -170,6 +171,178 @@ impl Reproduction {
     }
 }
 
+/// Seed for round `round` of an exploration: `base_seed + 1 + round`,
+/// restoring the cross-run nondeterminism the flexible window handles.
+pub(crate) fn round_seed(cfg: &ExplorerConfig, round: usize) -> u64 {
+    cfg.base_seed + 1 + round as u64
+}
+
+/// Seed for the §6 extra fault-free feedback runs of a round.
+///
+/// Drawn from a splitmix64-mixed stream over `(round, extra)` with the top
+/// bit forced set, so extra-run seeds are disjoint from the round seeds
+/// `base_seed + 1 + round` no matter how large `max_rounds` grows. (The
+/// previous `seed + 7_000 + extra` scheme collided with the seeds of
+/// rounds ~7000 onwards, silently correlating the extra runs' outcomes
+/// with future rounds.)
+fn extra_run_seed(base_seed: u64, round: usize, extra: usize) -> u64 {
+    let mut z = base_seed
+        .wrapping_add((round as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add((extra as u64 + 1).wrapping_mul(0xD1B5_4A32_D192_ED03));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    (z ^ (z >> 31)) | (1 << 63)
+}
+
+/// Shared round-absorption engine behind [`explore`] and
+/// [`crate::batch::explore_batched`].
+///
+/// Both explorers feed executed rounds through [`ExploreState::absorb`] in
+/// round order, so every piece of search state (oracle check, records,
+/// strategy feedback, §6 extra runs) evolves identically whether rounds
+/// were executed inline or speculatively on worker threads.
+pub(crate) struct ExploreState<'a> {
+    ctx: &'a SearchContext,
+    oracle: &'a Oracle,
+    cfg: &'a ExplorerConfig,
+    started: Instant,
+    per_round: Vec<RoundRecord>,
+    injection_requests: u64,
+    decision_ns: u64,
+    sim_time_total: u64,
+}
+
+impl<'a> ExploreState<'a> {
+    pub(crate) fn new(ctx: &'a SearchContext, oracle: &'a Oracle, cfg: &'a ExplorerConfig) -> Self {
+        ExploreState {
+            ctx,
+            oracle,
+            cfg,
+            started: Instant::now(),
+            per_round: Vec::new(),
+            injection_requests: ctx.normal.injection_requests,
+            decision_ns: ctx.normal.decision_ns,
+            sim_time_total: ctx.normal.end_time,
+        }
+    }
+
+    /// Absorbs one executed round: records it, checks the oracle, and on a
+    /// miss feeds the outcome (plus §6 extra runs) back into the strategy.
+    ///
+    /// Returns the finished [`Reproduction`] if this round satisfied the
+    /// oracle.
+    pub(crate) fn absorb(
+        &mut self,
+        strategy: &mut dyn Strategy,
+        round: usize,
+        gt_rank: Option<usize>,
+        init_ns: u64,
+        armed: usize,
+        result: anduril_sim::RunResult,
+    ) -> Result<Option<Reproduction>, SimError> {
+        let ctx = self.ctx;
+        let seed = round_seed(self.cfg, round);
+        self.injection_requests += result.injection_requests;
+        self.decision_ns += result.decision_ns;
+        self.sim_time_total += result.end_time;
+
+        let injected = result
+            .injected
+            .as_ref()
+            .map(|r| (r.candidate.site, r.occurrence, r.candidate.exc));
+        let satisfied = self.oracle.check(&result) && (injected.is_some() || result.crashed);
+        self.per_round.push(RoundRecord {
+            round,
+            window: armed,
+            armed,
+            injected,
+            gt_rank,
+            init_ns,
+            workload_ns: result.wall.as_nanos() as u64,
+            sim_time: result.end_time,
+            oracle_satisfied: satisfied,
+        });
+
+        if satisfied {
+            let (script, replay_verified) = match injected {
+                // A crash injection satisfied the oracle (CrashTuner): no
+                // exception script exists for it.
+                None => (None, false),
+                Some((site, occurrence, exc)) => {
+                    let script = ReproScript {
+                        seed,
+                        site,
+                        occurrence,
+                        exc,
+                        desc: ctx.scenario.program.sites[site.index()].desc.clone(),
+                    };
+                    let verified = if self.cfg.verify_replay {
+                        script
+                            .replay(&ctx.scenario)
+                            .map(|r| self.oracle.check(&r))
+                            .unwrap_or(false)
+                    } else {
+                        false
+                    };
+                    (Some(script), verified)
+                }
+            };
+            return Ok(Some(self.finish(
+                strategy.name(),
+                true,
+                script,
+                replay_verified,
+            )));
+        }
+
+        let mut outcome = RoundOutcome::new(ctx, result);
+        // §6: optionally combine the observables of extra runs so that
+        // messages dropped by unlucky interleavings still count as present.
+        if self.cfg.extra_feedback_runs > 0 {
+            let mut seen: HashSet<usize> = outcome.present.iter().copied().collect();
+            for extra in 0..self.cfg.extra_feedback_runs {
+                let extra_seed = extra_run_seed(self.cfg.base_seed, round, extra);
+                let extra_run = ctx.scenario.run(extra_seed, InjectionPlan::none())?;
+                self.sim_time_total += extra_run.end_time;
+                for k in ctx.present_observables(&extra_run.log_text()) {
+                    if seen.insert(k) {
+                        outcome.present.push(k);
+                    }
+                }
+            }
+        }
+        strategy.feedback(ctx, &outcome);
+        Ok(None)
+    }
+
+    /// Finishes the exploration without a reproduction (space exhausted or
+    /// round budget spent).
+    pub(crate) fn give_up(mut self, strategy_name: &str) -> Reproduction {
+        self.finish(strategy_name, false, None, false)
+    }
+
+    fn finish(
+        &mut self,
+        strategy_name: &str,
+        success: bool,
+        script: Option<ReproScript>,
+        replay_verified: bool,
+    ) -> Reproduction {
+        Reproduction {
+            success,
+            rounds: self.per_round.len(),
+            script,
+            replay_verified,
+            per_round: std::mem::take(&mut self.per_round),
+            injection_requests: self.injection_requests,
+            decision_ns: self.decision_ns,
+            sim_time_total: self.sim_time_total,
+            wall: self.started.elapsed(),
+            strategy: strategy_name.to_string(),
+        }
+    }
+}
+
 /// Runs the exploration loop with an arbitrary strategy.
 ///
 /// `ground_truth` (when known, as in our evaluation harness) enables the
@@ -181,12 +354,8 @@ pub fn explore(
     cfg: &ExplorerConfig,
     ground_truth: Option<SiteId>,
 ) -> Result<Reproduction, SimError> {
-    let started = Instant::now();
+    let mut state = ExploreState::new(ctx, oracle, cfg);
     strategy.init(ctx);
-    let mut per_round = Vec::new();
-    let mut injection_requests = ctx.normal.injection_requests;
-    let mut decision_ns = ctx.normal.decision_ns;
-    let mut sim_time_total = ctx.normal.end_time;
 
     for round in 0..cfg.max_rounds {
         let init_start = Instant::now();
@@ -197,106 +366,12 @@ pub fn explore(
             break;
         };
         let armed = plan.candidates.len() + usize::from(plan.crash_at.is_some());
-        let window = armed;
-        let seed = cfg.base_seed + 1 + round as u64;
-        let result = ctx.scenario.run(seed, plan)?;
-        injection_requests += result.injection_requests;
-        decision_ns += result.decision_ns;
-        sim_time_total += result.end_time;
-
-        let injected = result
-            .injected
-            .as_ref()
-            .map(|r| (r.candidate.site, r.occurrence, r.candidate.exc));
-        let satisfied = oracle.check(&result) && (injected.is_some() || result.crashed);
-        per_round.push(RoundRecord {
-            round,
-            window,
-            armed,
-            injected,
-            gt_rank,
-            init_ns,
-            workload_ns: result.wall.as_nanos() as u64,
-            sim_time: result.end_time,
-            oracle_satisfied: satisfied,
-        });
-
-        if satisfied {
-            if injected.is_none() {
-                // A crash injection satisfied the oracle (CrashTuner): no
-                // exception script exists for it.
-                return Ok(Reproduction {
-                    success: true,
-                    rounds: round + 1,
-                    script: None,
-                    replay_verified: false,
-                    per_round,
-                    injection_requests,
-                    decision_ns,
-                    sim_time_total,
-                    wall: started.elapsed(),
-                    strategy: strategy.name().to_string(),
-                });
-            }
-            let (site, occurrence, exc) = injected.expect("checked above");
-            let script = ReproScript {
-                seed,
-                site,
-                occurrence,
-                exc,
-                desc: ctx.scenario.program.sites[site.index()].desc.clone(),
-            };
-            let replay_verified = if cfg.verify_replay {
-                script
-                    .replay(&ctx.scenario)
-                    .map(|r| oracle.check(&r))
-                    .unwrap_or(false)
-            } else {
-                false
-            };
-            return Ok(Reproduction {
-                success: true,
-                rounds: round + 1,
-                script: Some(script),
-                replay_verified,
-                per_round,
-                injection_requests,
-                decision_ns,
-                sim_time_total,
-                wall: started.elapsed(),
-                strategy: strategy.name().to_string(),
-            });
+        let result = ctx.scenario.run(round_seed(cfg, round), plan)?;
+        if let Some(done) = state.absorb(strategy, round, gt_rank, init_ns, armed, result)? {
+            return Ok(done);
         }
-
-        let mut outcome = RoundOutcome::new(ctx, result);
-        // §6: optionally combine the observables of extra runs so that
-        // messages dropped by unlucky interleavings still count as present.
-        for extra in 0..cfg.extra_feedback_runs {
-            let extra_seed = seed + 7_000 + extra as u64;
-            let extra_run = ctx.scenario.run(extra_seed, InjectionPlan::none())?;
-            sim_time_total += extra_run.end_time;
-            let extra_present = ctx.present_observables(&extra_run.log_text());
-            for k in extra_present {
-                if !outcome.present.contains(&k) {
-                    outcome.present.push(k);
-                }
-            }
-        }
-        strategy.feedback(ctx, &outcome);
     }
-
-    Ok(Reproduction {
-        success: false,
-        rounds: per_round.len(),
-        script: None,
-        replay_verified: false,
-        per_round,
-        injection_requests,
-        decision_ns,
-        sim_time_total,
-        wall: started.elapsed(),
-        strategy: strategy.name().to_string(),
-    })
+    Ok(state.give_up(strategy.name()))
 }
 
 /// One-call ANDURIL: prepare the context and reproduce with the full

@@ -198,7 +198,7 @@ pub struct Explanation {
 }
 
 /// The configurable feedback strategy.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct FeedbackStrategy {
     cfg: FeedbackConfig,
     window: usize,
@@ -209,6 +209,12 @@ pub struct FeedbackStrategy {
     tried: HashSet<(SiteId, ExceptionType, u32)>,
     /// Site ranking from the most recent planning pass (for Figure 6).
     last_ranking: Vec<SiteId>,
+    /// Candidates armed in the most recent round, used to retire
+    /// any-occurrence candidates that provably cannot fire.
+    last_armed: Vec<Candidate>,
+    /// Completed passes over the candidate space (see
+    /// [`FeedbackStrategy::passes`]).
+    passes: usize,
 }
 
 impl FeedbackStrategy {
@@ -221,7 +227,19 @@ impl FeedbackStrategy {
             i_priority: Vec::new(),
             tried: HashSet::new(),
             last_ranking: Vec::new(),
+            last_armed: Vec::new(),
+            passes: 0,
         }
+    }
+
+    /// How many full passes over the candidate space have completed.
+    ///
+    /// Reproduction is probabilistic across runs (§6): an instance that
+    /// missed the oracle under one round seed can satisfy it under another,
+    /// so when the prioritized space is exhausted the strategy starts a
+    /// fresh pass instead of giving up while the round budget remains.
+    pub fn passes(&self) -> usize {
+        self.passes
     }
 
     /// The instances of a unit's site eligible under the instance limit,
@@ -318,6 +336,46 @@ impl FeedbackStrategy {
     }
 
     fn plan_prioritized(&mut self, ctx: &SearchContext) -> Vec<Candidate> {
+        let plan = self.plan_prioritized_pass(ctx);
+        if !plan.is_empty() || self.tried.is_empty() {
+            return plan;
+        }
+        // Every candidate got its one attempt, each against a single round
+        // seed. Because reproduction is probabilistic across runs (§6), an
+        // occurrence that missed under one seed can still satisfy the
+        // oracle under another — start a fresh pass so instances pair with
+        // new seeds instead of giving up while the round budget remains.
+        self.tried.clear();
+        self.window = self.cfg.initial_window;
+        self.passes += 1;
+        self.plan_prioritized_pass(ctx)
+    }
+
+    /// State transition for "candidate `(site, exc)` fired at occurrence
+    /// key `occ`" — shared by real and speculative feedback.
+    fn note_injected(&mut self, site: SiteId, exc: ExceptionType, occ: u32) {
+        self.tried.insert((site, exc, occ));
+    }
+
+    /// State transition for "nothing in the window occurred" — shared by
+    /// real and speculative feedback.
+    fn note_no_injection(&mut self) {
+        // Double the window (§5.2.5). Saturating: after enough empty
+        // rounds the window covers the whole candidate space and must stop
+        // growing instead of overflowing.
+        self.window = self.window.saturating_mul(2).max(1);
+        // Since *no* candidate fired, every armed any-occurrence candidate
+        // had zero dynamic occurrences this round; retire them so they
+        // cannot pin the plan open forever once the occurrence-bearing
+        // instances are exhausted.
+        for c in std::mem::take(&mut self.last_armed) {
+            if c.occurrence.is_none() {
+                self.tried.insert((c.site, c.exc, u32::MAX));
+            }
+        }
+    }
+
+    fn plan_prioritized_pass(&mut self, ctx: &SearchContext) -> Vec<Candidate> {
         // Score every unit that still has untried instances.
         let mut scored: Vec<(f64, f64, FaultUnit, Option<u32>)> = Vec::new();
         for &unit in &ctx.units {
@@ -399,14 +457,18 @@ impl Strategy for FeedbackStrategy {
         self.i_priority = vec![0.0; ctx.observables.len()];
         self.tried.clear();
         self.last_ranking.clear();
+        self.last_armed.clear();
+        self.passes = 0;
     }
 
     fn plan_round(&mut self, ctx: &SearchContext, _round: usize) -> Vec<Candidate> {
-        if self.cfg.exhaustive {
+        let plan = if self.cfg.exhaustive {
             self.plan_exhaustive(ctx)
         } else {
             self.plan_prioritized(ctx)
-        }
+        };
+        self.last_armed = plan.clone();
+        plan
     }
 
     fn feedback(&mut self, ctx: &SearchContext, outcome: &RoundOutcome) {
@@ -426,13 +488,9 @@ impl Strategy for FeedbackStrategy {
                     .occurrence
                     .map(|_| rec.occurrence)
                     .unwrap_or(u32::MAX);
-                self.tried
-                    .insert((rec.candidate.site, rec.candidate.exc, occ));
+                self.note_injected(rec.candidate.site, rec.candidate.exc, occ);
             }
-            None => {
-                // Nothing in the window occurred: double it (§5.2.5).
-                self.window = (self.window * 2).max(1);
-            }
+            None => self.note_no_injection(),
         }
         if self.cfg.feedback {
             for &k in present {
@@ -440,6 +498,19 @@ impl Strategy for FeedbackStrategy {
                     *p += self.cfg.adjust;
                 }
             }
+        }
+    }
+
+    fn speculate(&mut self, _ctx: &SearchContext, fired: Option<(Candidate, u32)>) {
+        // Mirrors `feedback` under the predictor's assumptions: the given
+        // candidate fires (or nothing does) and no observables are present,
+        // so `I_k` stays put and only the tried set / window move.
+        match fired {
+            Some((c, occ)) => {
+                let key = c.occurrence.map(|_| occ).unwrap_or(u32::MAX);
+                self.note_injected(c.site, c.exc, key);
+            }
+            None => self.note_no_injection(),
         }
     }
 

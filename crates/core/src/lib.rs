@@ -23,6 +23,7 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod context;
 pub mod explorer;
 pub mod feedback;
@@ -30,6 +31,7 @@ pub mod oracle;
 pub mod scenario;
 pub mod strategy;
 
+pub use batch::{explore_batched, reproduce_batched, BatchExplorerConfig};
 pub use context::{FaultUnit, ObservableInfo, RoundOutcome, SearchContext};
 pub use explorer::{explore, reproduce, ExplorerConfig, ReproScript, Reproduction, RoundRecord};
 pub use feedback::{Aggregate, Combine, Explanation, FeedbackConfig, FeedbackStrategy};

@@ -1,0 +1,118 @@
+//! Property test: `ReproScript::parse(s.to_text()) == Some(s)` over
+//! randomized scripts, including descriptions containing the format's own
+//! metacharacters (`=` in the key-value separator position, `#` in the
+//! comment position).
+//!
+//! Hand-rolled deterministic case generation (seeded SplitMix64) stands in
+//! for `proptest`: the build environment is offline, so the suite carries
+//! its own tiny generator instead of an external dependency.
+
+use anduril_core::ReproScript;
+use anduril_ir::{ExceptionType, SiteId};
+
+/// Deterministic generator for randomized cases.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+const EXCEPTIONS: [ExceptionType; 9] = ExceptionType::ALL;
+
+/// Random description over a charset deliberately heavy in `=`, `#`, and
+/// spaces — the characters the line format itself uses. The parser trims
+/// values, so generated descriptions avoid leading/trailing whitespace
+/// (such descriptions cannot round-trip by design; site descriptions are
+/// identifiers and never carry them).
+fn random_desc(rng: &mut Rng) -> String {
+    const CHARSET: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789.={}# _-[]:/";
+    let len = 1 + rng.below(40);
+    let mut s: String = (0..len)
+        .map(|_| CHARSET[rng.below(CHARSET.len())] as char)
+        .collect();
+    while s.starts_with(' ') || s.ends_with(' ') {
+        s = s.trim().to_string();
+        if s.is_empty() {
+            s.push('=');
+        }
+    }
+    s
+}
+
+#[test]
+fn parse_inverts_to_text() {
+    let mut rng = Rng(41);
+    for _ in 0..500 {
+        let script = ReproScript {
+            seed: rng.next(),
+            site: SiteId((rng.next() % 10_000) as u32),
+            occurrence: (rng.next() % 100_000) as u32,
+            exc: EXCEPTIONS[rng.below(EXCEPTIONS.len())],
+            desc: random_desc(&mut rng),
+        };
+        let text = script.to_text();
+        let parsed = ReproScript::parse(&text);
+        assert_eq!(parsed.as_ref(), Some(&script), "text was:\n{text}");
+    }
+}
+
+#[test]
+fn metacharacter_descriptions_round_trip() {
+    // The specific shapes the line format could trip on: a description
+    // that is itself a key = value line, one that starts with the comment
+    // marker, and one that contains both.
+    for desc in [
+        "seed = 99",
+        "#not a comment",
+        "a = b # c = d",
+        "= leading separator",
+        "desc = desc = desc",
+        "#",
+        "=",
+    ] {
+        let script = ReproScript {
+            seed: 7,
+            site: SiteId(3),
+            occurrence: 12,
+            exc: ExceptionType::Io,
+            desc: desc.to_string(),
+        };
+        let parsed = ReproScript::parse(&script.to_text());
+        assert_eq!(parsed, Some(script), "desc = {desc:?}");
+    }
+}
+
+#[test]
+fn parse_rejects_mutilated_scripts() {
+    let script = ReproScript {
+        seed: 1,
+        site: SiteId(2),
+        occurrence: 3,
+        exc: ExceptionType::Timeout,
+        desc: "x".into(),
+    };
+    let text = script.to_text();
+    // Dropping any single field invalidates the script.
+    for (i, line) in text.lines().enumerate() {
+        if line.starts_with('#') {
+            continue;
+        }
+        let without: String = text
+            .lines()
+            .enumerate()
+            .filter(|(j, _)| *j != i)
+            .map(|(_, l)| format!("{l}\n"))
+            .collect();
+        assert_eq!(ReproScript::parse(&without), None, "dropped line {line:?}");
+    }
+}

@@ -9,12 +9,10 @@
 //! the call stack at the throw point (used by the stacktrace-injector
 //! baseline).
 
-use serde::{Deserialize, Serialize};
-
 use crate::ids::{FuncId, SiteId};
 
 /// The closed set of exception types thrown by IR programs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ExceptionType {
     /// Generic I/O failure (`IOException`).
     Io,
@@ -82,7 +80,7 @@ impl std::fmt::Display for ExceptionType {
 }
 
 /// A pattern in a `catch` clause selecting which exception types it handles.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ExceptionPattern {
     /// Catches every exception (like `catch (Throwable t)`).
     Any,

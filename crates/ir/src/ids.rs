@@ -5,13 +5,11 @@
 //! cannot be confused. All ids are only meaningful relative to the program
 //! that allocated them.
 
-use serde::{Deserialize, Serialize};
-
 macro_rules! define_id {
     ($(#[$doc:meta])* $name:ident) => {
         $(#[$doc])*
         #[derive(
-            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
         )]
         pub struct $name(pub u32);
 
@@ -72,7 +70,7 @@ define_id!(
 /// `StmtRef` uniquely identifies any statement in a program because every
 /// block is owned by exactly one structural parent (function entry, branch,
 /// loop body, try body, handler, or finally).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct StmtRef {
     /// The block containing the statement.
     pub block: BlockId,

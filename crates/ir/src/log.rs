@@ -7,12 +7,10 @@
 //! The Explorer consumes the *production* failure log only as text, through
 //! the parser in `anduril-logdiff`, exactly as the paper's tool does.
 
-use serde::{Deserialize, Serialize};
-
 use crate::ids::{StmtRef, TemplateId};
 
 /// Log severity, mirroring the levels of common Java logging frameworks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Level {
     /// Diagnostic detail.
     Debug,

@@ -1,76 +1,130 @@
-//! Property-based tests for templates, values, and exception patterns.
+//! Property-style tests for templates, values, and exception patterns.
+//!
+//! Hand-rolled deterministic case generation (seeded SplitMix64) stands in
+//! for `proptest`: the build environment is offline, so the suite carries
+//! its own tiny generator instead of an external dependency.
 
 use anduril_ir::log::LogTemplate;
 use anduril_ir::{ExcValue, ExceptionPattern, ExceptionType, Value};
-use proptest::prelude::*;
+
+/// Deterministic generator for randomized cases.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+
+    fn string(&mut self, charset: &[u8], max_len: usize) -> String {
+        let len = self.below(max_len + 1);
+        (0..len)
+            .map(|_| charset[self.below(charset.len())] as char)
+            .collect()
+    }
+}
 
 /// Argument strings that cannot collide with template literals.
-fn arg_strategy() -> impl Strategy<Value = String> {
-    "[a-z0-9]{0,8}"
+fn arg(rng: &mut Rng) -> String {
+    rng.string(b"abcdefghijklmnopqrstuvwxyz0123456789", 8)
 }
 
 /// Template fragments: literal text without `{}`.
-fn fragment_strategy() -> impl Strategy<Value = String> {
-    "[A-Za-z ,.:-]{0,10}"
+fn fragment(rng: &mut Rng) -> String {
+    rng.string(
+        b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz ,.:-",
+        10,
+    )
 }
 
-proptest! {
-    /// Rendering a template and matching the result round-trips.
-    #[test]
-    fn render_then_match_round_trips(
-        fragments in prop::collection::vec(fragment_strategy(), 1..5),
-        args in prop::collection::vec(arg_strategy(), 0..4),
-    ) {
+/// Rendering a template and matching the result round-trips.
+#[test]
+fn render_then_match_round_trips() {
+    let mut rng = Rng(1);
+    for _ in 0..300 {
+        let fragments: Vec<String> = (0..1 + rng.below(4)).map(|_| fragment(&mut rng)).collect();
         let text = fragments.join("{}");
         let template = LogTemplate { text };
         let arity = template.arity();
-        let mut rendered_args: Vec<String> = args;
+        let mut rendered_args: Vec<String> = (0..rng.below(4)).map(|_| arg(&mut rng)).collect();
         rendered_args.resize(arity, "x".to_string());
         let body = template.render(&rendered_args);
-        prop_assert!(
+        assert!(
             template.matches(&body),
             "template {:?} does not match its own rendering {:?}",
             template.text,
             body
         );
     }
+}
 
-    /// Arity counts the holes rendered.
-    #[test]
-    fn arity_equals_rendered_holes(fragments in prop::collection::vec(fragment_strategy(), 1..6)) {
+/// Arity counts the holes rendered.
+#[test]
+fn arity_equals_rendered_holes() {
+    let mut rng = Rng(2);
+    for _ in 0..300 {
+        let fragments: Vec<String> = (0..1 + rng.below(5)).map(|_| fragment(&mut rng)).collect();
         let text = fragments.join("{}");
         let template = LogTemplate { text };
-        prop_assert_eq!(template.arity(), fragments.len() - 1);
+        assert_eq!(template.arity(), fragments.len() - 1);
     }
+}
 
-    /// Value rendering never panics and is non-empty for non-unit values.
-    #[test]
-    fn value_render_total(n in any::<i64>(), b in any::<bool>(), s in "[ -~]{0,12}") {
-        prop_assert_eq!(Value::Int(n).render(), n.to_string());
-        prop_assert_eq!(Value::Bool(b).render(), b.to_string());
-        prop_assert_eq!(Value::str(&s).render(), s);
+/// Value rendering never panics and is faithful for scalars.
+#[test]
+fn value_render_total() {
+    let mut rng = Rng(3);
+    for _ in 0..300 {
+        let n = rng.next() as i64;
+        let b = rng.next().is_multiple_of(2);
+        let s = rng.string(
+            b" !\"#$%&'()*+,-./0123456789:;<=>?@ABCDEFGHIJKLMNOPQRSTUVWXYZ\
+[\\]^_`abcdefghijklmnopqrstuvwxyz{|}~",
+            12,
+        );
+        assert_eq!(Value::Int(n).render(), n.to_string());
+        assert_eq!(Value::Bool(b).render(), b.to_string());
+        assert_eq!(Value::str(&s).render(), s);
         let list = Value::List(vec![Value::Int(n), Value::Bool(b)]);
-        prop_assert!(list.render().starts_with('['));
+        assert!(list.render().starts_with('['));
     }
+}
 
-    /// `OneOf` behaves as the union of `Only` patterns.
-    #[test]
-    fn one_of_is_union(idx in prop::collection::vec(0usize..9, 1..5), probe in 0usize..9) {
-        let types: Vec<ExceptionType> = idx.iter().map(|&i| ExceptionType::ALL[i]).collect();
+/// `OneOf` behaves as the union of `Only` patterns.
+#[test]
+fn one_of_is_union() {
+    let mut rng = Rng(4);
+    for _ in 0..300 {
+        let types: Vec<ExceptionType> = (0..1 + rng.below(4))
+            .map(|_| ExceptionType::ALL[rng.below(9)])
+            .collect();
         let multi = ExceptionPattern::OneOf(types.clone());
-        let probe_ty = ExceptionType::ALL[probe];
-        let union = types.iter().any(|&t| ExceptionPattern::Only(t).matches(probe_ty));
-        prop_assert_eq!(multi.matches(probe_ty), union);
+        let probe_ty = ExceptionType::ALL[rng.below(9)];
+        let union = types
+            .iter()
+            .any(|&t| ExceptionPattern::Only(t).matches(probe_ty));
+        assert_eq!(multi.matches(probe_ty), union);
     }
+}
 
-    /// The root of a wrap chain is the innermost exception.
-    #[test]
-    fn wrap_chain_root_is_innermost(depth in 0usize..6, root_idx in 0usize..9) {
-        let root_ty = ExceptionType::ALL[root_idx];
+/// The root of a wrap chain is the innermost exception.
+#[test]
+fn wrap_chain_root_is_innermost() {
+    let mut rng = Rng(5);
+    for _ in 0..100 {
+        let depth = rng.below(6);
+        let root_ty = ExceptionType::ALL[rng.below(9)];
         let mut exc = ExcValue::new(root_ty);
         for _ in 0..depth {
             exc = ExcValue::wrapping(ExceptionType::Execution, exc);
         }
-        prop_assert_eq!(exc.root().ty, root_ty);
+        assert_eq!(exc.root().ty, root_ty);
     }
 }

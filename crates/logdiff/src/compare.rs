@@ -36,17 +36,61 @@ fn group_by_thread(entries: &[ParsedEntry]) -> BTreeMap<(&str, &str), Vec<usize>
     groups
 }
 
+/// A log pre-grouped by `(node, thread)`.
+///
+/// The Explorer diffs every round's log against the *same* failure log;
+/// grouping the failure side once and reusing it drops the per-round
+/// regrouping (a `BTreeMap` of string-keyed lookups over the whole log)
+/// from the hot path. Groups are stored by index so the structure stays
+/// independent of the entry storage it was built from — callers pass the
+/// matching entry slice back in at comparison time.
+#[derive(Debug, Clone)]
+pub struct GroupedLog {
+    /// `(node, thread)` keys, sorted, with the entry indices of each group
+    /// in log order.
+    groups: Vec<((String, String), Vec<usize>)>,
+}
+
+impl GroupedLog {
+    /// Groups a parsed log by `(node, thread)` once.
+    pub fn new(entries: &[ParsedEntry]) -> GroupedLog {
+        GroupedLog {
+            groups: group_by_thread(entries)
+                .into_iter()
+                .map(|((n, t), idx)| ((n.to_string(), t.to_string()), idx))
+                .collect(),
+        }
+    }
+
+    /// Iterates `((node, thread), indices)` in sorted key order.
+    pub fn iter(&self) -> impl Iterator<Item = ((&str, &str), &[usize])> {
+        self.groups
+            .iter()
+            .map(|((n, t), idx)| ((n.as_str(), t.as_str()), idx.as_slice()))
+    }
+}
+
 /// Compares a (normal or round) run log against the failure log.
 ///
 /// Returns the failure-only entries and the matched anchor pairs. Both logs
 /// are taken as parsed records; sanitization (timestamp removal) is implied
 /// by comparing [`ParsedEntry::sanitized`] keys, which exclude time.
 pub fn compare(run: &[ParsedEntry], failure: &[ParsedEntry]) -> DiffResult {
+    compare_with(run, failure, &GroupedLog::new(failure))
+}
+
+/// [`compare`] against a failure log whose grouping was precomputed with
+/// [`GroupedLog::new`]. `failure` must be the same slice the grouping was
+/// built from.
+pub fn compare_with(
+    run: &[ParsedEntry],
+    failure: &[ParsedEntry],
+    failure_groups: &GroupedLog,
+) -> DiffResult {
     let run_groups = group_by_thread(run);
-    let failure_groups = group_by_thread(failure);
     let mut result = DiffResult::default();
-    for (key, f_indices) in &failure_groups {
-        match run_groups.get(key) {
+    for (key, f_indices) in failure_groups.iter() {
+        match run_groups.get(&key) {
             None => {
                 // Thread only exists in the failure log: every entry is a
                 // relevant observable.

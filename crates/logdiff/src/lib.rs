@@ -22,6 +22,6 @@ pub mod myers;
 pub mod parse;
 
 pub use align::Alignment;
-pub use compare::{compare, compare_global, DiffResult};
+pub use compare::{compare, compare_global, compare_with, DiffResult, GroupedLog};
 pub use myers::{myers_matches, unmatched_b};
 pub use parse::{parse_log, ParsedEntry};

@@ -53,6 +53,7 @@
 pub mod config;
 pub mod fir;
 pub mod result;
+pub mod rng;
 pub mod thread;
 pub mod world;
 

@@ -1,0 +1,90 @@
+//! Minimal deterministic pseudo-random generator.
+//!
+//! The simulator needs only seeded, reproducible jitter (scheduling quanta,
+//! network latency, workload randomness), so a tiny SplitMix64 generator is
+//! enough: a run remains a pure function of `(program, topology, config,
+//! plan)` and the build stays dependency-free (the environment is offline).
+
+use std::ops::Range;
+
+/// A small, fast, seedable generator (SplitMix64).
+///
+/// Not cryptographically secure; used exclusively for simulated jitter.
+#[derive(Debug, Clone)]
+pub struct SmallRng {
+    state: u64,
+}
+
+impl SmallRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SmallRng { state: seed }
+    }
+
+    /// Returns the next 64 random bits (SplitMix64 step).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Samples uniformly from a half-open range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn random_range<T: RangeSample>(&mut self, range: Range<T>) -> T {
+        T::sample(self, range)
+    }
+}
+
+/// Types that can be sampled uniformly from a half-open range.
+pub trait RangeSample: Sized {
+    /// Samples uniformly from `range` using `rng`.
+    fn sample(rng: &mut SmallRng, range: Range<Self>) -> Self;
+}
+
+impl RangeSample for u64 {
+    fn sample(rng: &mut SmallRng, range: Range<Self>) -> Self {
+        assert!(range.start < range.end, "empty range");
+        let span = range.end - range.start;
+        range.start + rng.next_u64() % span
+    }
+}
+
+impl RangeSample for i64 {
+    fn sample(rng: &mut SmallRng, range: Range<Self>) -> Self {
+        assert!(range.start < range.end, "empty range");
+        let span = range.end.wrapping_sub(range.start) as u64;
+        range.start.wrapping_add((rng.next_u64() % span) as i64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(SmallRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = r.random_range(3u64..17);
+            assert!((3..17).contains(&v));
+            let w = r.random_range(-5i64..5);
+            assert!((-5..5).contains(&w));
+        }
+    }
+}

@@ -12,19 +12,17 @@ use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 use std::time::Instant;
 
+use crate::config::{SimConfig, Topology};
+use crate::fir::{Fir, InjectionPlan};
+use crate::result::{NodeSnapshot, RunResult, ThreadEndState, ThreadSnapshot};
+use crate::rng::SmallRng;
+use crate::thread::{
+    BlockReason, Cursor, CursorKind, Frame, Pending, Role, Thread, ThreadId, ThreadStatus, WakeNote,
+};
 use anduril_ir::builder::{STMT_RUNTIME, TMPL_ABORT, TMPL_NODE_CRASH, TMPL_UNCAUGHT};
 use anduril_ir::{
     BinOp, ChanId, ExcValue, ExceptionType, Expr, FuncId, Level, LogEntry, Program, Stmt, StmtRef,
     TemplateId, Value, VarId,
-};
-use rand::rngs::SmallRng;
-use rand::{RngExt, SeedableRng};
-
-use crate::config::{SimConfig, Topology};
-use crate::fir::{Fir, InjectionPlan};
-use crate::result::{NodeSnapshot, RunResult, ThreadEndState, ThreadSnapshot};
-use crate::thread::{
-    BlockReason, Cursor, CursorKind, Frame, Pending, Role, Thread, ThreadId, ThreadStatus, WakeNote,
 };
 
 /// Errors surfaced by the interpreter.

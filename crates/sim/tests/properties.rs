@@ -1,11 +1,31 @@
-//! Property-based tests for the simulator: determinism and injection
+//! Property-style tests for the simulator: determinism and injection
 //! invariants under randomized programs.
+//!
+//! Hand-rolled deterministic case generation (seeded SplitMix64) stands in
+//! for `proptest`: the build environment is offline, so the suite carries
+//! its own tiny generator instead of an external dependency.
 
 use anduril_ir::builder::ProgramBuilder;
 use anduril_ir::expr::build as e;
 use anduril_ir::{ExceptionType, Level, Program, SiteId};
 use anduril_sim::{run, InjectionPlan, NodeSpec, SimConfig, Topology};
-use proptest::prelude::*;
+
+/// Deterministic generator for randomized cases.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
 
 /// Builds a randomized producer/consumer program from a small shape spec.
 fn shaped_program(workers: usize, ops: i64, faulty_every: i64) -> Program {
@@ -48,86 +68,105 @@ fn shaped_program(workers: usize, ops: i64, faulty_every: i64) -> Program {
     pb.finish().expect("valid program")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Same seed, same everything: log text, final state, trace.
-    #[test]
-    fn runs_are_deterministic(
-        workers in 1usize..4,
-        ops in 1i64..8,
-        seed in 0u64..1_000,
-    ) {
+/// Same seed, same everything: log text, final state, trace.
+#[test]
+fn runs_are_deterministic() {
+    let mut rng = Rng(21);
+    for _ in 0..32 {
+        let workers = 1 + rng.below(3) as usize;
+        let ops = 1 + rng.below(7) as i64;
+        let seed = rng.below(1_000);
         let p = shaped_program(workers, ops, 3);
         let topo = Topology::new(vec![NodeSpec::new(
             "n",
             p.func_named("main").unwrap(),
             vec![],
         )]);
-        let cfg = SimConfig { seed, ..SimConfig::default() };
+        let cfg = SimConfig {
+            seed,
+            ..SimConfig::default()
+        };
         let a = run(&p, &topo, &cfg, InjectionPlan::none()).unwrap();
         let b = run(&p, &topo, &cfg, InjectionPlan::none()).unwrap();
-        prop_assert_eq!(a.log_text(), b.log_text());
-        prop_assert_eq!(a.trace.len(), b.trace.len());
-        prop_assert_eq!(a.end_time, b.end_time);
-        prop_assert_eq!(a.steps, b.steps);
+        assert_eq!(a.log_text(), b.log_text());
+        assert_eq!(a.trace.len(), b.trace.len());
+        assert_eq!(a.end_time, b.end_time);
+        assert_eq!(a.steps, b.steps);
     }
+}
 
-    /// Exactly one injection fires per run, at the requested occurrence,
-    /// and exactly one handler warning results.
-    #[test]
-    fn exact_injection_fires_once(
-        workers in 1usize..3,
-        ops in 2i64..8,
-        occ_frac in 0.0f64..1.0,
-        seed in 0u64..500,
-    ) {
+/// Exactly one injection fires per run, at the requested occurrence,
+/// and exactly one handler warning results.
+#[test]
+fn exact_injection_fires_once() {
+    let mut rng = Rng(22);
+    for _ in 0..32 {
+        let workers = 1 + rng.below(2) as usize;
+        let ops = 2 + rng.below(6) as i64;
+        let occ_frac = (rng.below(1_000) as f64) / 1_000.0;
+        let seed = rng.below(500);
         let p = shaped_program(workers, ops, 2);
         let topo = Topology::new(vec![NodeSpec::new(
             "n",
             p.func_named("main").unwrap(),
             vec![],
         )]);
-        let cfg = SimConfig { seed, ..SimConfig::default() };
+        let cfg = SimConfig {
+            seed,
+            ..SimConfig::default()
+        };
         let clean = run(&p, &topo, &cfg, InjectionPlan::none()).unwrap();
         let total = clean.site_occurrences[0];
-        prop_assume!(total > 0);
+        if total == 0 {
+            continue;
+        }
         let occ = ((total - 1) as f64 * occ_frac) as u32;
-        let r = run(&p, &topo, &cfg, InjectionPlan::exact(SiteId(0), occ, ExceptionType::Io)).unwrap();
+        let r = run(
+            &p,
+            &topo,
+            &cfg,
+            InjectionPlan::exact(SiteId(0), occ, ExceptionType::Io),
+        )
+        .unwrap();
         let rec = r.injected.as_ref().expect("injection fires");
-        prop_assert_eq!(rec.occurrence, occ);
-        prop_assert_eq!(r.count_log("op failed"), 1);
+        assert_eq!(rec.occurrence, occ);
+        assert_eq!(r.count_log("op failed"), 1);
         // One op was lost to the fault.
-        prop_assert_eq!(
+        assert_eq!(
             r.global("n", "total"),
             Some(&anduril_ir::Value::Int(workers as i64 * ops - 1))
         );
     }
+}
 
-    /// Occurrence counters in the trace are dense and ordered per site.
-    #[test]
-    fn trace_occurrences_are_dense(
-        workers in 1usize..4,
-        ops in 1i64..8,
-        seed in 0u64..200,
-    ) {
+/// Occurrence counters in the trace are dense and ordered per site.
+#[test]
+fn trace_occurrences_are_dense() {
+    let mut rng = Rng(23);
+    for _ in 0..32 {
+        let workers = 1 + rng.below(3) as usize;
+        let ops = 1 + rng.below(7) as i64;
+        let seed = rng.below(200);
         let p = shaped_program(workers, ops, 2);
         let topo = Topology::new(vec![NodeSpec::new(
             "n",
             p.func_named("main").unwrap(),
             vec![],
         )]);
-        let cfg = SimConfig { seed, ..SimConfig::default() };
+        let cfg = SimConfig {
+            seed,
+            ..SimConfig::default()
+        };
         let r = run(&p, &topo, &cfg, InjectionPlan::none()).unwrap();
         let mut next = 0u32;
         for t in r.trace.iter().filter(|t| t.site == SiteId(0)) {
-            prop_assert_eq!(t.occurrence, next);
+            assert_eq!(t.occurrence, next);
             next += 1;
         }
-        prop_assert_eq!(next, r.site_occurrences[0]);
+        assert_eq!(next, r.site_occurrences[0]);
         // Trace times never decrease.
         for w in r.trace.windows(2) {
-            prop_assert!(w[0].time <= w[1].time);
+            assert!(w[0].time <= w[1].time);
         }
     }
 }

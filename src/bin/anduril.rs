@@ -10,34 +10,48 @@
 
 use anduril::baselines::{CrashTuner, Fate, StacktraceInjector};
 use anduril::failures::{all_cases, case_by_id};
-use anduril::{explore, ExplorerConfig, FeedbackConfig, FeedbackStrategy, SearchContext, Strategy};
+use anduril::{
+    explore, explore_batched, BatchExplorerConfig, ExplorerConfig, FeedbackConfig,
+    FeedbackStrategy, SearchContext, Strategy,
+};
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  anduril list\n  anduril show <case>\n  anduril log <case>\n  \
          anduril reproduce <case> [--strategy NAME] [--max-rounds N] [--emit-script FILE]\n  \
+         {:21}[--threads N] [--batch N]\n  \
          anduril replay <case> <script-file>\n  \
          anduril explain <case>\n\n\
          strategies: full (default), exhaustive, site-distance, site-distance-limit3,\n\
          site-feedback, multiply, sum-aggregate, order-distance, global-diff,\n\
-         fate, crashtuner, crashtuner-meta-exc, stacktrace"
+         fate, crashtuner, crashtuner-meta-exc, stacktrace\n\n\
+         --threads > 1 explores in speculative parallel batches (identical\n\
+         results, less wall time); feedback-strategy variants only",
+        ""
     );
     std::process::exit(2);
 }
 
-fn strategy_by_name(name: &str) -> Option<Box<dyn Strategy>> {
+fn feedback_config_by_name(name: &str) -> Option<FeedbackConfig> {
     Some(match name {
-        "full" => Box::new(FeedbackStrategy::new(FeedbackConfig::full())),
-        "exhaustive" => Box::new(FeedbackStrategy::new(FeedbackConfig::exhaustive())),
-        "site-distance" => Box::new(FeedbackStrategy::new(FeedbackConfig::site_distance())),
-        "site-distance-limit3" => Box::new(FeedbackStrategy::new(
-            FeedbackConfig::site_distance_limited(),
-        )),
-        "site-feedback" => Box::new(FeedbackStrategy::new(FeedbackConfig::site_feedback())),
-        "multiply" => Box::new(FeedbackStrategy::new(FeedbackConfig::multiply())),
-        "sum-aggregate" => Box::new(FeedbackStrategy::new(FeedbackConfig::sum_aggregate())),
-        "order-distance" => Box::new(FeedbackStrategy::new(FeedbackConfig::order_distance())),
-        "global-diff" => Box::new(FeedbackStrategy::new(FeedbackConfig::global_diff())),
+        "full" => FeedbackConfig::full(),
+        "exhaustive" => FeedbackConfig::exhaustive(),
+        "site-distance" => FeedbackConfig::site_distance(),
+        "site-distance-limit3" => FeedbackConfig::site_distance_limited(),
+        "site-feedback" => FeedbackConfig::site_feedback(),
+        "multiply" => FeedbackConfig::multiply(),
+        "sum-aggregate" => FeedbackConfig::sum_aggregate(),
+        "order-distance" => FeedbackConfig::order_distance(),
+        "global-diff" => FeedbackConfig::global_diff(),
+        _ => return None,
+    })
+}
+
+fn strategy_by_name(name: &str) -> Option<Box<dyn Strategy>> {
+    if let Some(cfg) = feedback_config_by_name(name) {
+        return Some(Box::new(FeedbackStrategy::new(cfg)));
+    }
+    Some(match name {
         "fate" => Box::new(Fate::new()),
         "crashtuner" => Box::new(CrashTuner::crashes()),
         "crashtuner-meta-exc" => Box::new(CrashTuner::meta_exceptions()),
@@ -92,6 +106,8 @@ fn main() {
             let mut strategy_name = "full".to_string();
             let mut max_rounds = 2_000usize;
             let mut emit_script: Option<String> = None;
+            let mut threads = 1usize;
+            let mut batch_size: Option<usize> = None;
             let mut i = 2;
             while i < args.len() {
                 match args[i].as_str() {
@@ -110,10 +126,24 @@ fn main() {
                         emit_script = Some(args.get(i + 1).cloned().unwrap_or_else(|| usage()));
                         i += 2;
                     }
+                    "--threads" => {
+                        threads = args
+                            .get(i + 1)
+                            .and_then(|s| s.parse().ok())
+                            .unwrap_or_else(|| usage());
+                        i += 2;
+                    }
+                    "--batch" => {
+                        batch_size = Some(
+                            args.get(i + 1)
+                                .and_then(|s| s.parse().ok())
+                                .unwrap_or_else(|| usage()),
+                        );
+                        i += 2;
+                    }
                     _ => usage(),
                 }
             }
-            let mut strategy = strategy_by_name(&strategy_name).unwrap_or_else(|| usage());
             let gt = case.ground_truth().expect("ground truth");
             let failure_log = case.failure_log().expect("failure log");
             let ctx = SearchContext::prepare(case.scenario.clone(), &failure_log, 1_000)
@@ -130,8 +160,33 @@ fn main() {
                 max_rounds,
                 ..ExplorerConfig::default()
             };
-            let r = explore(&ctx, &case.oracle, strategy.as_mut(), &cfg, Some(gt.site))
-                .expect("explore");
+            let batched = threads > 1 || batch_size.is_some();
+            let r = if batched {
+                // The batched path speculates on a cloned strategy, so it
+                // is limited to the (Clone) feedback-strategy family.
+                let Some(fb_cfg) = feedback_config_by_name(&strategy_name) else {
+                    eprintln!("--threads/--batch require a feedback-strategy variant");
+                    std::process::exit(2);
+                };
+                let batch = BatchExplorerConfig {
+                    batch_size: batch_size.unwrap_or_else(|| threads.max(2) * 2),
+                    threads,
+                };
+                let mut strategy = FeedbackStrategy::new(fb_cfg);
+                explore_batched(
+                    &ctx,
+                    &case.oracle,
+                    &mut strategy,
+                    &cfg,
+                    &batch,
+                    Some(gt.site),
+                )
+                .expect("explore")
+            } else {
+                let mut strategy = strategy_by_name(&strategy_name).unwrap_or_else(|| usage());
+                explore(&ctx, &case.oracle, strategy.as_mut(), &cfg, Some(gt.site))
+                    .expect("explore")
+            };
             if r.success {
                 println!(
                     "reproduced in {} rounds ({} sim ticks, {:?} wall) with {}",

@@ -41,9 +41,9 @@
 //! ```
 
 pub use anduril_core::{
-    explore, reproduce, Combine, ExplorerConfig, FaultUnit, FeedbackConfig, FeedbackStrategy,
-    ObservableInfo, Oracle, ReproScript, Reproduction, RoundOutcome, RoundRecord, Scenario,
-    SearchContext, Strategy,
+    explore, explore_batched, reproduce, reproduce_batched, BatchExplorerConfig, Combine,
+    ExplorerConfig, FaultUnit, FeedbackConfig, FeedbackStrategy, ObservableInfo, Oracle,
+    ReproScript, Reproduction, RoundOutcome, RoundRecord, Scenario, SearchContext, Strategy,
 };
 
 /// The program IR (re-export of `anduril-ir`).

@@ -1,0 +1,113 @@
+//! The batched explorer's contract: for any `batch_size`/`threads`, the
+//! exploration is byte-identical to the sequential Explorer — same script,
+//! same round count, same per-round decisions. Speculation may only change
+//! how fast the answer arrives, never the answer.
+
+use anduril::failures::case_by_id;
+use anduril::{
+    explore, explore_batched, BatchExplorerConfig, ExplorerConfig, FeedbackConfig,
+    FeedbackStrategy, Reproduction, SearchContext,
+};
+
+fn sequential(id: &str) -> (Reproduction, SearchContext) {
+    let case = case_by_id(id).expect("case");
+    let failure_log = case.failure_log().expect("failure log");
+    let gt = case.ground_truth().expect("ground truth");
+    let ctx = SearchContext::prepare(case.scenario.clone(), &failure_log, 1_000).expect("context");
+    let mut s = FeedbackStrategy::new(FeedbackConfig::full());
+    let r = explore(
+        &ctx,
+        &case.oracle,
+        &mut s,
+        &ExplorerConfig::default(),
+        Some(gt.site),
+    )
+    .expect("explore");
+    (r, ctx)
+}
+
+fn batched(id: &str, ctx: &SearchContext, batch: &BatchExplorerConfig) -> Reproduction {
+    let case = case_by_id(id).expect("case");
+    let gt = case.ground_truth().expect("ground truth");
+    let mut s = FeedbackStrategy::new(FeedbackConfig::full());
+    explore_batched(
+        ctx,
+        &case.oracle,
+        &mut s,
+        &ExplorerConfig::default(),
+        batch,
+        Some(gt.site),
+    )
+    .expect("explore_batched")
+}
+
+fn assert_identical(id: &str, threads: usize, seq: &Reproduction, bat: &Reproduction) {
+    let tag = format!("{id} (threads={threads})");
+    assert_eq!(seq.success, bat.success, "{tag}: success");
+    assert_eq!(seq.rounds, bat.rounds, "{tag}: rounds");
+    assert_eq!(seq.script, bat.script, "{tag}: script");
+    assert_eq!(seq.replay_verified, bat.replay_verified, "{tag}: replay");
+    assert_eq!(
+        seq.injection_requests, bat.injection_requests,
+        "{tag}: injection requests"
+    );
+    assert_eq!(seq.sim_time_total, bat.sim_time_total, "{tag}: sim time");
+    assert_eq!(seq.per_round.len(), bat.per_round.len(), "{tag}: records");
+    for (a, b) in seq.per_round.iter().zip(&bat.per_round) {
+        // Everything except host-time measurements must match exactly.
+        assert_eq!(a.round, b.round, "{tag}: round index");
+        assert_eq!(a.window, b.window, "{tag}: window @{}", a.round);
+        assert_eq!(a.armed, b.armed, "{tag}: armed @{}", a.round);
+        assert_eq!(a.injected, b.injected, "{tag}: injected @{}", a.round);
+        assert_eq!(a.gt_rank, b.gt_rank, "{tag}: gt rank @{}", a.round);
+        assert_eq!(a.sim_time, b.sim_time, "{tag}: sim time @{}", a.round);
+        assert_eq!(
+            a.oracle_satisfied, b.oracle_satisfied,
+            "{tag}: oracle @{}",
+            a.round
+        );
+    }
+    // The emitted script text — the user-facing artifact — is the same
+    // byte for byte.
+    assert_eq!(
+        seq.script.as_ref().map(|s| s.to_text()),
+        bat.script.as_ref().map(|s| s.to_text()),
+        "{tag}: script text"
+    );
+}
+
+/// Two failure cases: f3 (a short search) and f17 (the motivating example,
+/// a long search with a retry pass), each against threads 1 and 4.
+#[test]
+fn batched_matches_sequential() {
+    for id in ["f3", "f17"] {
+        let (seq, ctx) = sequential(id);
+        assert!(seq.success, "{id}: sequential baseline must reproduce");
+        for threads in [1usize, 4] {
+            let batch = BatchExplorerConfig {
+                batch_size: 8,
+                threads,
+            };
+            let bat = batched(id, &ctx, &batch);
+            assert_identical(id, threads, &seq, &bat);
+        }
+    }
+}
+
+/// Odd batch geometries (batch of 1, batch larger than the whole search)
+/// cannot change the outcome either.
+#[test]
+fn batch_geometry_is_irrelevant() {
+    let (seq, ctx) = sequential("f3");
+    for (batch_size, threads) in [(1usize, 4usize), (64, 2), (3, 8)] {
+        let bat = batched(
+            "f3",
+            &ctx,
+            &BatchExplorerConfig {
+                batch_size,
+                threads,
+            },
+        );
+        assert_identical("f3", threads, &seq, &bat);
+    }
+}
