@@ -109,12 +109,13 @@ impl Strategy for CrashTuner {
                 meta_funcs = extended;
                 let max_occ = ctx.site_instances.iter().map(Vec::len).max().unwrap_or(1) as u32;
                 for occ in 0..max_occ.max(1) {
-                    for site in &program.sites {
+                    for &sid in &ctx.candidate_sites {
+                        let site = &program.sites[sid.index()];
                         if meta_funcs.contains(&site.func)
-                            && (occ as usize) < ctx.site_instances[site.id.index()].len().max(1)
+                            && (occ as usize) < ctx.site_instances[sid.index()].len().max(1)
                         {
                             for &exc in &site.exceptions {
-                                self.exc_order.push((site.id, occ, exc));
+                                self.exc_order.push((sid, occ, exc));
                             }
                         }
                     }

@@ -53,12 +53,15 @@ impl Strategy for Fate {
         let program = &ctx.scenario.program;
         let max_occ = ctx.site_instances.iter().map(Vec::len).max().unwrap_or(1) as u32;
         // Breadth-first over occurrences: every distinct failure ID (site ×
-        // exception) at occurrence o before any ID at occurrence o+1.
+        // exception) at occurrence o before any ID at occurrence o+1. The
+        // ID space is the statically reachable sites — no causal pruning,
+        // but dead code is excluded for every strategy alike.
         for occ in 0..max_occ.max(1) {
-            for site in &program.sites {
-                if (occ as usize) < ctx.site_instances[site.id.index()].len().max(1) {
+            for &sid in &ctx.candidate_sites {
+                let site = &program.sites[sid.index()];
+                if (occ as usize) < ctx.site_instances[sid.index()].len().max(1) {
                     for &exc in &site.exceptions {
-                        self.order.push((site.id, occ, exc));
+                        self.order.push((sid, occ, exc));
                     }
                 }
             }

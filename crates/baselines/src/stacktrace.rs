@@ -71,15 +71,16 @@ impl Strategy for StacktraceInjector {
             let Some(&innermost) = stack.first() else {
                 continue;
             };
-            // Candidate sites: fault sites inside the innermost frame that
-            // can throw the logged exception type.
-            for site in &program.sites {
+            // Candidate sites: reachable fault sites inside the innermost
+            // frame that can throw the logged exception type.
+            for &sid in &ctx.candidate_sites {
+                let site = &program.sites[sid.index()];
                 if site.func == innermost && site.exceptions.contains(&exc) {
-                    let key = (site.id, stack.clone());
+                    let key = (sid, stack.clone());
                     if seen.insert(key) {
-                        let max_occ = ctx.site_instances[site.id.index()].len().max(1) as u32;
+                        let max_occ = ctx.site_instances[sid.index()].len().max(1) as u32;
                         self.targets.push(Target {
-                            site: site.id,
+                            site: sid,
                             exc,
                             stack: stack.clone(),
                             next_occ: 0,

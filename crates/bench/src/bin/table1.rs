@@ -1,38 +1,48 @@
 //! Table 1: target-system sizes and fault-site counts.
 //!
 //! LOC is the IR statement count of the target program (the analog of the
-//! paper's source LOC); *Total* is every static fault site; *Inferred* is
-//! the causal graph's source set (mean over the system's failures);
-//! *Dynamic* is the mean number of traced fault-site instances in one
-//! fault-free workload run.
+//! paper's source LOC); *Total* is every static fault site; *Reachable* is
+//! the sites whose containing function the workload roots can reach
+//! (static call-graph pruning); *Inferred* is the causal graph's source
+//! set (mean over the system's failures); *Dynamic* is the mean number of
+//! traced fault-site instances in one fault-free workload run.
 
 use anduril_bench::{prepare, TextTable};
 use anduril_failures::all_cases;
 use std::collections::BTreeMap;
 
 fn main() {
-    let mut per_system: BTreeMap<&'static str, Vec<(usize, usize, usize, usize)>> = BTreeMap::new();
+    type Row = (usize, usize, usize, usize, usize);
+    let mut per_system: BTreeMap<&'static str, Vec<Row>> = BTreeMap::new();
     for case in all_cases() {
         let prepared = prepare(case);
         let program = &prepared.ctx.scenario.program;
         per_system.entry(prepared.case.system).or_default().push((
             program.stmt_count(),
             program.sites.len(),
+            prepared.ctx.candidate_sites.len(),
             prepared.ctx.graph.sources().len(),
             prepared.ctx.normal.trace.len(),
         ));
     }
-    let mut t = TextTable::new(&["System", "LOC (IR stmts)", "Total", "Inferred", "Dynamic"]);
+    let mut t = TextTable::new(&[
+        "System",
+        "LOC (IR stmts)",
+        "Total",
+        "Reachable",
+        "Inferred",
+        "Dynamic",
+    ]);
     for (system, rows) in per_system {
         let n = rows.len();
-        let mean =
-            |f: fn(&(usize, usize, usize, usize)) -> usize| rows.iter().map(f).sum::<usize>() / n;
+        let mean = |f: fn(&Row) -> usize| rows.iter().map(f).sum::<usize>() / n;
         t.row(vec![
             system.to_string(),
             mean(|r| r.0).to_string(),
             mean(|r| r.1).to_string(),
             mean(|r| r.2).to_string(),
             mean(|r| r.3).to_string(),
+            mean(|r| r.4).to_string(),
         ]);
     }
     println!("Table 1: target systems and fault sites (means over each system's failures)\n");

@@ -614,6 +614,121 @@ mod tests {
     }
 
     #[test]
+    fn points_reaching_surfaces_task_exception_at_await() {
+        // The exception is raised on the executor thread inside `task`, but
+        // a handler around the `Await` in `main` must see the Await as a
+        // throw point of Execution type linked back to the task.
+        let mut pb = ProgramBuilder::new("t");
+        let exec = pb.executor("pool");
+        let task = pb.declare("task", 0);
+        let main = pb.declare("main", 0);
+        pb.body(task, |b| {
+            b.external("wal.sync", &[ExceptionType::Io]);
+        });
+        pb.body(main, |b| {
+            b.try_catch(
+                |b| {
+                    let f = b.local();
+                    b.submit(exec, task, vec![], f);
+                    b.await_(f, None, None);
+                },
+                ExceptionType::Execution,
+                |b| {
+                    b.log(Level::Warn, "sync task failed", vec![]);
+                },
+            );
+        });
+        let p = pb.finish().unwrap();
+        let a = analyze(&p);
+        let (try_ref, _) = p
+            .all_stmts()
+            .find(|(_, s)| matches!(s, Stmt::Try { .. }))
+            .unwrap();
+        let Stmt::Try { body, .. } = p.stmt(try_ref) else {
+            unreachable!()
+        };
+        let pts = a.points_reaching(&p, *body, main, &ExceptionPattern::Any);
+        let await_pt = pts
+            .iter()
+            .find(|pt| pt.ty == ExceptionType::Execution)
+            .expect("await is a throw point");
+        assert!(matches!(p.stmt(await_pt.stmt), Stmt::Await { .. }));
+        assert!(matches!(&await_pt.kind, ThrowKind::AwaitTask(ts) if ts == &vec![task]));
+        // The Io type itself does not cross the future boundary unwrapped.
+        assert!(!pts.iter().any(|pt| pt.ty == ExceptionType::Io));
+    }
+
+    #[test]
+    fn nested_submit_chains_propagate_execution_across_two_hops() {
+        // inner fails with Io -> middle awaits it and escapes with
+        // Execution -> outer awaits middle and escapes with Execution.
+        // Each hop re-wraps: the outer Await's linked task is `middle`,
+        // not `inner`.
+        let mut pb = ProgramBuilder::new("t");
+        let exec = pb.executor("pool");
+        let inner = pb.declare("inner", 0);
+        let middle = pb.declare("middle", 0);
+        let outer = pb.declare("outer", 0);
+        pb.body(inner, |b| {
+            b.external("disk.flush", &[ExceptionType::Io]);
+        });
+        pb.body(middle, |b| {
+            let f = b.local();
+            b.submit(exec, inner, vec![], f);
+            b.await_(f, None, None);
+        });
+        pb.body(outer, |b| {
+            let f = b.local();
+            b.submit(exec, middle, vec![], f);
+            b.await_(f, None, None);
+        });
+        let p = pb.finish().unwrap();
+        let a = analyze(&p);
+        assert!(a.escapes[middle.index()].contains(&ExceptionType::Execution));
+        assert!(a.escapes[outer.index()].contains(&ExceptionType::Execution));
+        assert!(!a.escapes[outer.index()].contains(&ExceptionType::Io));
+        let outer_pt = a.escape_points[outer.index()]
+            .iter()
+            .find(|pt| pt.ty == ExceptionType::Execution)
+            .expect("outer escapes through its await");
+        assert!(matches!(&outer_pt.kind, ThrowKind::AwaitTask(ts) if ts == &vec![middle]));
+        let middle_pt = a.escape_points[middle.index()]
+            .iter()
+            .find(|pt| pt.ty == ExceptionType::Execution)
+            .expect("middle escapes through its await");
+        assert!(matches!(&middle_pt.kind, ThrowKind::AwaitTask(ts) if ts == &vec![inner]));
+    }
+
+    #[test]
+    fn caught_task_exception_does_not_escape_submitter() {
+        let mut pb = ProgramBuilder::new("t");
+        let exec = pb.executor("pool");
+        let task = pb.declare("task", 0);
+        let main = pb.declare("main", 0);
+        pb.body(task, |b| {
+            b.external("io.op", &[ExceptionType::Io]);
+        });
+        pb.body(main, |b| {
+            b.try_catch(
+                |b| {
+                    let f = b.local();
+                    b.submit(exec, task, vec![], f);
+                    b.await_(f, None, None);
+                },
+                ExceptionType::Execution,
+                |b| {
+                    b.log(Level::Warn, "handled", vec![]);
+                },
+            );
+        });
+        let p = pb.finish().unwrap();
+        let a = analyze(&p);
+        assert!(a.escapes[main.index()].is_empty());
+        // The task itself still escapes Io on its own thread.
+        assert!(a.escapes[task.index()].contains(&ExceptionType::Io));
+    }
+
+    #[test]
     fn reverse_call_graph_collects_all_invocation_kinds() {
         let mut pb = ProgramBuilder::new("t");
         let _g = pb.global("x", Value::Int(0));

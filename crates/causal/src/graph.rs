@@ -17,14 +17,15 @@ use std::time::Instant;
 
 use anduril_ir::builder::{TMPL_ABORT, TMPL_UNCAUGHT};
 use anduril_ir::{
-    BlockRole, ChanId, CondId, ExceptionPattern, ExceptionType, Expr, FuncId, GlobalId, Program,
-    SiteId, SiteKind, Stmt, StmtRef, TemplateId, VarId,
+    BlockRole, ExceptionPattern, ExceptionType, FuncId, Program, SiteId, SiteKind, Stmt, StmtRef,
+    TemplateId,
 };
 
-use crate::exceptions::{reverse_call_graph, ExcAnalysis, ThrowKind, ThrowPoint};
+use crate::exceptions::{ExcAnalysis, ThrowKind, ThrowPoint};
+use crate::slicing::Slicer;
 
 /// A causal-graph node.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum NodeKey {
     /// A program point being executed.
     Location(StmtRef),
@@ -99,7 +100,16 @@ impl CausalGraph {
     /// Shortest causal distance from every fault-site source to observable
     /// `k` (the spatial distance `L_{i,k}` of §5.2.2).
     pub fn distances(&self, k: usize) -> HashMap<SiteId, u32> {
-        let mut dist = vec![u32::MAX; self.nodes.len()];
+        let mut scratch = Vec::new();
+        self.distances_into(k, &mut scratch)
+    }
+
+    /// Like [`CausalGraph::distances`], but reuses a caller-owned distance
+    /// buffer so computing the map for every observable allocates the
+    /// `O(nodes)` working memory once instead of once per observable.
+    pub fn distances_into(&self, k: usize, dist: &mut Vec<u32>) -> HashMap<SiteId, u32> {
+        dist.clear();
+        dist.resize(self.nodes.len(), u32::MAX);
         let mut queue = VecDeque::new();
         for &s in &self.sinks[k] {
             dist[s as usize] = 0;
@@ -122,60 +132,6 @@ impl CausalGraph {
     }
 }
 
-/// Precomputed program-wide lookup tables for prior computation.
-struct Tables {
-    /// Writers of each local: `(func, var) -> stmts`.
-    local_writers: HashMap<(FuncId, VarId), Vec<StmtRef>>,
-    /// Writers of each global, program-wide.
-    global_writers: HashMap<GlobalId, Vec<StmtRef>>,
-    /// `Send` statements per channel.
-    chan_senders: HashMap<ChanId, Vec<StmtRef>>,
-    /// `SignalCond` statements per condition variable.
-    cond_signalers: HashMap<CondId, Vec<StmtRef>>,
-    /// Reverse call graph.
-    callers: std::collections::BTreeMap<FuncId, Vec<StmtRef>>,
-}
-
-fn build_tables(program: &Program) -> Tables {
-    let mut local_writers: HashMap<(FuncId, VarId), Vec<StmtRef>> = HashMap::new();
-    let mut global_writers: HashMap<GlobalId, Vec<StmtRef>> = HashMap::new();
-    let mut chan_senders: HashMap<ChanId, Vec<StmtRef>> = HashMap::new();
-    let mut cond_signalers: HashMap<CondId, Vec<StmtRef>> = HashMap::new();
-    for (sref, stmt) in program.all_stmts() {
-        let func = program.func_of_stmt(sref);
-        let wrote_local = |v: VarId, map: &mut HashMap<(FuncId, VarId), Vec<StmtRef>>| {
-            map.entry((func, v)).or_default().push(sref);
-        };
-        match stmt {
-            Stmt::Assign { var, .. } => wrote_local(*var, &mut local_writers),
-            Stmt::PopFront { global, var } => {
-                wrote_local(*var, &mut local_writers);
-                global_writers.entry(*global).or_default().push(sref);
-            }
-            Stmt::Call { ret: Some(v), .. } => wrote_local(*v, &mut local_writers),
-            Stmt::Recv { var, .. } => wrote_local(*var, &mut local_writers),
-            Stmt::Await { ret: Some(v), .. } => wrote_local(*v, &mut local_writers),
-            Stmt::WaitCond { ok: Some(v), .. } => wrote_local(*v, &mut local_writers),
-            Stmt::Submit {
-                future: Some(v), ..
-            } => wrote_local(*v, &mut local_writers),
-            Stmt::SetGlobal { global, .. } | Stmt::PushBack { global, .. } => {
-                global_writers.entry(*global).or_default().push(sref);
-            }
-            Stmt::Send { chan, .. } => chan_senders.entry(*chan).or_default().push(sref),
-            Stmt::SignalCond { cond } => cond_signalers.entry(*cond).or_default().push(sref),
-            _ => {}
-        }
-    }
-    Tables {
-        local_writers,
-        global_writers,
-        chan_senders,
-        cond_signalers,
-        callers: reverse_call_graph(program),
-    }
-}
-
 /// Builds the causal graph for a list of observables.
 ///
 /// `roots` are thread entry functions (node mains and spawn targets are
@@ -189,7 +145,7 @@ pub fn build(
     timings: &mut BuildTimings,
 ) -> CausalGraph {
     let total_start = Instant::now();
-    let tables = build_tables(program);
+    let mut slicer = Slicer::new(program);
 
     let mut g = CausalGraph {
         nodes: Vec::new(),
@@ -241,14 +197,18 @@ pub fn build(
             continue;
         }
         let chain_start = Instant::now();
-        let priors = causally_prior(program, analysis, &tables, key, timings);
+        let mut priors = causally_prior(program, analysis, &mut slicer, key, timings);
         timings.chaining_ns += chain_start.elapsed().as_nanos() as u64;
+        // Dedupe at the key level so repeated priors (e.g. a writer that is
+        // both a structural and a sliced prior) are interned and inserted
+        // once.
+        priors.sort_unstable();
+        priors.dedup();
         for p in priors {
             let pid = intern(&mut g, &mut queue, p);
             g.priors[n as usize].push(pid);
         }
         g.priors[n as usize].sort_unstable();
-        g.priors[n as usize].dedup();
     }
 
     timings.total_ns += total_start.elapsed().as_nanos() as u64;
@@ -329,7 +289,7 @@ fn inside_handler(program: &Program, sref: StmtRef) -> bool {
 fn causally_prior(
     program: &Program,
     analysis: &ExcAnalysis,
-    tables: &Tables,
+    slicer: &mut Slicer,
     key: NodeKey,
     timings: &mut BuildTimings,
 ) -> Vec<NodeKey> {
@@ -357,12 +317,12 @@ fn causally_prior(
             }
             match program.stmt(sref) {
                 Stmt::Recv { chan, .. } => {
-                    if let Some(senders) = tables.chan_senders.get(chan) {
+                    if let Some(senders) = slicer.tables.chan_senders.get(chan) {
                         out.extend(senders.iter().map(|&s| NodeKey::Location(s)));
                     }
                 }
                 Stmt::WaitCond { cond, .. } => {
-                    if let Some(signals) = tables.cond_signalers.get(cond) {
+                    if let Some(signals) = slicer.tables.cond_signalers.get(cond) {
                         out.extend(signals.iter().map(|&s| NodeKey::Location(s)));
                     }
                 }
@@ -377,29 +337,17 @@ fn causally_prior(
         }
         NodeKey::Condition(sref) => {
             out.push(structural_prior(program, sref));
+            // The interprocedural slice: every program point that could
+            // have produced a value this condition reads, following the
+            // jumping strategy across call, message, queue, and future
+            // boundaries (see `crate::slicing`).
             let slice_start = Instant::now();
-            let cond = match program.stmt(sref) {
-                Stmt::If { cond, .. } | Stmt::While { cond, .. } => cond.clone(),
-                _ => Expr::Const(anduril_ir::Value::Unit),
-            };
-            let mut vars = Vec::new();
-            let mut globals = Vec::new();
-            cond.reads(&mut vars, &mut globals);
-            let func = program.func_of_stmt(sref);
-            for v in vars {
-                if let Some(writers) = tables.local_writers.get(&(func, v)) {
-                    out.extend(writers.iter().map(|&w| NodeKey::Location(w)));
-                }
-            }
-            for gl in globals {
-                if let Some(writers) = tables.global_writers.get(&gl) {
-                    out.extend(writers.iter().map(|&w| NodeKey::Location(w)));
-                }
-            }
+            let writers = slicer.condition_writers(program, analysis, sref);
+            out.extend(writers.into_iter().map(NodeKey::Location));
             timings.slicing_ns += slice_start.elapsed().as_nanos() as u64;
         }
         NodeKey::Invocation(f) => {
-            if let Some(callers) = tables.callers.get(&f) {
+            if let Some(callers) = slicer.tables.callers.get(&f) {
                 out.extend(callers.iter().map(|&c| NodeKey::Location(c)));
             }
         }

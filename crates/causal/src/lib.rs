@@ -38,9 +38,13 @@
 
 pub mod exceptions;
 pub mod graph;
+pub mod reach;
+pub mod slicing;
 
 pub use exceptions::{analyze, ExcAnalysis, ThrowKind, ThrowPoint};
 pub use graph::{build, BuildTimings, CausalGraph, NodeKey, Observable};
+pub use reach::Reachability;
+pub use slicing::{Slicer, UseDefTables, MAX_JUMPS};
 
 use anduril_ir::{FuncId, Program};
 use std::time::Instant;
@@ -378,5 +382,97 @@ mod tests {
     fn site_id_type_is_exported() {
         // Compile-time re-export sanity.
         let _x: Option<SiteId> = None;
+    }
+
+    /// A health flag is flipped in `probe`'s exception handler, read back
+    /// through a `get_healthy` accessor, and branched on in `main`. The
+    /// condition's only direct (intraprocedural) writer is the `Call`
+    /// statement itself, so a purely local lookup never connects the
+    /// observable to `probe`'s fault site; the interprocedural slicer jumps
+    /// through the call return into the accessor and on to the global's
+    /// writer inside the handler.
+    #[test]
+    fn interprocedural_slice_reaches_cross_function_condition_writer() {
+        let mut pb = ProgramBuilder::new("t");
+        let healthy = pb.global("healthy", Value::Bool(true));
+        let probe = pb.declare("probe", 0);
+        let getter = pb.declare("get_healthy", 0);
+        let main = pb.declare("main", 0);
+        pb.body(probe, |b| {
+            b.try_catch(
+                |b| {
+                    b.external("net.ping", &[ExceptionType::Socket]);
+                },
+                ExceptionType::Socket,
+                |b| {
+                    b.set_global(healthy, e::bool_(false));
+                },
+            );
+        });
+        pb.body(getter, |b| {
+            b.ret(Some(e::glob(healthy)));
+        });
+        pb.body(main, |b| {
+            let h = b.local();
+            b.call(probe, vec![]);
+            b.call_ret(getter, vec![], h);
+            b.if_(e::not(e::var(h)), |b| {
+                b.log(Level::Warn, "node unhealthy", vec![]);
+            });
+        });
+        let p = pb.finish().unwrap();
+        let cond = p
+            .all_stmts()
+            .find(|(_, s)| matches!(s, anduril_ir::Stmt::If { .. }))
+            .map(|(sref, _)| sref)
+            .unwrap();
+        let cond_func = p.func_of_stmt(cond);
+
+        // The old intraprocedural lookup: the condition reads only the
+        // local `h`, whose sole writer is the Call statement in `main`.
+        let tables = slicing::UseDefTables::build(&p);
+        let h = anduril_ir::VarId(0);
+        let direct = tables.local_writers.get(&(cond_func, h)).unwrap();
+        assert!(
+            direct.iter().all(|&w| p.func_of_stmt(w) == cond_func),
+            "every direct writer is local to main — the old lookup stops here"
+        );
+
+        // The slicer crosses the boundary.
+        let analysis = analyze(&p);
+        let mut slicer = Slicer::new(&p);
+        let writers = slicer.condition_writers(&p, &analysis, cond);
+        assert!(
+            writers.iter().any(|&w| p.func_of_stmt(w) != cond_func),
+            "slice reaches writers outside main: {writers:?}"
+        );
+
+        // End to end: the fault site in `probe` becomes a graph source for
+        // the observable, at a finite distance.
+        let template = p.template_named("node unhealthy").unwrap();
+        let (g, _) = build_graph(&p, &[Observable { template }], &[main]);
+        let site = p.sites.iter().find(|s| s.desc == "net.ping").unwrap().id;
+        assert!(
+            g.sources().contains(&site),
+            "sources {:?} must include the probe site",
+            g.sources()
+        );
+        assert!(g.distances(0).contains_key(&site));
+    }
+
+    #[test]
+    fn distances_into_matches_distances() {
+        let (p, main) = wal_like_program();
+        let t1 = p.template_named("Failed to get sync result").unwrap();
+        let t2 = p.template_named("stream broken, will retry").unwrap();
+        let (g, _) = build_graph(
+            &p,
+            &[Observable { template: t1 }, Observable { template: t2 }],
+            &[main],
+        );
+        let mut scratch = Vec::new();
+        for k in 0..2 {
+            assert_eq!(g.distances(k), g.distances_into(k, &mut scratch));
+        }
     }
 }

@@ -1,0 +1,584 @@
+//! Interprocedural use-def slicing (the paper's "jumping strategy").
+//!
+//! The causal graph's condition nodes need the program points that could
+//! have produced the values a condition reads. The intraprocedural answer
+//! (local/global writers within the same function) misses every value that
+//! crossed a boundary: a call's return, a parameter bound at the call site,
+//! a message payload, a queued element, a task result observed through a
+//! future. Pensieve-style "jumping" follows exactly those transfers: rather
+//! than tracing full control flow, the [`Slicer`] walks use-def chains and
+//! *jumps* across the four value-transfer constructs of the IR:
+//!
+//! 1. **call returns** — a local written by `Call { ret }` jumps into the
+//!    callee's `Return` expressions;
+//! 2. **parameters** — a read of parameter slot `i` jumps out to the `i`-th
+//!    actual argument of every call site (`Call`/`Submit`/`Spawn`);
+//! 3. **channels and queues** — a local written by `Recv` jumps to every
+//!    matching `Send` payload, and one written by `PopFront` jumps to every
+//!    `PushBack` onto the same global;
+//! 4. **futures** — a local written by `Await { ret }` jumps into the
+//!    submitted task functions' `Return` expressions (task linkage comes
+//!    from [`ExcAnalysis::future_tasks`]).
+//!
+//! Each jump consumes one unit of a per-query depth budget
+//! ([`MAX_JUMPS`]), which keeps the walk linear in practice and bounds the
+//! false dependencies the conservative strategy introduces. Queries are
+//! memoized per condition statement; because the walk is a breadth-first
+//! closure from the condition's own reads, memoized results are independent
+//! of query order.
+
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+
+use anduril_ir::{ChanId, CondId, Expr, FuncId, GlobalId, Program, Stmt, StmtRef, VarId};
+
+use crate::exceptions::{reverse_call_graph, ExcAnalysis};
+
+/// Default bound on interprocedural jumps per slice query. Deep enough for
+/// any realistic call/message chain in the mini targets while guaranteeing
+/// termination on adversarial programs (e.g. mutually recursive accessors).
+pub const MAX_JUMPS: u32 = 24;
+
+/// Precomputed program-wide use-def lookup tables, shared by the slicer and
+/// the graph builder's non-condition arms.
+#[derive(Debug)]
+pub struct UseDefTables {
+    /// Writers of each local: `(func, var) -> stmts`.
+    pub(crate) local_writers: HashMap<(FuncId, VarId), Vec<StmtRef>>,
+    /// Writers of each global, program-wide.
+    pub(crate) global_writers: HashMap<GlobalId, Vec<StmtRef>>,
+    /// `Send` statements per channel.
+    pub(crate) chan_senders: HashMap<ChanId, Vec<StmtRef>>,
+    /// `SignalCond` statements per condition variable.
+    pub(crate) cond_signalers: HashMap<CondId, Vec<StmtRef>>,
+    /// Reverse call graph (`Call`/`Submit`/`Spawn` sites per callee).
+    pub(crate) callers: BTreeMap<FuncId, Vec<StmtRef>>,
+    /// `Return` statements per function.
+    pub(crate) returns: HashMap<FuncId, Vec<StmtRef>>,
+}
+
+impl UseDefTables {
+    /// Scans the program once and builds every lookup table.
+    pub fn build(program: &Program) -> Self {
+        let mut local_writers: HashMap<(FuncId, VarId), Vec<StmtRef>> = HashMap::new();
+        let mut global_writers: HashMap<GlobalId, Vec<StmtRef>> = HashMap::new();
+        let mut chan_senders: HashMap<ChanId, Vec<StmtRef>> = HashMap::new();
+        let mut cond_signalers: HashMap<CondId, Vec<StmtRef>> = HashMap::new();
+        let mut returns: HashMap<FuncId, Vec<StmtRef>> = HashMap::new();
+        for (sref, stmt) in program.all_stmts() {
+            let func = program.func_of_stmt(sref);
+            let wrote_local = |v: VarId, map: &mut HashMap<(FuncId, VarId), Vec<StmtRef>>| {
+                map.entry((func, v)).or_default().push(sref);
+            };
+            match stmt {
+                Stmt::Assign { var, .. } => wrote_local(*var, &mut local_writers),
+                Stmt::PopFront { global, var } => {
+                    wrote_local(*var, &mut local_writers);
+                    global_writers.entry(*global).or_default().push(sref);
+                }
+                Stmt::Call { ret: Some(v), .. } => wrote_local(*v, &mut local_writers),
+                Stmt::Recv { var, .. } => wrote_local(*var, &mut local_writers),
+                Stmt::Await { ret: Some(v), .. } => wrote_local(*v, &mut local_writers),
+                Stmt::WaitCond { ok: Some(v), .. } => wrote_local(*v, &mut local_writers),
+                Stmt::Submit {
+                    future: Some(v), ..
+                } => wrote_local(*v, &mut local_writers),
+                Stmt::SetGlobal { global, .. } | Stmt::PushBack { global, .. } => {
+                    global_writers.entry(*global).or_default().push(sref);
+                }
+                Stmt::Send { chan, .. } => chan_senders.entry(*chan).or_default().push(sref),
+                Stmt::SignalCond { cond } => cond_signalers.entry(*cond).or_default().push(sref),
+                Stmt::Return { .. } => returns.entry(func).or_default().push(sref),
+                _ => {}
+            }
+        }
+        UseDefTables {
+            local_writers,
+            global_writers,
+            chan_senders,
+            cond_signalers,
+            callers: reverse_call_graph(program),
+            returns,
+        }
+    }
+}
+
+/// A slice frontier element: one variable whose defining statements are
+/// still to be found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum SliceKey {
+    /// A function-local variable (including parameter slots).
+    Local(FuncId, VarId),
+    /// A per-node global.
+    Global(GlobalId),
+}
+
+/// Memoized interprocedural use-def walker.
+///
+/// Construct once per graph build with [`Slicer::new`], then query
+/// [`Slicer::condition_writers`] for each condition node. The walker is
+/// breadth-first over `(function, variable)`/global keys, so each is expanded at its
+/// minimal jump depth and results are deterministic.
+#[derive(Debug)]
+pub struct Slicer {
+    /// Shared lookup tables (also used by the graph builder directly).
+    pub(crate) tables: UseDefTables,
+    memo: HashMap<StmtRef, Vec<StmtRef>>,
+    max_jumps: u32,
+}
+
+impl Slicer {
+    /// Builds the lookup tables and an empty memo.
+    pub fn new(program: &Program) -> Self {
+        Slicer {
+            tables: UseDefTables::build(program),
+            memo: HashMap::new(),
+            max_jumps: MAX_JUMPS,
+        }
+    }
+
+    /// Same as [`Slicer::new`] but with an explicit jump budget (tests use
+    /// small budgets to exercise the bound).
+    pub fn with_budget(program: &Program, max_jumps: u32) -> Self {
+        Slicer {
+            tables: UseDefTables::build(program),
+            memo: HashMap::new(),
+            max_jumps,
+        }
+    }
+
+    /// The program points that could have produced the values read by the
+    /// condition of the `If`/`While` at `sref`, across function, thread,
+    /// and message boundaries. Sorted and deduplicated.
+    pub fn condition_writers(
+        &mut self,
+        program: &Program,
+        analysis: &ExcAnalysis,
+        sref: StmtRef,
+    ) -> Vec<StmtRef> {
+        if let Some(cached) = self.memo.get(&sref) {
+            return cached.clone();
+        }
+        let empty = Expr::default();
+        let cond = match program.stmt(sref) {
+            Stmt::If { cond, .. } | Stmt::While { cond, .. } => cond,
+            _ => &empty,
+        };
+        let func = program.func_of_stmt(sref);
+        let (vars, globals) = cond.reads_collected();
+        let mut out = self.slice(program, analysis, func, &vars, &globals);
+        out.sort_unstable();
+        out.dedup();
+        self.memo.insert(sref, out.clone());
+        out
+    }
+
+    /// Breadth-first closure over slice keys seeded from `vars`/`globals`
+    /// in `func`. Returns every defining statement reached; interprocedural
+    /// jumps beyond the budget still record the boundary statement (so the
+    /// graph stays conservative) but stop following the value.
+    fn slice(
+        &self,
+        program: &Program,
+        analysis: &ExcAnalysis,
+        func: FuncId,
+        vars: &[VarId],
+        globals: &[GlobalId],
+    ) -> Vec<StmtRef> {
+        let mut out: Vec<StmtRef> = Vec::new();
+        let mut seen: HashSet<SliceKey> = HashSet::new();
+        let mut queue: VecDeque<(SliceKey, u32)> = VecDeque::new();
+        for &v in vars {
+            let key = SliceKey::Local(func, v);
+            if seen.insert(key) {
+                queue.push_back((key, 0));
+            }
+        }
+        for &g in globals {
+            let key = SliceKey::Global(g);
+            if seen.insert(key) {
+                queue.push_back((key, 0));
+            }
+        }
+
+        while let Some((key, depth)) = queue.pop_front() {
+            match key {
+                SliceKey::Global(g) => {
+                    // Global writers are genuine defining locations; the
+                    // graph continues from them structurally, so the slice
+                    // stops here (matching the intraprocedural strategy).
+                    if let Some(ws) = self.tables.global_writers.get(&g) {
+                        out.extend_from_slice(ws);
+                    }
+                }
+                SliceKey::Local(f, v) => {
+                    // Jump 2: a parameter slot is bound at every call site.
+                    if v.0 < program.funcs[f.index()].params {
+                        if let Some(callers) = self.tables.callers.get(&f) {
+                            for &c in callers {
+                                out.push(c);
+                                if depth >= self.max_jumps {
+                                    continue;
+                                }
+                                if let Some((_, args)) = program.stmt(c).invocation() {
+                                    if let Some(arg) = args.get(v.index()) {
+                                        self.enqueue_expr(
+                                            program,
+                                            arg,
+                                            program.func_of_stmt(c),
+                                            depth + 1,
+                                            &mut seen,
+                                            &mut queue,
+                                        );
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    let Some(ws) = self.tables.local_writers.get(&(f, v)) else {
+                        continue;
+                    };
+                    for &w in ws {
+                        out.push(w);
+                        if depth >= self.max_jumps {
+                            continue;
+                        }
+                        match program.stmt(w) {
+                            Stmt::Assign { expr, .. } => {
+                                // Intraprocedural def-use chain: follow the
+                                // right-hand side at the same depth (no
+                                // boundary crossed).
+                                self.enqueue_expr(program, expr, f, depth, &mut seen, &mut queue);
+                            }
+                            // Jump 1: into the callee's return expressions.
+                            Stmt::Call { func: callee, .. } => {
+                                self.jump_into_returns(
+                                    program,
+                                    *callee,
+                                    depth + 1,
+                                    &mut out,
+                                    &mut seen,
+                                    &mut queue,
+                                );
+                            }
+                            // Jump 3a: to every matching send's payload.
+                            Stmt::Recv { chan, .. } => {
+                                if let Some(sends) = self.tables.chan_senders.get(chan) {
+                                    for &s in sends {
+                                        out.push(s);
+                                        if let Stmt::Send { payload, .. } = program.stmt(s) {
+                                            self.enqueue_expr(
+                                                program,
+                                                payload,
+                                                program.func_of_stmt(s),
+                                                depth + 1,
+                                                &mut seen,
+                                                &mut queue,
+                                            );
+                                        }
+                                    }
+                                }
+                            }
+                            // Jump 3b: to every push onto the same queue.
+                            Stmt::PopFront { global, .. } => {
+                                if let Some(gws) = self.tables.global_writers.get(global) {
+                                    for &s in gws {
+                                        out.push(s);
+                                        if let Stmt::PushBack { expr, .. } = program.stmt(s) {
+                                            self.enqueue_expr(
+                                                program,
+                                                expr,
+                                                program.func_of_stmt(s),
+                                                depth + 1,
+                                                &mut seen,
+                                                &mut queue,
+                                            );
+                                        }
+                                    }
+                                }
+                            }
+                            // Jump 4: into the linked tasks' returns.
+                            Stmt::Await { future, .. } => {
+                                if let Some(tasks) = analysis.future_tasks.get(&(f, *future)) {
+                                    for &task in tasks {
+                                        self.jump_into_returns(
+                                            program,
+                                            task,
+                                            depth + 1,
+                                            &mut out,
+                                            &mut seen,
+                                            &mut queue,
+                                        );
+                                    }
+                                }
+                            }
+                            // The signalled-vs-timed-out flag is decided by
+                            // whoever signals the condition variable.
+                            Stmt::WaitCond { cond, .. } => {
+                                if let Some(sigs) = self.tables.cond_signalers.get(cond) {
+                                    out.extend_from_slice(sigs);
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Records a function's `Return` statements and enqueues the variables
+    /// their expressions read (at the jumped depth).
+    fn jump_into_returns(
+        &self,
+        program: &Program,
+        callee: FuncId,
+        depth: u32,
+        out: &mut Vec<StmtRef>,
+        seen: &mut HashSet<SliceKey>,
+        queue: &mut VecDeque<(SliceKey, u32)>,
+    ) {
+        let Some(rets) = self.tables.returns.get(&callee) else {
+            return;
+        };
+        for &r in rets {
+            out.push(r);
+            if let Stmt::Return { expr: Some(e) } = program.stmt(r) {
+                self.enqueue_expr(program, e, callee, depth, seen, queue);
+            }
+        }
+    }
+
+    /// Seeds the frontier with every variable an expression reads.
+    fn enqueue_expr(
+        &self,
+        _program: &Program,
+        expr: &Expr,
+        func: FuncId,
+        depth: u32,
+        seen: &mut HashSet<SliceKey>,
+        queue: &mut VecDeque<(SliceKey, u32)>,
+    ) {
+        let (vars, globals) = expr.reads_collected();
+        for v in vars {
+            let key = SliceKey::Local(func, v);
+            if seen.insert(key) {
+                queue.push_back((key, depth));
+            }
+        }
+        for g in globals {
+            let key = SliceKey::Global(g);
+            if seen.insert(key) {
+                queue.push_back((key, depth));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exceptions::analyze;
+    use anduril_ir::builder::ProgramBuilder;
+    use anduril_ir::{expr::build as e, ExceptionType, Value};
+
+    fn cond_stmt(p: &Program) -> StmtRef {
+        p.all_stmts()
+            .find(|(_, s)| matches!(s, Stmt::If { .. } | Stmt::While { .. }))
+            .map(|(sref, _)| sref)
+            .expect("program has a condition")
+    }
+
+    fn writers_of(p: &Program, sref: StmtRef) -> Vec<StmtRef> {
+        let a = analyze(p);
+        Slicer::new(p).condition_writers(p, &a, sref)
+    }
+
+    fn stmt_kinds(p: &Program, refs: &[StmtRef]) -> Vec<&'static str> {
+        refs.iter()
+            .map(|&r| match p.stmt(r) {
+                Stmt::Assign { .. } => "assign",
+                Stmt::SetGlobal { .. } => "set_global",
+                Stmt::PushBack { .. } => "push_back",
+                Stmt::Call { .. } => "call",
+                Stmt::Send { .. } => "send",
+                Stmt::Return { .. } => "return",
+                Stmt::External { .. } => "external",
+                _ => "other",
+            })
+            .collect()
+    }
+
+    #[test]
+    fn jumps_through_call_return_to_global_writer() {
+        // h = call get_healthy(); if !h { .. }  — the slicer must reach the
+        // SetGlobal in `probe`, two functions away.
+        let mut pb = ProgramBuilder::new("t");
+        let healthy = pb.global("healthy", Value::Bool(true));
+        let getter = pb.declare("get_healthy", 0);
+        let main = pb.declare("main", 0);
+        pb.body(getter, |b| {
+            b.ret(Some(e::glob(healthy)));
+        });
+        pb.body(main, |b| {
+            let h = b.local();
+            b.call_ret(getter, vec![], h);
+            b.if_(e::not(e::var(h)), |b| {
+                b.halt();
+            });
+        });
+        let p = pb.finish().unwrap();
+        let ws = writers_of(&p, cond_stmt(&p));
+        let kinds = stmt_kinds(&p, &ws);
+        assert!(kinds.contains(&"call"), "call site recorded: {kinds:?}");
+        assert!(kinds.contains(&"return"), "callee return recorded");
+        // No SetGlobal exists, but the global read was reached (no writer,
+        // so nothing else); now add one and re-check below in other tests.
+    }
+
+    #[test]
+    fn jumps_from_parameter_to_call_site_argument() {
+        // check(v) { if v > 0 { .. } }; main { x = 7; call check(x) }
+        let mut pb = ProgramBuilder::new("t");
+        let check = pb.declare("check", 1);
+        let main = pb.declare("main", 0);
+        pb.body(check, |b| {
+            b.if_(e::gt(e::var(b.param(0)), e::int(0)), |b| {
+                b.halt();
+            });
+        });
+        pb.body(main, |b| {
+            let x = b.local();
+            b.assign(x, e::int(7));
+            b.call(check, vec![e::var(x)]);
+        });
+        let p = pb.finish().unwrap();
+        let ws = writers_of(&p, cond_stmt(&p));
+        let kinds = stmt_kinds(&p, &ws);
+        assert!(kinds.contains(&"call"), "call site recorded: {kinds:?}");
+        assert!(
+            kinds.contains(&"assign"),
+            "caller's assignment feeding the argument is reached: {kinds:?}"
+        );
+    }
+
+    #[test]
+    fn jumps_from_recv_to_send_payload() {
+        let mut pb = ProgramBuilder::new("t");
+        let ch = pb.chan("reqs");
+        let state = pb.global("state", Value::Int(0));
+        let server = pb.declare("server", 0);
+        let client = pb.declare("client", 0);
+        pb.body(server, |b| {
+            let m = b.local();
+            b.recv(ch, m, None);
+            b.if_(e::eq(e::var(m), e::int(1)), |b| {
+                b.halt();
+            });
+        });
+        pb.body(client, |b| {
+            b.send(e::str_("n1"), ch, e::glob(state));
+        });
+        let p = pb.finish().unwrap();
+        let ws = writers_of(&p, cond_stmt(&p));
+        let kinds = stmt_kinds(&p, &ws);
+        assert!(kinds.contains(&"send"), "send recorded: {kinds:?}");
+    }
+
+    #[test]
+    fn jumps_from_popfront_to_pushback_payload() {
+        let mut pb = ProgramBuilder::new("t");
+        let q = pb.global("queue", Value::List(vec![]));
+        let src = pb.global("src", Value::Int(0));
+        let consumer = pb.declare("consumer", 0);
+        let producer = pb.declare("producer", 0);
+        pb.body(consumer, |b| {
+            let x = b.local();
+            b.pop_front(q, x);
+            b.if_(e::ne(e::var(x), e::unit()), |b| {
+                b.halt();
+            });
+        });
+        pb.body(producer, |b| {
+            b.push_back(q, e::glob(src));
+        });
+        let p = pb.finish().unwrap();
+        let ws = writers_of(&p, cond_stmt(&p));
+        let kinds = stmt_kinds(&p, &ws);
+        assert!(
+            kinds.contains(&"push_back"),
+            "push site recorded: {kinds:?}"
+        );
+    }
+
+    #[test]
+    fn jumps_from_await_into_task_return() {
+        let mut pb = ProgramBuilder::new("t");
+        let result = pb.global("result", Value::Int(0));
+        let exec = pb.executor("pool");
+        let task = pb.declare("task", 0);
+        let main = pb.declare("main", 0);
+        pb.body(task, |b| {
+            b.ret(Some(e::glob(result)));
+        });
+        pb.body(main, |b| {
+            let fut = b.local();
+            let r = b.local();
+            b.submit(exec, task, vec![], fut);
+            b.await_(fut, None, Some(r));
+            b.if_(e::gt(e::var(r), e::int(0)), |b| {
+                b.halt();
+            });
+        });
+        let p = pb.finish().unwrap();
+        let ws = writers_of(&p, cond_stmt(&p));
+        let kinds = stmt_kinds(&p, &ws);
+        assert!(kinds.contains(&"return"), "task return recorded: {kinds:?}");
+    }
+
+    #[test]
+    fn budget_bounds_recursive_parameter_chains() {
+        // f(v) calls itself with its own parameter: an unbounded walker
+        // would loop; the seen-set and budget terminate it.
+        let mut pb = ProgramBuilder::new("t");
+        let f = pb.declare("f", 1);
+        pb.body(f, |b| {
+            b.if_(e::gt(e::var(b.param(0)), e::int(0)), |b| {
+                let v = b.param(0);
+                b.call(f, vec![e::sub(e::var(v), e::int(1))]);
+            });
+        });
+        let p = pb.finish().unwrap();
+        let a = analyze(&p);
+        let mut tight = Slicer::with_budget(&p, 0);
+        let ws = tight.condition_writers(&p, &a, cond_stmt(&p));
+        // Budget 0: the recursive call site is still recorded (a boundary
+        // statement), but the walk does not follow its argument.
+        let kinds = stmt_kinds(&p, &ws);
+        assert!(kinds.contains(&"call"));
+    }
+
+    #[test]
+    fn results_are_memoized_and_deterministic() {
+        let mut pb = ProgramBuilder::new("t");
+        let g = pb.global("g", Value::Int(0));
+        let f = pb.declare("f", 0);
+        pb.body(f, |b| {
+            b.set_global(g, e::int(1));
+            b.if_(e::gt(e::glob(g), e::int(0)), |b| {
+                b.halt();
+            });
+            b.external("io.op", &[ExceptionType::Io]);
+        });
+        let p = pb.finish().unwrap();
+        let a = analyze(&p);
+        let sref = cond_stmt(&p);
+        let mut s1 = Slicer::new(&p);
+        let first = s1.condition_writers(&p, &a, sref);
+        let second = s1.condition_writers(&p, &a, sref);
+        assert_eq!(first, second);
+        let mut s2 = Slicer::new(&p);
+        assert_eq!(first, s2.condition_writers(&p, &a, sref));
+        assert!(!first.is_empty());
+    }
+}

@@ -9,7 +9,7 @@
 
 use std::collections::{HashMap, HashSet};
 
-use anduril_causal::{build_graph, BuildTimings, CausalGraph, Observable};
+use anduril_causal::{build_graph, BuildTimings, CausalGraph, Observable, Reachability};
 use anduril_ir::{ExceptionType, SiteId, TemplateId};
 use anduril_logdiff::{compare_with, parse_log, Alignment, GroupedLog, ParsedEntry};
 use anduril_sim::{RunResult, SimError};
@@ -59,7 +59,13 @@ pub struct SearchContext {
     /// Per-site dynamic instances from the normal run, as
     /// `(occurrence, mapped failure-log position)`.
     pub site_instances: Vec<Vec<(u32, f64)>>,
-    /// The static fault candidates (graph sources × declared exceptions).
+    /// Fault sites statically reachable from the workload roots, in id
+    /// order — Table 1's *reachable* column, and the site space baseline
+    /// strategies draw from (dead-code sites are pruned before any
+    /// injection is scheduled).
+    pub candidate_sites: Vec<SiteId>,
+    /// The static fault candidates (reachable graph sources × declared
+    /// exceptions).
     pub units: Vec<FaultUnit>,
     /// Seed used for the normal run (rounds use `base_seed + 1 + round`).
     pub base_seed: u64,
@@ -104,8 +110,10 @@ impl SearchContext {
             })
             .collect();
         let (graph, timings) = build_graph(program, &obs_inputs, &scenario.roots());
-        let distances: Vec<HashMap<SiteId, u32>> =
-            (0..observables.len()).map(|k| graph.distances(k)).collect();
+        let mut scratch = Vec::new();
+        let distances: Vec<HashMap<SiteId, u32>> = (0..observables.len())
+            .map(|k| graph.distances_into(k, &mut scratch))
+            .collect();
 
         // Fault-instance distribution mapped onto the failure timeline.
         let alignment = Alignment::build(&diff.matches, normal_parsed.len(), failure.len());
@@ -115,8 +123,18 @@ impl SearchContext {
             site_instances[t.site.index()].push((t.occurrence, mapped));
         }
 
+        // Static reachability pruning: a site in dead code can leak into
+        // the graph through the program-wide use-def tables, but the
+        // workload can never execute it, so it is dropped from the
+        // candidate space before any strategy sees it.
+        let reach = Reachability::compute(program, &scenario.roots());
+        let candidate_sites = reach.reachable_sites(program);
+
         let mut units = Vec::new();
         for site in graph.sources() {
+            if !reach.func(program.sites[site.index()].func) {
+                continue;
+            }
             for &exc in &program.sites[site.index()].exceptions {
                 units.push(FaultUnit { site, exc });
             }
@@ -132,6 +150,7 @@ impl SearchContext {
             timings,
             distances,
             site_instances,
+            candidate_sites,
             units,
             base_seed,
         })

@@ -89,6 +89,37 @@ fn injecting_at_a_wrong_site_does_not_satisfy_timing_pinned_oracles() {
 }
 
 #[test]
+fn ground_truth_sites_survive_static_pruning() {
+    // The reachability pruner and the causal graph may only remove noise:
+    // for every case the known root-cause site must remain (a) statically
+    // reachable, (b) a causal-graph source, and (c) present among the
+    // candidate units with its ground-truth exception type.
+    for case in all_cases() {
+        let gt = case.ground_truth().expect("resolvable");
+        let failure_log = case.failure_log().expect("failure log");
+        let ctx = anduril_core::SearchContext::prepare(case.scenario.clone(), &failure_log, 1_000)
+            .expect("context");
+        assert!(
+            ctx.candidate_sites.contains(&gt.site),
+            "{}: root-cause site pruned as unreachable",
+            case.id
+        );
+        assert!(
+            ctx.graph.sources().contains(&gt.site),
+            "{}: root-cause site not a causal-graph source",
+            case.id
+        );
+        assert!(
+            ctx.units
+                .iter()
+                .any(|u| u.site == gt.site && u.exc == gt.exc),
+            "{}: ground-truth (site, exception) unit missing after pruning",
+            case.id
+        );
+    }
+}
+
+#[test]
 fn descriptions_match_paper_table5_tickets() {
     let expected: &[(&str, &str)] = &[
         ("f1", "ZK-2247"),

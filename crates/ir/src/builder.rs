@@ -181,6 +181,14 @@ impl ProgramBuilder {
 
     /// Finalizes the program, validating structural invariants.
     pub fn finish(self) -> Result<Program, IrError> {
+        self.finish_linted().map(|(p, _)| p)
+    }
+
+    /// Finalizes the program and additionally returns lint warnings:
+    /// non-fatal constructs (e.g. a condition variable that is waited on but
+    /// never signaled) that usually indicate an authoring mistake in a
+    /// target system.
+    pub fn finish_linted(self) -> Result<(Program, Vec<crate::program::LintWarning>), IrError> {
         let mut funcs = Vec::with_capacity(self.funcs.len());
         for d in &self.funcs {
             let entry = d
@@ -193,7 +201,7 @@ impl ProgramBuilder {
                 entry,
             });
         }
-        Program::assemble(
+        let program = Program::assemble(
             self.name,
             funcs,
             self.blocks,
@@ -203,7 +211,9 @@ impl ProgramBuilder {
             self.conds,
             self.chans,
             self.execs,
-        )
+        )?;
+        let warnings = program.lints();
+        Ok((program, warnings))
     }
 
     fn new_block(&mut self) -> BlockId {
@@ -649,6 +659,36 @@ mod tests {
             .text
             .contains("Uncaught exception"));
         assert!(p.templates[TMPL_ABORT.index()].text.contains("ABORT"));
+    }
+
+    #[test]
+    fn unsignaled_cond_linted() {
+        let mut pb = ProgramBuilder::new("t");
+        let ready = pb.cond("ready");
+        let f = pb.declare("f", 0);
+        pb.body(f, |b| {
+            b.wait_cond(ready, Some(e::int(10)), None);
+        });
+        let (_, warnings) = pb.finish_linted().unwrap();
+        assert_eq!(warnings.len(), 1);
+        let crate::program::LintWarning::UnsignaledCond { name, .. } = &warnings[0];
+        assert_eq!(name, "ready");
+    }
+
+    #[test]
+    fn signaled_cond_not_linted() {
+        let mut pb = ProgramBuilder::new("t");
+        let ready = pb.cond("ready");
+        let f = pb.declare("waiter", 0);
+        let g = pb.declare("signaler", 0);
+        pb.body(f, |b| {
+            b.wait_cond(ready, None, None);
+        });
+        pb.body(g, |b| {
+            b.signal(ready);
+        });
+        let (_, warnings) = pb.finish_linted().unwrap();
+        assert!(warnings.is_empty());
     }
 
     #[test]

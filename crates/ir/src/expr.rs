@@ -92,6 +92,14 @@ impl Expr {
             Expr::Index(a, _) => a.reads(vars, globals),
         }
     }
+
+    /// Convenience form of [`Expr::reads`] returning fresh vectors.
+    pub fn reads_collected(&self) -> (Vec<VarId>, Vec<GlobalId>) {
+        let mut vars = Vec::new();
+        let mut globals = Vec::new();
+        self.reads(&mut vars, &mut globals);
+        (vars, globals)
+    }
 }
 
 pub use build::*;

@@ -60,6 +60,8 @@ pub use ids::{
     BlockId, ChanId, CondId, ExecId, FuncId, GlobalId, SiteId, StmtRef, TemplateId, VarId,
 };
 pub use log::{Level, LogEntry, LogTemplate};
-pub use program::{BlockRole, FaultSite, Function, GlobalInfo, IrError, Program, SiteKind};
+pub use program::{
+    BlockRole, FaultSite, Function, GlobalInfo, IrError, LintWarning, Program, SiteKind,
+};
 pub use stmt::{Handler, Stmt};
 pub use value::Value;

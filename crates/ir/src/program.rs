@@ -26,6 +26,10 @@ pub enum IrError {
         /// The number of arguments supplied.
         got: usize,
     },
+    /// Two log templates share the same text, making
+    /// [`Program::template_named`] (and hence observable resolution)
+    /// ambiguous.
+    DuplicateTemplate(String),
 }
 
 impl std::fmt::Display for IrError {
@@ -41,6 +45,38 @@ impl std::fmt::Display for IrError {
             } => write!(
                 f,
                 "log at {stmt} supplies {got} args for a template with {expected} holes"
+            ),
+            IrError::DuplicateTemplate(text) => {
+                write!(f, "duplicate log template `{text}`")
+            }
+        }
+    }
+}
+
+/// A non-fatal issue found while linting a built program.
+///
+/// Warnings are advisory: the program is still executable, but the flagged
+/// construct usually indicates a target-modelling mistake (e.g. a
+/// condition-variable wait that can only ever time out).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LintWarning {
+    /// A condition variable is waited on but no statement ever signals it,
+    /// so every [`Stmt::WaitCond`] on it either blocks forever or times
+    /// out.
+    UnsignaledCond {
+        /// The offending condition variable.
+        cond: crate::ids::CondId,
+        /// Its declared name.
+        name: String,
+    },
+}
+
+impl std::fmt::Display for LintWarning {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LintWarning::UnsignaledCond { cond, name } => write!(
+                f,
+                "condition variable `{name}` ({cond}) is waited on but never signaled"
             ),
         }
     }
@@ -256,6 +292,12 @@ impl Program {
     }
 
     fn validate(&self) -> Result<(), IrError> {
+        let mut seen_templates = std::collections::HashSet::new();
+        for t in &self.templates {
+            if !seen_templates.insert(t.text.as_str()) {
+                return Err(IrError::DuplicateTemplate(t.text.clone()));
+            }
+        }
         for (sref, stmt) in self.all_stmts() {
             if let Stmt::Log { template, args, .. } = stmt {
                 let arity = self
@@ -353,5 +395,119 @@ impl Program {
             .filter(|(_, s)| matches!(s, Stmt::Log { template: t, .. } if *t == template))
             .map(|(r, _)| r)
             .collect()
+    }
+
+    /// Returns every `Return` statement of a function.
+    ///
+    /// Used by the interprocedural slicer to jump from a `Call { ret }`
+    /// writer into the callee's return expressions. A function with no
+    /// `Return` statements returns unit implicitly, so an empty result is
+    /// normal.
+    pub fn return_stmts_of(&self, func: FuncId) -> Vec<StmtRef> {
+        self.all_stmts()
+            .filter(|(r, s)| matches!(s, Stmt::Return { .. }) && self.func_of_stmt(*r) == func)
+            .map(|(r, _)| r)
+            .collect()
+    }
+
+    /// Lints the program for advisory issues (see [`LintWarning`]).
+    ///
+    /// Fatal structural problems (duplicate templates, dangling
+    /// references) are rejected at build time; this reports the non-fatal
+    /// smells on top.
+    pub fn lints(&self) -> Vec<LintWarning> {
+        let mut waited = std::collections::BTreeSet::new();
+        let mut signaled = std::collections::BTreeSet::new();
+        for (_, stmt) in self.all_stmts() {
+            match stmt {
+                Stmt::WaitCond { cond, .. } => {
+                    waited.insert(*cond);
+                }
+                Stmt::SignalCond { cond } => {
+                    signaled.insert(*cond);
+                }
+                _ => {}
+            }
+        }
+        waited
+            .difference(&signaled)
+            .map(|&cond| LintWarning::UnsignaledCond {
+                cond,
+                name: self.conds[cond.index()].clone(),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::LogTemplate;
+
+    fn one_func(blocks: Vec<Vec<Stmt>>, templates: Vec<LogTemplate>) -> Result<Program, IrError> {
+        Program::assemble(
+            "t".into(),
+            vec![Function {
+                name: "f".into(),
+                params: 0,
+                locals: 0,
+                entry: crate::ids::BlockId(0),
+            }],
+            blocks,
+            templates,
+            Vec::new(),
+            Vec::new(),
+            Vec::new(),
+            Vec::new(),
+            Vec::new(),
+        )
+    }
+
+    #[test]
+    fn duplicate_templates_rejected() {
+        let templates = vec![
+            LogTemplate {
+                text: "sync failed".into(),
+            },
+            LogTemplate {
+                text: "sync failed".into(),
+            },
+        ];
+        let err = one_func(vec![vec![Stmt::Halt]], templates).unwrap_err();
+        assert!(matches!(err, IrError::DuplicateTemplate(t) if t == "sync failed"));
+    }
+
+    #[test]
+    fn distinct_templates_accepted() {
+        let templates = vec![
+            LogTemplate {
+                text: "sync failed".into(),
+            },
+            LogTemplate {
+                text: "sync ok".into(),
+            },
+        ];
+        assert!(one_func(vec![vec![Stmt::Halt]], templates).is_ok());
+    }
+
+    #[test]
+    fn return_stmts_of_finds_all_returns_per_function() {
+        use crate::builder::ProgramBuilder;
+        use crate::expr::build as e;
+        let mut pb = ProgramBuilder::new("t");
+        let two = pb.declare("two_returns", 0);
+        let none = pb.declare("no_return", 0);
+        pb.body(two, |b| {
+            b.if_(e::gt(e::rand(0, 10), e::int(5)), |b| {
+                b.ret(Some(e::int(1)));
+            });
+            b.ret(Some(e::int(0)));
+        });
+        pb.body(none, |b| {
+            b.halt();
+        });
+        let p = pb.finish().unwrap();
+        assert_eq!(p.return_stmts_of(two).len(), 2);
+        assert!(p.return_stmts_of(none).is_empty());
     }
 }

@@ -224,6 +224,22 @@ impl Stmt {
         }
     }
 
+    /// Returns the invoked function and the actual-argument expressions if
+    /// this statement transfers control to another function (`Call`,
+    /// `Submit`, or `Spawn`).
+    ///
+    /// The arguments are positional: `args[i]` is bound to the callee's
+    /// parameter slot `VarId(i)`, which is what lets the interprocedural
+    /// slicer jump from a parameter read out to every call site.
+    pub fn invocation(&self) -> Option<(FuncId, &[Expr])> {
+        match self {
+            Stmt::Call { func, args, .. }
+            | Stmt::Submit { func, args, .. }
+            | Stmt::Spawn { func, args, .. } => Some((*func, args)),
+            _ => None,
+        }
+    }
+
     /// Returns the child blocks this statement owns, with their roles.
     pub fn child_blocks(&self) -> Vec<(BlockId, crate::program::BlockRole)> {
         use crate::program::BlockRole;

@@ -18,6 +18,7 @@ use anduril::{
 fn usage() -> ! {
     eprintln!(
         "usage:\n  anduril list\n  anduril show <case>\n  anduril log <case>\n  \
+         anduril analyze [<case>|<system>|all] [--json FILE]\n  \
          anduril reproduce <case> [--strategy NAME] [--max-rounds N] [--emit-script FILE]\n  \
          {:21}[--threads N] [--batch N]\n  \
          anduril replay <case> <script-file>\n  \
@@ -26,10 +27,125 @@ fn usage() -> ! {
          site-feedback, multiply, sum-aggregate, order-distance, global-diff,\n\
          fate, crashtuner, crashtuner-meta-exc, stacktrace\n\n\
          --threads > 1 explores in speculative parallel batches (identical\n\
-         results, less wall time); feedback-strategy variants only",
+         results, less wall time); feedback-strategy variants only\n\n\
+         analyze prints the static-analysis report (site reduction, graph\n\
+         size, phase timings, per-observable distances) and writes the same\n\
+         data as JSON (default results/analyze.json; `--json -` for stdout)",
         ""
     );
     std::process::exit(2);
+}
+
+/// Per-case static-analysis report data for `anduril analyze`.
+struct AnalyzeRow {
+    id: &'static str,
+    ticket: &'static str,
+    system: &'static str,
+    sites_total: usize,
+    sites_reachable: usize,
+    sites_inferred: usize,
+    units: usize,
+    nodes: usize,
+    edges: usize,
+    /// `(template text, min distance over inferred sites)` per observable.
+    observables: Vec<(String, Option<u32>)>,
+    timings: anduril::causal::BuildTimings,
+    lints: Vec<String>,
+}
+
+fn analyze_case(case: &anduril::failures::FailureCase) -> AnalyzeRow {
+    let failure_log = case.failure_log().expect("failure log");
+    let ctx = SearchContext::prepare(case.scenario.clone(), &failure_log, 1_000).expect("context");
+    let program = &ctx.scenario.program;
+    let observables = ctx
+        .observables
+        .iter()
+        .enumerate()
+        .map(|(k, o)| {
+            let text = program.templates[o.template.index()].text.clone();
+            let min = ctx.distances[k].values().min().copied();
+            (text, min)
+        })
+        .collect();
+    AnalyzeRow {
+        id: case.id,
+        ticket: case.ticket,
+        system: case.system,
+        sites_total: program.sites.len(),
+        sites_reachable: ctx.candidate_sites.len(),
+        sites_inferred: ctx.graph.sources().len(),
+        units: ctx.units.len(),
+        nodes: ctx.graph.node_count(),
+        edges: ctx.graph.edge_count(),
+        observables,
+        timings: ctx.timings,
+        lints: program.lints().iter().map(|w| w.to_string()).collect(),
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn analyze_json(rows: &[AnalyzeRow]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("{\n  \"cases\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"id\": \"{}\", \"ticket\": \"{}\", \"system\": \"{}\", \
+             \"sites_total\": {}, \"sites_reachable\": {}, \"sites_inferred\": {}, \
+             \"units\": {}, \"nodes\": {}, \"edges\": {}, \
+             \"timings_ns\": {{\"exception\": {}, \"slicing\": {}, \"chaining\": {}, \"total\": {}}}, \
+             \"observables\": [",
+            json_escape(r.id),
+            json_escape(r.ticket),
+            json_escape(r.system),
+            r.sites_total,
+            r.sites_reachable,
+            r.sites_inferred,
+            r.units,
+            r.nodes,
+            r.edges,
+            r.timings.exception_ns,
+            r.timings.slicing_ns,
+            r.timings.chaining_ns,
+            r.timings.total_ns,
+        );
+        for (j, (text, min)) in r.observables.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}{{\"template\": \"{}\", \"min_distance\": {}}}",
+                if j > 0 { ", " } else { "" },
+                json_escape(text),
+                min.map(|d| d.to_string()).unwrap_or_else(|| "null".into()),
+            );
+        }
+        out.push_str("], \"lints\": [");
+        for (j, l) in r.lints.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}\"{}\"",
+                if j > 0 { ", " } else { "" },
+                json_escape(l)
+            );
+        }
+        out.push_str("]}");
+        out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 fn feedback_config_by_name(name: &str) -> Option<FeedbackConfig> {
@@ -97,6 +213,117 @@ fn main() {
                 .and_then(|id| case_by_id(id))
                 .unwrap_or_else(|| usage());
             print!("{}", case.failure_log().expect("failure log"));
+        }
+        Some("analyze") => {
+            let mut selector = "all".to_string();
+            let mut json_path: Option<String> = None;
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--json" => {
+                        json_path = Some(args.get(i + 1).cloned().unwrap_or_else(|| usage()));
+                        i += 2;
+                    }
+                    s if i == 1 => {
+                        selector = s.to_string();
+                        i += 1;
+                    }
+                    _ => usage(),
+                }
+            }
+            let cases: Vec<_> = all_cases()
+                .into_iter()
+                .filter(|c| {
+                    selector.eq_ignore_ascii_case("all")
+                        || c.id.eq_ignore_ascii_case(&selector)
+                        || c.system.eq_ignore_ascii_case(&selector)
+                })
+                .collect();
+            if cases.is_empty() {
+                eprintln!("no case or system matches `{selector}`");
+                std::process::exit(2);
+            }
+            let rows: Vec<AnalyzeRow> = cases.iter().map(analyze_case).collect();
+
+            // With `--json -` the machine-readable document owns stdout, so
+            // the human-readable report moves to stderr and stays pipeable.
+            let json_stdout = json_path.as_deref() == Some("-");
+            let mut report = String::new();
+            use std::fmt::Write as _;
+
+            writeln!(
+                report,
+                "Static analysis report (fault-site reduction and causal-graph shape)\n"
+            )
+            .unwrap();
+            let mut t = anduril_bench::TextTable::new(&[
+                "Case", "Ticket", "System", "Sites", "Reach", "Inferred", "Units", "Nodes",
+                "Edges", "Obs", "MinDist", "Exc us", "Slice us", "Chain us", "Total us",
+            ]);
+            let mut last_system = "";
+            for r in &rows {
+                let mindist = r
+                    .observables
+                    .iter()
+                    .map(|(_, m)| m.map(|d| d.to_string()).unwrap_or_else(|| "-".into()))
+                    .collect::<Vec<_>>()
+                    .join("/");
+                t.row(vec![
+                    r.id.to_string(),
+                    r.ticket.to_string(),
+                    if r.system == last_system {
+                        String::new()
+                    } else {
+                        r.system.to_string()
+                    },
+                    r.sites_total.to_string(),
+                    r.sites_reachable.to_string(),
+                    r.sites_inferred.to_string(),
+                    r.units.to_string(),
+                    r.nodes.to_string(),
+                    r.edges.to_string(),
+                    r.observables.len().to_string(),
+                    mindist,
+                    (r.timings.exception_ns / 1_000).to_string(),
+                    (r.timings.slicing_ns / 1_000).to_string(),
+                    (r.timings.chaining_ns / 1_000).to_string(),
+                    (r.timings.total_ns / 1_000).to_string(),
+                ]);
+                last_system = r.system;
+            }
+            write!(report, "{}", t.render()).unwrap();
+            writeln!(
+                report,
+                "\nSites = static fault sites; Reach = reachable from the workload \
+                 roots; Inferred = causal-graph sources; Units = (site, exception) \
+                 candidates after pruning; MinDist = per-observable minimum source \
+                 distance."
+            )
+            .unwrap();
+            for r in &rows {
+                for l in &r.lints {
+                    writeln!(report, "lint [{}]: {}", r.id, l).unwrap();
+                }
+            }
+            if json_stdout {
+                eprint!("{report}");
+            } else {
+                print!("{report}");
+            }
+
+            let json = analyze_json(&rows);
+            match json_path.as_deref() {
+                Some("-") => print!("{json}"),
+                Some(path) => {
+                    std::fs::write(path, &json).expect("write json");
+                    println!("\nJSON written to {path}");
+                }
+                None => {
+                    std::fs::create_dir_all("results").expect("create results dir");
+                    std::fs::write("results/analyze.json", &json).expect("write json");
+                    println!("\nJSON written to results/analyze.json");
+                }
+            }
         }
         Some("reproduce") => {
             let case = args
