@@ -1,6 +1,10 @@
 //! Table 7: static-analysis time breakdown per failure.
+//!
+//! Timings are sourced from the search-trace stream's `graph.*` context
+//! phases (see `anduril-core::trace`) rather than from `ctx.timings`, so
+//! the table exercises the same spans `anduril trace --summary` reports.
 
-use anduril_bench::{prepare, TextTable};
+use anduril_bench::{phase_ns, prepare_with_trace, TextTable};
 use anduril_failures::all_cases;
 
 fn main() {
@@ -13,16 +17,15 @@ fn main() {
         "Total",
     ]);
     for case in all_cases() {
-        let p = prepare(case);
-        let tm = p.ctx.timings;
-        let us = |ns: u64| format!("{:.1} us", ns as f64 / 1e3);
+        let (p, trace) = prepare_with_trace(case);
+        let us = |name: &str| format!("{:.1} us", phase_ns(&trace, name) as f64 / 1e3);
         t.row(vec![
             format!("{} ({})", p.case.ticket, p.case.id),
             p.ctx.scenario.program.stmt_count().to_string(),
-            us(tm.exception_ns),
-            us(tm.slicing_ns),
-            us(tm.chaining_ns),
-            us(tm.total_ns),
+            us("graph.exception"),
+            us("graph.slicing"),
+            us("graph.chaining"),
+            us("graph"),
         ]);
     }
     println!("Table 7: static causal-graph analysis time breakdown\n");

@@ -10,6 +10,7 @@
 
 use std::fmt::Write as _;
 
+use anduril_core::trace::{TraceEvent, VecTracer};
 use anduril_core::{explore, ExplorerConfig, Reproduction, SearchContext, Strategy};
 use anduril_failures::{FailureCase, GroundTruth};
 
@@ -47,6 +48,47 @@ pub fn prepare(case: FailureCase) -> PreparedCase {
         ctx,
         gt,
     }
+}
+
+/// [`prepare`] with the context-phase trace captured: returns the
+/// prepared case plus the [`TraceEvent`] stream of the preparation, so
+/// bench binaries can derive timing tables from trace spans instead of
+/// reaching into `ctx.timings`.
+///
+/// # Panics
+///
+/// Same contract as [`prepare`].
+pub fn prepare_with_trace(case: FailureCase) -> (PreparedCase, Vec<TraceEvent>) {
+    let gt = case
+        .ground_truth()
+        .unwrap_or_else(|e| panic!("{}: ground truth: {e}", case.id));
+    let failure_log = case
+        .failure_log()
+        .unwrap_or_else(|e| panic!("{}: failure log: {e}", case.id));
+    let tracer = VecTracer::new();
+    let ctx = SearchContext::prepare_traced(case.scenario.clone(), &failure_log, 1_000, &tracer)
+        .unwrap_or_else(|e| panic!("{}: context: {e}", case.id));
+    (
+        PreparedCase {
+            case,
+            failure_log,
+            ctx,
+            gt,
+        },
+        tracer.take(),
+    )
+}
+
+/// Sums the host-nanosecond spans of the named context phase in a trace
+/// (0 when the phase never ran).
+pub fn phase_ns(events: &[TraceEvent], name: &str) -> u64 {
+    events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::ContextPhase { phase, ns, .. } if *phase == name => Some(*ns),
+            _ => None,
+        })
+        .sum()
 }
 
 /// Runs one strategy against a prepared case with a round cap.

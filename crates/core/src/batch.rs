@@ -39,6 +39,7 @@ use crate::feedback::{FeedbackConfig, FeedbackStrategy};
 use crate::oracle::Oracle;
 use crate::scenario::Scenario;
 use crate::strategy::Strategy;
+use crate::trace::{NoopTracer, TraceEvent, Tracer};
 
 /// Configuration of the batched explorer.
 #[derive(Debug, Clone)]
@@ -161,14 +162,44 @@ pub fn explore_batched<S: Strategy + Clone>(
     batch: &BatchExplorerConfig,
     ground_truth: Option<SiteId>,
 ) -> Result<Reproduction, SimError> {
-    let mut state = ExploreState::new(ctx, oracle, cfg);
+    explore_batched_traced(ctx, oracle, strategy, cfg, batch, ground_truth, &NoopTracer)
+}
+
+/// [`explore_batched`] with a trace sink.
+///
+/// Emits the same deterministic event stream as
+/// [`crate::explorer::explore_traced`] — the merge loop *is* the
+/// sequential loop — plus batch-only `epoch` and `spec` (speculation
+/// hit/miss) events tagged with epoch and slot, which
+/// [`TraceEvent::is_batch_only`] identifies.
+#[allow(clippy::too_many_arguments)]
+pub fn explore_batched_traced<S: Strategy + Clone>(
+    ctx: &SearchContext,
+    oracle: &Oracle,
+    strategy: &mut S,
+    cfg: &ExplorerConfig,
+    batch: &BatchExplorerConfig,
+    ground_truth: Option<SiteId>,
+    tracer: &dyn Tracer,
+) -> Result<Reproduction, SimError> {
+    let mut state = ExploreState::new(ctx, oracle, cfg, tracer);
     strategy.init(ctx);
+    if tracer.enabled() {
+        tracer.record(TraceEvent::ExploreStart {
+            strategy: strategy.name().to_string(),
+            max_rounds: cfg.max_rounds,
+            base_seed: cfg.base_seed,
+        });
+    }
     let predictor = Predictor::new(ctx);
     let batch_size = batch.batch_size.max(1);
 
     let mut round = 0usize;
+    let mut epoch = 0usize;
     while round < cfg.max_rounds {
-        // 1. Speculative planning on a throwaway clone.
+        // 1. Speculative planning on a throwaway clone. (The clone also
+        //    inherits and accumulates lifecycle notes; they vanish with
+        //    it, so only the trusted strategy's notes reach the tracer.)
         let horizon = batch_size.min(cfg.max_rounds - round);
         let mut spec = strategy.clone();
         let mut jobs: Vec<(usize, InjectionPlan)> = Vec::with_capacity(horizon);
@@ -178,6 +209,13 @@ pub fn explore_batched<S: Strategy + Clone>(
             };
             spec.speculate(ctx, predictor.fired(&plan));
             jobs.push((round + i, plan));
+        }
+        if tracer.enabled() {
+            tracer.record(TraceEvent::EpochStart {
+                epoch,
+                round,
+                jobs: jobs.len(),
+            });
         }
 
         // 2. Concurrent execution of the speculative (seed, plan) pairs.
@@ -194,15 +232,45 @@ pub fn explore_batched<S: Strategy + Clone>(
             let init_ns = init_start.elapsed().as_nanos() as u64;
             let gt_rank = ground_truth.and_then(|s| strategy.site_rank(s));
             let Some(plan) = plan else {
+                state.drain_notes(strategy, r);
                 return Ok(state.give_up(strategy.name()));
             };
             let armed = plan.candidates.len() + usize::from(plan.crash_at.is_some());
-            let result = match jobs.get(i) {
-                Some((jr, spec_plan)) if *jr == r && plan == *spec_plan => results
+            if tracer.enabled() {
+                tracer.record(TraceEvent::RoundStart {
+                    round: r,
+                    seed: round_seed(cfg, r),
+                });
+                tracer.record(TraceEvent::Decision {
+                    round: r,
+                    window: armed,
+                    armed,
+                    provenance: strategy.provenance(),
+                    init_ns,
+                });
+            }
+            state.drain_notes(strategy, r);
+            let hit = matches!(
+                jobs.get(i), Some((jr, spec_plan)) if *jr == r && plan == *spec_plan
+            );
+            // No spec event for the forced progress round of an empty
+            // speculation (nothing was predicted, so nothing hit or
+            // missed).
+            if tracer.enabled() && i < jobs.len() {
+                tracer.record(TraceEvent::Speculation {
+                    round: r,
+                    epoch,
+                    slot: i,
+                    hit,
+                });
+            }
+            let result = if hit {
+                results
                     .get_mut(i)
                     .and_then(Option::take)
-                    .expect("each speculative job ran once")?,
-                _ => ctx.scenario.run(round_seed(cfg, r), plan)?,
+                    .expect("each speculative job ran once")?
+            } else {
+                ctx.scenario.run(round_seed(cfg, r), plan)?
             };
             merged += 1;
             if let Some(done) = state.absorb(strategy, r, gt_rank, init_ns, armed, result)? {
@@ -210,6 +278,7 @@ pub fn explore_batched<S: Strategy + Clone>(
             }
         }
         round += merged;
+        epoch += 1;
     }
     Ok(state.give_up(strategy.name()))
 }

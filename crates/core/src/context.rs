@@ -8,6 +8,7 @@
 //! timeline (§5.2.3).
 
 use std::collections::{HashMap, HashSet};
+use std::time::Instant;
 
 use anduril_causal::{build_graph, BuildTimings, CausalGraph, Observable, Reachability};
 use anduril_ir::{ExceptionType, SiteId, TemplateId};
@@ -15,6 +16,7 @@ use anduril_logdiff::{compare_with, parse_log, Alignment, GroupedLog, ParsedEntr
 use anduril_sim::{RunResult, SimError};
 
 use crate::scenario::Scenario;
+use crate::trace::{NoopTracer, TraceEvent, Tracer};
 
 /// One relevant observable with its failure-log positions.
 #[derive(Debug, Clone)]
@@ -79,14 +81,49 @@ impl SearchContext {
         failure_log_text: &str,
         base_seed: u64,
     ) -> Result<SearchContext, SimError> {
+        Self::prepare_traced(scenario, failure_log_text, base_seed, &NoopTracer)
+    }
+
+    /// [`SearchContext::prepare`] with a trace sink: each preparation
+    /// phase emits a [`TraceEvent::ContextPhase`] with its duration and
+    /// size, followed by a [`TraceEvent::ContextReady`] summary.
+    pub fn prepare_traced(
+        scenario: Scenario,
+        failure_log_text: &str,
+        base_seed: u64,
+        tracer: &dyn Tracer,
+    ) -> Result<SearchContext, SimError> {
+        let phase = |name: &'static str, items: u64, since: Instant| {
+            if tracer.enabled() {
+                tracer.record(TraceEvent::ContextPhase {
+                    phase: name,
+                    items,
+                    ns: since.elapsed().as_nanos() as u64,
+                });
+            }
+        };
+
+        let t = Instant::now();
         let normal = scenario.run(base_seed, anduril_sim::InjectionPlan::none())?;
+        phase("normal_run", normal.steps, t);
+
+        let t = Instant::now();
         let failure = parse_log(failure_log_text);
         let failure_grouped = GroupedLog::new(&failure);
         let normal_parsed = parse_log(&normal.log_text());
+        phase(
+            "parse_logs",
+            (failure.len() + normal_parsed.len()) as u64,
+            t,
+        );
+
+        let t = Instant::now();
         let diff = compare_with(&normal_parsed, &failure, &failure_grouped);
+        phase("diff", diff.missing.len() as u64, t);
 
         // Map failure-only entries to templates; one observable per
         // template, holding every position it is missing at.
+        let t = Instant::now();
         let program = &scenario.program;
         let mut by_template: HashMap<TemplateId, Vec<usize>> = HashMap::new();
         for &idx in &diff.missing {
@@ -102,7 +139,9 @@ impl SearchContext {
             })
             .collect();
         observables.sort_by_key(|o| o.template);
+        phase("observables", observables.len() as u64, t);
 
+        let t = Instant::now();
         let obs_inputs: Vec<Observable> = observables
             .iter()
             .map(|o| Observable {
@@ -110,23 +149,45 @@ impl SearchContext {
             })
             .collect();
         let (graph, timings) = build_graph(program, &obs_inputs, &scenario.roots());
+        phase("graph", (graph.node_count() + graph.edge_count()) as u64, t);
+        if tracer.enabled() {
+            // The builder's own §4.1 sub-phase timers (Table 7), re-emitted
+            // as trace spans so reports have one source of timing truth.
+            for (name, ns) in [
+                ("graph.exception", timings.exception_ns),
+                ("graph.slicing", timings.slicing_ns),
+                ("graph.chaining", timings.chaining_ns),
+            ] {
+                tracer.record(TraceEvent::ContextPhase {
+                    phase: name,
+                    items: graph.node_count() as u64,
+                    ns,
+                });
+            }
+        }
+
+        let t = Instant::now();
         let mut scratch = Vec::new();
         let distances: Vec<HashMap<SiteId, u32>> = (0..observables.len())
             .map(|k| graph.distances_into(k, &mut scratch))
             .collect();
+        phase("distances", observables.len() as u64, t);
 
         // Fault-instance distribution mapped onto the failure timeline.
+        let t = Instant::now();
         let alignment = Alignment::build(&diff.matches, normal_parsed.len(), failure.len());
         let mut site_instances: Vec<Vec<(u32, f64)>> = vec![Vec::new(); program.sites.len()];
         for t in &normal.trace {
             let mapped = alignment.map(t.log_pos as f64);
             site_instances[t.site.index()].push((t.occurrence, mapped));
         }
+        phase("alignment", normal.trace.len() as u64, t);
 
         // Static reachability pruning: a site in dead code can leak into
         // the graph through the program-wide use-def tables, but the
         // workload can never execute it, so it is dropped from the
         // candidate space before any strategy sees it.
+        let t = Instant::now();
         let reach = Reachability::compute(program, &scenario.roots());
         let candidate_sites = reach.reachable_sites(program);
 
@@ -138,6 +199,18 @@ impl SearchContext {
             for &exc in &program.sites[site.index()].exceptions {
                 units.push(FaultUnit { site, exc });
             }
+        }
+        phase("pruning", candidate_sites.len() as u64, t);
+
+        if tracer.enabled() {
+            tracer.record(TraceEvent::ContextReady {
+                observables: observables.len(),
+                units: units.len(),
+                sites_total: program.sites.len(),
+                sites_reachable: candidate_sites.len(),
+                graph_nodes: graph.node_count(),
+                graph_edges: graph.edge_count(),
+            });
         }
 
         Ok(SearchContext {

@@ -6,11 +6,12 @@ use std::time::{Duration, Instant};
 use anduril_ir::{ExceptionType, SiteId};
 use anduril_sim::{InjectionPlan, SimError};
 
-use crate::context::{RoundOutcome, SearchContext};
+use crate::context::{FaultUnit, RoundOutcome, SearchContext};
 use crate::feedback::{FeedbackConfig, FeedbackStrategy};
 use crate::oracle::Oracle;
 use crate::scenario::Scenario;
 use crate::strategy::Strategy;
+use crate::trace::{NoopTracer, TraceEvent, Tracer};
 
 /// Explorer configuration.
 #[derive(Debug, Clone)]
@@ -127,6 +128,11 @@ pub struct RoundRecord {
     pub armed: usize,
     /// What was injected, if anything.
     pub injected: Option<(SiteId, u32, ExceptionType)>,
+    /// The observable `k*` attaining the min in the injected unit's
+    /// `F_i = min_k (L_{i,k} + I_k)` at this round's state, when the
+    /// strategy has a priority model (`None` for baselines or when nothing
+    /// injected). Identical between sequential and batched exploration.
+    pub k_star: Option<usize>,
     /// Rank of the ground-truth root-cause site at planning time (Figure 6).
     pub gt_rank: Option<usize>,
     /// Host nanoseconds spent planning (round initialization, Table 4).
@@ -205,6 +211,7 @@ pub(crate) struct ExploreState<'a> {
     ctx: &'a SearchContext,
     oracle: &'a Oracle,
     cfg: &'a ExplorerConfig,
+    tracer: &'a dyn Tracer,
     started: Instant,
     per_round: Vec<RoundRecord>,
     injection_requests: u64,
@@ -213,16 +220,33 @@ pub(crate) struct ExploreState<'a> {
 }
 
 impl<'a> ExploreState<'a> {
-    pub(crate) fn new(ctx: &'a SearchContext, oracle: &'a Oracle, cfg: &'a ExplorerConfig) -> Self {
+    pub(crate) fn new(
+        ctx: &'a SearchContext,
+        oracle: &'a Oracle,
+        cfg: &'a ExplorerConfig,
+        tracer: &'a dyn Tracer,
+    ) -> Self {
         ExploreState {
             ctx,
             oracle,
             cfg,
+            tracer,
             started: Instant::now(),
             per_round: Vec::new(),
             injection_requests: ctx.normal.injection_requests,
             decision_ns: ctx.normal.decision_ns,
             sim_time_total: ctx.normal.end_time,
+        }
+    }
+
+    /// Drains a strategy's queued lifecycle notes (always, so the queue
+    /// cannot grow unbounded) and emits them tagged with `round`.
+    pub(crate) fn drain_notes(&self, strategy: &mut dyn Strategy, round: usize) {
+        let notes = strategy.drain_notes();
+        if self.tracer.enabled() {
+            for note in notes {
+                self.tracer.record(TraceEvent::Note { round, note });
+            }
         }
     }
 
@@ -251,17 +275,37 @@ impl<'a> ExploreState<'a> {
             .as_ref()
             .map(|r| (r.candidate.site, r.occurrence, r.candidate.exc));
         let satisfied = self.oracle.check(&result) && (injected.is_some() || result.crashed);
+        // Which observable attained the min in the injected unit's `F_i`,
+        // asked of the strategy *before* this round's feedback mutates it
+        // — so the record reflects the state that planned the injection.
+        let explained =
+            injected.and_then(|(site, _, exc)| strategy.explain_unit(ctx, FaultUnit { site, exc }));
+        let k_star = explained.as_ref().map(|e| e.k_star);
         self.per_round.push(RoundRecord {
             round,
             window: armed,
             armed,
             injected,
+            k_star,
             gt_rank,
             init_ns,
             workload_ns: result.wall.as_nanos() as u64,
             sim_time: result.end_time,
             oracle_satisfied: satisfied,
         });
+
+        if self.tracer.enabled() {
+            self.tracer.record(TraceEvent::RoundEnd {
+                round,
+                injected,
+                oracle: satisfied,
+                ticks: result.end_time,
+                steps: result.steps,
+                log_entries: result.log.len(),
+                injection_requests: result.injection_requests,
+                workload_ns: result.wall.as_nanos() as u64,
+            });
+        }
 
         if satisfied {
             let (script, replay_verified) = match injected {
@@ -287,6 +331,35 @@ impl<'a> ExploreState<'a> {
                     (Some(script), verified)
                 }
             };
+            if self.tracer.enabled() {
+                if let (Some((site, occurrence, exc)), Some(e)) = (injected, explained) {
+                    // The final provenance chain: from the reproducing
+                    // injection back through the observable and graph
+                    // distance that prioritized it.
+                    self.tracer.record(TraceEvent::ProvenanceChain {
+                        round,
+                        seed,
+                        site,
+                        desc: ctx.scenario.program.sites[site.index()].desc.clone(),
+                        occurrence,
+                        exc,
+                        observable: ctx
+                            .observables
+                            .get(e.k_star)
+                            .map(|o| {
+                                ctx.scenario.program.templates[o.template.index()]
+                                    .text
+                                    .clone()
+                            })
+                            .unwrap_or_default(),
+                        k_star: e.k_star,
+                        l: e.l,
+                        i_k: e.i_k,
+                        f_i: e.f_i,
+                        temporal: e.best_instance.map(|(_, t)| t),
+                    });
+                }
+            }
             return Ok(Some(self.finish(
                 strategy.name(),
                 true,
@@ -312,6 +385,17 @@ impl<'a> ExploreState<'a> {
             }
         }
         strategy.feedback(ctx, &outcome);
+        if self.tracer.enabled() {
+            if let Some((adjust, i_k)) = strategy.feedback_view() {
+                self.tracer.record(TraceEvent::Feedback {
+                    round,
+                    present: outcome.present.clone(),
+                    adjust,
+                    i_k,
+                });
+            }
+        }
+        self.drain_notes(strategy, round);
         Ok(None)
     }
 
@@ -328,6 +412,15 @@ impl<'a> ExploreState<'a> {
         script: Option<ReproScript>,
         replay_verified: bool,
     ) -> Reproduction {
+        if self.tracer.enabled() {
+            self.tracer.record(TraceEvent::ExploreEnd {
+                success,
+                rounds: self.per_round.len(),
+                replay_verified,
+                wall_ns: self.started.elapsed().as_nanos() as u64,
+            });
+            self.tracer.flush();
+        }
         Reproduction {
             success,
             rounds: self.per_round.len(),
@@ -354,8 +447,29 @@ pub fn explore(
     cfg: &ExplorerConfig,
     ground_truth: Option<SiteId>,
 ) -> Result<Reproduction, SimError> {
-    let mut state = ExploreState::new(ctx, oracle, cfg);
+    explore_traced(ctx, oracle, strategy, cfg, ground_truth, &NoopTracer)
+}
+
+/// [`explore`] with a trace sink: emits the full per-round event stream
+/// (`round_start`, `decision` with priority provenance, `round_end`,
+/// `feedback`, lifecycle notes, and the final provenance chain).
+pub fn explore_traced(
+    ctx: &SearchContext,
+    oracle: &Oracle,
+    strategy: &mut dyn Strategy,
+    cfg: &ExplorerConfig,
+    ground_truth: Option<SiteId>,
+    tracer: &dyn Tracer,
+) -> Result<Reproduction, SimError> {
+    let mut state = ExploreState::new(ctx, oracle, cfg, tracer);
     strategy.init(ctx);
+    if tracer.enabled() {
+        tracer.record(TraceEvent::ExploreStart {
+            strategy: strategy.name().to_string(),
+            max_rounds: cfg.max_rounds,
+            base_seed: cfg.base_seed,
+        });
+    }
 
     for round in 0..cfg.max_rounds {
         let init_start = Instant::now();
@@ -363,9 +477,24 @@ pub fn explore(
         let init_ns = init_start.elapsed().as_nanos() as u64;
         let gt_rank = ground_truth.and_then(|s| strategy.site_rank(s));
         let Some(plan) = plan else {
+            state.drain_notes(strategy, round);
             break;
         };
         let armed = plan.candidates.len() + usize::from(plan.crash_at.is_some());
+        if tracer.enabled() {
+            tracer.record(TraceEvent::RoundStart {
+                round,
+                seed: round_seed(cfg, round),
+            });
+            tracer.record(TraceEvent::Decision {
+                round,
+                window: armed,
+                armed,
+                provenance: strategy.provenance(),
+                init_ns,
+            });
+        }
+        state.drain_notes(strategy, round);
         let result = ctx.scenario.run(round_seed(cfg, round), plan)?;
         if let Some(done) = state.absorb(strategy, round, gt_rank, init_ns, armed, result)? {
             return Ok(done);
@@ -382,8 +511,20 @@ pub fn reproduce(
     oracle: &Oracle,
     cfg: &ExplorerConfig,
 ) -> Result<(Reproduction, SearchContext), SimError> {
-    let ctx = SearchContext::prepare(scenario, failure_log_text, cfg.base_seed)?;
+    reproduce_traced(scenario, failure_log_text, oracle, cfg, &NoopTracer)
+}
+
+/// [`reproduce`] with a trace sink covering both context preparation and
+/// the exploration loop — the one-call way to produce a full search trace.
+pub fn reproduce_traced(
+    scenario: Scenario,
+    failure_log_text: &str,
+    oracle: &Oracle,
+    cfg: &ExplorerConfig,
+    tracer: &dyn Tracer,
+) -> Result<(Reproduction, SearchContext), SimError> {
+    let ctx = SearchContext::prepare_traced(scenario, failure_log_text, cfg.base_seed, tracer)?;
     let mut strategy = FeedbackStrategy::new(FeedbackConfig::full());
-    let repro = explore(&ctx, oracle, &mut strategy, cfg, None)?;
+    let repro = explore_traced(&ctx, oracle, &mut strategy, cfg, None, tracer)?;
     Ok((repro, ctx))
 }

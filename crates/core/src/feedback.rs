@@ -21,6 +21,7 @@ use anduril_sim::Candidate;
 
 use crate::context::{FaultUnit, RoundOutcome, SearchContext};
 use crate::strategy::Strategy;
+use crate::trace::{PlanProvenance, StrategyNote};
 
 /// How site and instance priorities combine (§5.2.4 vs the ablation).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -215,6 +216,11 @@ pub struct FeedbackStrategy {
     /// Completed passes over the candidate space (see
     /// [`FeedbackStrategy::passes`]).
     passes: usize,
+    /// Priority provenance of the most recent plan's top candidate.
+    last_provenance: Option<PlanProvenance>,
+    /// Lifecycle notes queued for the tracer (drained by the explorer).
+    /// Notes queued on speculative clones vanish with the clone.
+    pending_notes: Vec<StrategyNote>,
 }
 
 impl FeedbackStrategy {
@@ -229,7 +235,14 @@ impl FeedbackStrategy {
             last_ranking: Vec::new(),
             last_armed: Vec::new(),
             passes: 0,
+            last_provenance: None,
+            pending_notes: Vec::new(),
         }
+    }
+
+    /// The current per-observable feedback priorities `I_k`.
+    pub fn observable_priorities(&self) -> &[f64] {
+        &self.i_priority
     }
 
     /// How many full passes over the candidate space have completed.
@@ -314,6 +327,8 @@ impl FeedbackStrategy {
     }
 
     fn plan_exhaustive(&mut self, ctx: &SearchContext) -> Vec<Candidate> {
+        // Exhaustive enumeration has no priority model to explain.
+        self.last_provenance = None;
         let mut out = Vec::new();
         'outer: for &unit in &ctx.units {
             let insts = self.instances(ctx, unit);
@@ -348,6 +363,8 @@ impl FeedbackStrategy {
         self.tried.clear();
         self.window = self.cfg.initial_window;
         self.passes += 1;
+        self.pending_notes
+            .push(StrategyNote::RetryPass { pass: self.passes });
         self.plan_prioritized_pass(ctx)
     }
 
@@ -364,13 +381,19 @@ impl FeedbackStrategy {
         // rounds the window covers the whole candidate space and must stop
         // growing instead of overflowing.
         self.window = self.window.saturating_mul(2).max(1);
+        self.pending_notes.push(StrategyNote::WindowGrew {
+            window: self.window,
+        });
         // Since *no* candidate fired, every armed any-occurrence candidate
         // had zero dynamic occurrences this round; retire them so they
         // cannot pin the plan open forever once the occurrence-bearing
         // instances are exhausted.
         for c in std::mem::take(&mut self.last_armed) {
-            if c.occurrence.is_none() {
-                self.tried.insert((c.site, c.exc, u32::MAX));
+            if c.occurrence.is_none() && self.tried.insert((c.site, c.exc, u32::MAX)) {
+                self.pending_notes.push(StrategyNote::Retired {
+                    site: c.site,
+                    exc: c.exc,
+                });
             }
         }
     }
@@ -405,6 +428,29 @@ impl FeedbackStrategy {
                 self.last_ranking.push(unit.site);
             }
         }
+        // Record the winner's priority provenance for the trace layer.
+        self.last_provenance = scored.first().map(|&(_, t, unit, occ)| {
+            let (f_i, k_star) = self
+                .site_priority(ctx, unit)
+                .expect("scored unit has a priority");
+            PlanProvenance {
+                site: unit.site,
+                exc: unit.exc,
+                occurrence: occ,
+                f_i,
+                k_star,
+                l: ctx.distances[k_star]
+                    .get(&unit.site)
+                    .copied()
+                    .unwrap_or(u32::MAX),
+                i_k: if self.cfg.feedback {
+                    self.i_priority.get(k_star).copied().unwrap_or(0.0)
+                } else {
+                    0.0
+                },
+                temporal: t,
+            }
+        });
         scored
             .into_iter()
             .take(self.window)
@@ -459,6 +505,8 @@ impl Strategy for FeedbackStrategy {
         self.last_ranking.clear();
         self.last_armed.clear();
         self.passes = 0;
+        self.last_provenance = None;
+        self.pending_notes.clear();
     }
 
     fn plan_round(&mut self, ctx: &SearchContext, _round: usize) -> Vec<Candidate> {
@@ -519,5 +567,25 @@ impl Strategy for FeedbackStrategy {
             .iter()
             .position(|&s| s == site)
             .map(|p| p + 1)
+    }
+
+    fn provenance(&self) -> Option<PlanProvenance> {
+        self.last_provenance.clone()
+    }
+
+    fn explain_unit(&self, ctx: &SearchContext, unit: FaultUnit) -> Option<Explanation> {
+        self.explain(ctx, unit)
+    }
+
+    fn feedback_view(&self) -> Option<(f64, Vec<f64>)> {
+        if self.cfg.feedback {
+            Some((self.cfg.adjust, self.i_priority.clone()))
+        } else {
+            None
+        }
+    }
+
+    fn drain_notes(&mut self) -> Vec<StrategyNote> {
+        std::mem::take(&mut self.pending_notes)
     }
 }

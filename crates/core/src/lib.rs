@@ -30,11 +30,18 @@ pub mod feedback;
 pub mod oracle;
 pub mod scenario;
 pub mod strategy;
+pub mod trace;
 
-pub use batch::{explore_batched, reproduce_batched, BatchExplorerConfig};
+pub use batch::{explore_batched, explore_batched_traced, reproduce_batched, BatchExplorerConfig};
 pub use context::{FaultUnit, ObservableInfo, RoundOutcome, SearchContext};
-pub use explorer::{explore, reproduce, ExplorerConfig, ReproScript, Reproduction, RoundRecord};
+pub use explorer::{
+    explore, explore_traced, reproduce, reproduce_traced, ExplorerConfig, ReproScript,
+    Reproduction, RoundRecord,
+};
 pub use feedback::{Aggregate, Combine, Explanation, FeedbackConfig, FeedbackStrategy};
 pub use oracle::Oracle;
 pub use scenario::Scenario;
 pub use strategy::Strategy;
+pub use trace::{
+    FileTracer, Json, NoopTracer, PlanProvenance, StrategyNote, TraceEvent, Tracer, VecTracer,
+};

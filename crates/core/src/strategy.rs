@@ -11,7 +11,9 @@
 use anduril_ir::SiteId;
 use anduril_sim::{Candidate, InjectionPlan};
 
-use crate::context::{RoundOutcome, SearchContext};
+use crate::context::{FaultUnit, RoundOutcome, SearchContext};
+use crate::feedback::Explanation;
+use crate::trace::{PlanProvenance, StrategyNote};
 
 /// A pluggable candidate-selection policy.
 pub trait Strategy {
@@ -58,5 +60,35 @@ pub trait Strategy {
     /// strategy ranks sites (used for Figure 6).
     fn site_rank(&self, _site: SiteId) -> Option<usize> {
         None
+    }
+
+    /// Priority provenance of the top-ranked candidate from the most
+    /// recent [`Strategy::plan_round`], if the strategy ranks by priority.
+    ///
+    /// Feeds the trace layer's `decision` events; strategies without a
+    /// priority model (the external comparators) return `None`.
+    fn provenance(&self) -> Option<PlanProvenance> {
+        None
+    }
+
+    /// Explains the current priority of a fault unit in the strategy's own
+    /// terms, if it has any (used for the trace layer's final provenance
+    /// chain and the per-round `k*` record).
+    fn explain_unit(&self, _ctx: &SearchContext, _unit: FaultUnit) -> Option<Explanation> {
+        None
+    }
+
+    /// The strategy's observable-feedback view, as `(adjust, I_k vector)`,
+    /// if it maintains per-observable priorities. Read by the explorer
+    /// *after* [`Strategy::feedback`] to emit `feedback` trace events.
+    fn feedback_view(&self) -> Option<(f64, Vec<f64>)> {
+        None
+    }
+
+    /// Drains lifecycle notes (retry passes, window growth, candidate
+    /// retirements) queued since the last drain. The explorer owns the
+    /// tracer, so strategies queue notes instead of emitting events.
+    fn drain_notes(&mut self) -> Vec<StrategyNote> {
+        Vec::new()
     }
 }

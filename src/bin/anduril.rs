@@ -9,9 +9,10 @@
 //! ```
 
 use anduril::baselines::{CrashTuner, Fate, StacktraceInjector};
-use anduril::failures::{all_cases, case_by_id};
+use anduril::failures::{all_cases, case_by_id, FailureCase};
+use anduril::trace::{FileTracer, Json, NoopTracer, Tracer};
 use anduril::{
-    explore, explore_batched, BatchExplorerConfig, ExplorerConfig, FeedbackConfig,
+    explore_batched_traced, explore_traced, BatchExplorerConfig, ExplorerConfig, FeedbackConfig,
     FeedbackStrategy, SearchContext, Strategy,
 };
 
@@ -20,7 +21,8 @@ fn usage() -> ! {
         "usage:\n  anduril list\n  anduril show <case>\n  anduril log <case>\n  \
          anduril analyze [<case>|<system>|all] [--json FILE]\n  \
          anduril reproduce <case> [--strategy NAME] [--max-rounds N] [--emit-script FILE]\n  \
-         {:21}[--threads N] [--batch N]\n  \
+         {:21}[--threads N] [--batch N] [--trace FILE]\n  \
+         anduril trace <file> [--summary | --round N | --json]\n  \
          anduril replay <case> <script-file>\n  \
          anduril explain <case>\n\n\
          strategies: full (default), exhaustive, site-distance, site-distance-limit3,\n\
@@ -28,12 +30,32 @@ fn usage() -> ! {
          fate, crashtuner, crashtuner-meta-exc, stacktrace\n\n\
          --threads > 1 explores in speculative parallel batches (identical\n\
          results, less wall time); feedback-strategy variants only\n\n\
+         --trace FILE records the structured search-trace stream (context\n\
+         phases, per-round decisions with priority provenance, feedback,\n\
+         speculation) as JSONL; `anduril trace FILE` renders it\n\n\
          analyze prints the static-analysis report (site reduction, graph\n\
          size, phase timings, per-observable distances) and writes the same\n\
          data as JSON (default results/analyze.json; `--json -` for stdout)",
         ""
     );
     std::process::exit(2);
+}
+
+/// Prints an error to stderr and exits nonzero. Every runtime failure path
+/// (missing case, unreadable file, simulator error) funnels through here so
+/// no subcommand can fail with exit 0.
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("anduril: {msg}");
+    std::process::exit(1);
+}
+
+/// Resolves a `<case>` argument or exits nonzero with a clear message.
+fn resolve_case(arg: Option<&String>) -> FailureCase {
+    let Some(id) = arg else { usage() };
+    case_by_id(id).unwrap_or_else(|| {
+        eprintln!("anduril: no case matches `{id}` (run `anduril list`)");
+        std::process::exit(2);
+    })
 }
 
 /// Per-case static-analysis report data for `anduril analyze`.
@@ -54,8 +76,11 @@ struct AnalyzeRow {
 }
 
 fn analyze_case(case: &anduril::failures::FailureCase) -> AnalyzeRow {
-    let failure_log = case.failure_log().expect("failure log");
-    let ctx = SearchContext::prepare(case.scenario.clone(), &failure_log, 1_000).expect("context");
+    let failure_log = case
+        .failure_log()
+        .unwrap_or_else(|e| fail(format!("{}: failure log: {e}", case.id)));
+    let ctx = SearchContext::prepare(case.scenario.clone(), &failure_log, 1_000)
+        .unwrap_or_else(|e| fail(format!("{}: context preparation: {e}", case.id)));
     let program = &ctx.scenario.program;
     let observables = ctx
         .observables
@@ -148,6 +173,583 @@ fn analyze_json(rows: &[AnalyzeRow]) -> String {
     out
 }
 
+/// The `ev` kind of a parsed trace line (`"?"` when absent).
+fn ev_kind(v: &Json) -> &str {
+    v.get("ev").and_then(Json::as_str).unwrap_or("?")
+}
+
+fn junum(v: &Json, key: &str) -> u64 {
+    v.get(key).and_then(Json::as_u64).unwrap_or(0)
+}
+
+fn jstr<'a>(v: &'a Json, key: &str) -> &'a str {
+    v.get(key).and_then(Json::as_str).unwrap_or("-")
+}
+
+fn jbool(v: &Json, key: &str) -> Option<bool> {
+    v.get(key).and_then(Json::as_bool)
+}
+
+fn fmt_opt_f(v: Option<f64>) -> String {
+    match v {
+        None => "-".into(),
+        Some(x) if x.fract() == 0.0 && x.abs() < 1e15 => format!("{}", x as i64),
+        Some(x) => format!("{x:.2}"),
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Renders the priority provenance object of a `decision` line as a
+/// compact `site#N Exc[@occ]` label.
+fn fmt_candidate(p: &Json) -> String {
+    format!(
+        "site#{} {}{}",
+        junum(p, "site"),
+        jstr(p, "exc"),
+        p.get("occ")
+            .and_then(Json::as_u64)
+            .map(|o| format!("@{o}"))
+            .unwrap_or_default()
+    )
+}
+
+/// Per-round aggregate built from `round_start`/`decision`/`round_end`
+/// lines for the `--summary` narrative table.
+#[derive(Default)]
+struct TraceRoundRow {
+    seed: Option<u64>,
+    window: Option<u64>,
+    armed: Option<u64>,
+    top: Option<String>,
+    f_i: Option<f64>,
+    k_star: Option<u64>,
+    l: Option<u64>,
+    i_k: Option<f64>,
+    injected: Option<String>,
+    oracle: Option<bool>,
+    log_entries: Option<u64>,
+    init_ns: u64,
+    workload_ns: u64,
+}
+
+fn collect_rounds(events: &[(String, Json)]) -> std::collections::BTreeMap<u64, TraceRoundRow> {
+    let mut rounds: std::collections::BTreeMap<u64, TraceRoundRow> =
+        std::collections::BTreeMap::new();
+    for (_, v) in events {
+        let Some(r) = v.get("round").and_then(Json::as_u64) else {
+            continue;
+        };
+        match ev_kind(v) {
+            "round_start" => {
+                rounds.entry(r).or_default().seed = v.get("seed").and_then(Json::as_u64);
+            }
+            "decision" => {
+                let row = rounds.entry(r).or_default();
+                row.window = v.get("window").and_then(Json::as_u64);
+                row.armed = v.get("armed").and_then(Json::as_u64);
+                row.init_ns = junum(v, "init_ns");
+                if let Some(p @ Json::Obj(_)) = v.get("provenance") {
+                    row.top = Some(fmt_candidate(p));
+                    row.f_i = p.get("f").and_then(Json::as_f64);
+                    row.k_star = p.get("k").and_then(Json::as_u64);
+                    row.l = p.get("l").and_then(Json::as_u64);
+                    row.i_k = p.get("ik").and_then(Json::as_f64);
+                }
+            }
+            "round_end" => {
+                let row = rounds.entry(r).or_default();
+                row.oracle = jbool(v, "oracle");
+                row.log_entries = v.get("log_entries").and_then(Json::as_u64);
+                row.workload_ns = junum(v, "workload_ns");
+                row.injected = Some(match v.get("injected") {
+                    Some(i @ Json::Obj(_)) => {
+                        format!(
+                            "site#{}@{} {}",
+                            junum(i, "site"),
+                            junum(i, "occ"),
+                            jstr(i, "exc")
+                        )
+                    }
+                    _ => "-".to_string(),
+                });
+            }
+            _ => {}
+        }
+    }
+    rounds
+}
+
+/// Picks at most `head + tail` keys, marking an elision in the middle.
+fn sample_keys(keys: &[u64], head: usize, tail: usize) -> (Vec<u64>, bool) {
+    if keys.len() <= head + tail {
+        (keys.to_vec(), false)
+    } else {
+        let mut out = keys[..head].to_vec();
+        out.extend_from_slice(&keys[keys.len() - tail..]);
+        (out, true)
+    }
+}
+
+/// `anduril trace <file> --summary`: the human-readable search narrative.
+fn render_trace_summary(path: &str, events: &[(String, Json)]) {
+    let find = |kind: &str| events.iter().map(|(_, v)| v).find(|v| ev_kind(v) == kind);
+    let find_last = |kind: &str| {
+        events
+            .iter()
+            .map(|(_, v)| v)
+            .rev()
+            .find(|v| ev_kind(v) == kind)
+    };
+
+    println!("Search trace {path} ({} events)", events.len());
+    if let Some(s) = find("explore_start") {
+        println!(
+            "strategy: {} (max {} rounds, base seed {})",
+            jstr(s, "strategy"),
+            junum(s, "max_rounds"),
+            junum(s, "base_seed")
+        );
+    }
+    if let Some(c) = find("context") {
+        println!(
+            "context: {} observables, {} candidate units; {}/{} sites reachable; \
+             causal graph {}v/{}e",
+            junum(c, "observables"),
+            junum(c, "units"),
+            junum(c, "sites_reachable"),
+            junum(c, "sites_total"),
+            junum(c, "graph_nodes"),
+            junum(c, "graph_edges"),
+        );
+    }
+    match find_last("explore_end") {
+        Some(e) if jbool(e, "success") == Some(true) => println!(
+            "outcome: reproduced in {} rounds (replay verified: {}, wall {})",
+            junum(e, "rounds"),
+            jbool(e, "replay_verified").unwrap_or(false),
+            fmt_ns(junum(e, "wall_ns")),
+        ),
+        Some(e) => println!(
+            "outcome: NOT reproduced within {} rounds (wall {})",
+            junum(e, "rounds"),
+            fmt_ns(junum(e, "wall_ns")),
+        ),
+        None => println!("outcome: trace ends mid-search (no explore_end event)"),
+    }
+
+    let phases: Vec<&Json> = events
+        .iter()
+        .map(|(_, v)| v)
+        .filter(|v| ev_kind(v) == "phase")
+        .collect();
+    let context_ns: u64 = phases
+        .iter()
+        .filter(|p| !jstr(p, "phase").starts_with("graph."))
+        .map(|p| junum(p, "ns"))
+        .sum();
+    if !phases.is_empty() {
+        println!("\nContext preparation");
+        let mut t = anduril_bench::TextTable::new(&["Phase", "Items", "Time"]);
+        for p in &phases {
+            t.row(vec![
+                jstr(p, "phase").to_string(),
+                junum(p, "items").to_string(),
+                fmt_ns(junum(p, "ns")),
+            ]);
+        }
+        print!("{}", t.render());
+    }
+
+    let rounds = collect_rounds(events);
+    let planning_ns: u64 = rounds.values().map(|r| r.init_ns).sum();
+    let workload_ns: u64 = rounds.values().map(|r| r.workload_ns).sum();
+    if !rounds.is_empty() {
+        println!("\nSearch narrative (per-round decision, injection, verdict)");
+        let mut t = anduril_bench::TextTable::new(&[
+            "Round",
+            "Seed",
+            "Win",
+            "Armed",
+            "Top candidate",
+            "F_i",
+            "k*",
+            "L",
+            "I_k",
+            "Injected",
+            "Repro",
+            "Log",
+        ]);
+        let keys: Vec<u64> = rounds.keys().copied().collect();
+        let (shown, elided) = sample_keys(&keys, 12, 12);
+        let mut prev: Option<u64> = None;
+        for r in shown {
+            if let Some(p) = prev {
+                if r != p + 1 {
+                    let mut gap = vec![String::new(); 12];
+                    gap[0] = "...".into();
+                    t.row(gap);
+                }
+            }
+            prev = Some(r);
+            let row = &rounds[&r];
+            let opt_u = |x: Option<u64>| x.map(|v| v.to_string()).unwrap_or_else(|| "-".into());
+            t.row(vec![
+                r.to_string(),
+                opt_u(row.seed),
+                opt_u(row.window),
+                opt_u(row.armed),
+                row.top.clone().unwrap_or_else(|| "-".into()),
+                fmt_opt_f(row.f_i),
+                opt_u(row.k_star),
+                opt_u(row.l),
+                fmt_opt_f(row.i_k),
+                row.injected.clone().unwrap_or_else(|| "-".into()),
+                row.oracle
+                    .map(|b| if b { "YES" } else { "no" }.to_string())
+                    .unwrap_or_else(|| "-".into()),
+                opt_u(row.log_entries),
+            ]);
+        }
+        print!("{}", t.render());
+        if elided {
+            println!("(middle rounds elided; {} rounds total)", keys.len());
+        }
+    }
+
+    let feedback: Vec<&Json> = events
+        .iter()
+        .map(|(_, v)| v)
+        .filter(|v| ev_kind(v) == "feedback")
+        .collect();
+    if !feedback.is_empty() {
+        println!("\nObservable feedback (I_k evolution, Algorithm 2)");
+        let mut t = anduril_bench::TextTable::new(&["Round", "Adjust", "Present", "I_k"]);
+        let keys: Vec<u64> = (0..feedback.len() as u64).collect();
+        let (shown, elided) = sample_keys(&keys, 6, 6);
+        let mut prev: Option<u64> = None;
+        for i in shown {
+            if let Some(p) = prev {
+                if i != p + 1 {
+                    let mut gap = vec![String::new(); 4];
+                    gap[0] = "...".into();
+                    t.row(gap);
+                }
+            }
+            prev = Some(i);
+            let v = feedback[i as usize];
+            let present = v
+                .get("present")
+                .and_then(Json::as_arr)
+                .map(|xs| {
+                    let body: Vec<String> = xs
+                        .iter()
+                        .filter_map(Json::as_u64)
+                        .map(|x| x.to_string())
+                        .collect();
+                    format!("[{}]", body.join(","))
+                })
+                .unwrap_or_else(|| "-".into());
+            let ik = v
+                .get("ik")
+                .and_then(Json::as_arr)
+                .map(|xs| {
+                    let body: Vec<String> = xs.iter().map(|x| fmt_opt_f(x.as_f64())).collect();
+                    format!("[{}]", body.join(", "))
+                })
+                .unwrap_or_else(|| "-".into());
+            t.row(vec![
+                junum(v, "round").to_string(),
+                fmt_opt_f(v.get("adjust").and_then(Json::as_f64)),
+                present,
+                ik,
+            ]);
+        }
+        print!("{}", t.render());
+        if elided {
+            println!("(middle adjustments elided; {} total)", feedback.len());
+        }
+    }
+
+    println!("\nTiming");
+    let n = rounds.len().max(1) as u64;
+    println!("  context prep : {}", fmt_ns(context_ns));
+    println!(
+        "  planning     : {} total, {} / round",
+        fmt_ns(planning_ns),
+        fmt_ns(planning_ns / n)
+    );
+    println!(
+        "  workload     : {} total, {} / round",
+        fmt_ns(workload_ns),
+        fmt_ns(workload_ns / n)
+    );
+
+    let epochs = events.iter().filter(|(_, v)| ev_kind(v) == "epoch").count();
+    let specs: Vec<&Json> = events
+        .iter()
+        .map(|(_, v)| v)
+        .filter(|v| ev_kind(v) == "spec")
+        .collect();
+    if epochs > 0 || !specs.is_empty() {
+        let hits = specs
+            .iter()
+            .filter(|v| jbool(v, "hit") == Some(true))
+            .count();
+        println!(
+            "\nSpeculation: {} epochs, {} validated slots, {} hits ({:.0}% of parallel work reused)",
+            epochs,
+            specs.len(),
+            hits,
+            100.0 * hits as f64 / specs.len().max(1) as f64
+        );
+    }
+
+    let notes: Vec<&Json> = events
+        .iter()
+        .map(|(_, v)| v)
+        .filter(|v| ev_kind(v) == "note")
+        .collect();
+    if !notes.is_empty() {
+        let retry = notes
+            .iter()
+            .filter(|v| jstr(v, "note") == "retry_pass")
+            .count();
+        let grew: Vec<u64> = notes
+            .iter()
+            .filter(|v| jstr(v, "note") == "window_grew")
+            .map(|v| junum(v, "window"))
+            .collect();
+        let retired = notes
+            .iter()
+            .filter(|v| jstr(v, "note") == "retired")
+            .count();
+        println!(
+            "\nLifecycle: {} retry passes, {} window growths{}, {} candidates retired",
+            retry,
+            grew.len(),
+            grew.iter()
+                .max()
+                .map(|w| format!(" (max window {w})"))
+                .unwrap_or_default(),
+            retired
+        );
+    }
+
+    if let Some(p) = find_last("provenance") {
+        println!("\nProvenance chain");
+        println!(
+            "  round {} (seed {}): injected {} at `{}` occurrence {}",
+            junum(p, "round"),
+            junum(p, "seed"),
+            jstr(p, "exc"),
+            jstr(p, "desc"),
+            junum(p, "occ")
+        );
+        println!(
+            "  prioritized by observable k* = {} \"{}\"",
+            junum(p, "k"),
+            jstr(p, "observable")
+        );
+        println!(
+            "  L = {}, I_k = {}, F_i = {}, T = {}",
+            junum(p, "l"),
+            fmt_opt_f(p.get("ik").and_then(Json::as_f64)),
+            fmt_opt_f(p.get("f").and_then(Json::as_f64)),
+            fmt_opt_f(p.get("t").and_then(Json::as_f64)),
+        );
+    }
+}
+
+/// `anduril trace <file> --round N`: every event of one round, rendered.
+fn render_trace_round(events: &[(String, Json)], n: u64) {
+    let mut found = false;
+    for (_, v) in events {
+        if v.get("round").and_then(Json::as_u64) != Some(n) {
+            continue;
+        }
+        found = true;
+        match ev_kind(v) {
+            "round_start" => println!("round {n} starts (seed {})", junum(v, "seed")),
+            "decision" => {
+                let prov = match v.get("provenance") {
+                    Some(p @ Json::Obj(_)) => format!(
+                        "; top {} — F_i = {} via k* = {} (L = {}, I_k = {}), T = {}",
+                        fmt_candidate(p),
+                        fmt_opt_f(p.get("f").and_then(Json::as_f64)),
+                        junum(p, "k"),
+                        junum(p, "l"),
+                        fmt_opt_f(p.get("ik").and_then(Json::as_f64)),
+                        fmt_opt_f(p.get("t").and_then(Json::as_f64)),
+                    ),
+                    _ => String::new(),
+                };
+                println!(
+                    "  decision: window {}, {} armed{prov} [planned in {}]",
+                    junum(v, "window"),
+                    junum(v, "armed"),
+                    fmt_ns(junum(v, "init_ns"))
+                );
+            }
+            "note" => match jstr(v, "note") {
+                "retry_pass" => println!("  note: retry pass {} begins", junum(v, "pass")),
+                "window_grew" => println!("  note: window grew to {}", junum(v, "window")),
+                "retired" => println!(
+                    "  note: retired site#{} {}",
+                    junum(v, "site"),
+                    jstr(v, "exc")
+                ),
+                other => println!("  note: {other}"),
+            },
+            "spec" => println!(
+                "  speculation: epoch {} slot {} — {}",
+                junum(v, "epoch"),
+                junum(v, "slot"),
+                if jbool(v, "hit") == Some(true) {
+                    "HIT (precomputed run reused)"
+                } else {
+                    "miss (re-run inline)"
+                }
+            ),
+            "round_end" => {
+                let inj = match v.get("injected") {
+                    Some(i @ Json::Obj(_)) => format!(
+                        "injected site#{} occ {} {}",
+                        junum(i, "site"),
+                        junum(i, "occ"),
+                        jstr(i, "exc")
+                    ),
+                    _ => "no injection".to_string(),
+                };
+                println!(
+                    "  end: {inj}; failure reproduced = {}; {} ticks, {} steps, {} log \
+                     entries, {} injection requests [workload {}]",
+                    jbool(v, "oracle").unwrap_or(false),
+                    junum(v, "ticks"),
+                    junum(v, "steps"),
+                    junum(v, "log_entries"),
+                    junum(v, "injection_requests"),
+                    fmt_ns(junum(v, "workload_ns"))
+                );
+            }
+            "feedback" => {
+                let present = v
+                    .get("present")
+                    .and_then(Json::as_arr)
+                    .map(|xs| {
+                        let body: Vec<String> = xs
+                            .iter()
+                            .filter_map(Json::as_u64)
+                            .map(|x| x.to_string())
+                            .collect();
+                        body.join(", ")
+                    })
+                    .unwrap_or_default();
+                let ik = v
+                    .get("ik")
+                    .and_then(Json::as_arr)
+                    .map(|xs| {
+                        let body: Vec<String> = xs.iter().map(|x| fmt_opt_f(x.as_f64())).collect();
+                        body.join(", ")
+                    })
+                    .unwrap_or_default();
+                println!(
+                    "  feedback: adjust {} on present observables [{present}]; I_k now [{ik}]",
+                    fmt_opt_f(v.get("adjust").and_then(Json::as_f64))
+                );
+            }
+            "provenance" => println!(
+                "  provenance: {} at `{}` occurrence {} — observable k* = {} \"{}\", \
+                 L = {}, I_k = {}, F_i = {}",
+                jstr(v, "exc"),
+                jstr(v, "desc"),
+                junum(v, "occ"),
+                junum(v, "k"),
+                jstr(v, "observable"),
+                junum(v, "l"),
+                fmt_opt_f(v.get("ik").and_then(Json::as_f64)),
+                fmt_opt_f(v.get("f").and_then(Json::as_f64))
+            ),
+            _ => {}
+        }
+    }
+    if !found {
+        fail(format!("no events for round {n} in the trace"));
+    }
+}
+
+/// `anduril trace <file> --json`: the aggregate summary as one JSON
+/// document (raw event objects embedded verbatim where useful).
+fn trace_report_json(events: &[(String, Json)]) -> String {
+    use std::fmt::Write as _;
+    let find_raw = |kind: &str| {
+        events
+            .iter()
+            .find(|(_, v)| ev_kind(v) == kind)
+            .map(|(raw, _)| raw.trim().to_string())
+            .unwrap_or_else(|| "null".into())
+    };
+    let rounds = collect_rounds(events);
+    let planning_ns: u64 = rounds.values().map(|r| r.init_ns).sum();
+    let workload_ns: u64 = rounds.values().map(|r| r.workload_ns).sum();
+    let epochs = events.iter().filter(|(_, v)| ev_kind(v) == "epoch").count();
+    let specs: Vec<&Json> = events
+        .iter()
+        .map(|(_, v)| v)
+        .filter(|v| ev_kind(v) == "spec")
+        .collect();
+    let hits = specs
+        .iter()
+        .filter(|v| jbool(v, "hit") == Some(true))
+        .count();
+    let note_count = |name: &str| {
+        events
+            .iter()
+            .filter(|(_, v)| ev_kind(v) == "note" && jstr(v, "note") == name)
+            .count()
+    };
+    let phases: Vec<String> = events
+        .iter()
+        .filter(|(_, v)| ev_kind(v) == "phase")
+        .map(|(raw, _)| raw.trim().to_string())
+        .collect();
+
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"events\": {},", events.len());
+    let _ = writeln!(out, "  \"explore_start\": {},", find_raw("explore_start"));
+    let _ = writeln!(out, "  \"context\": {},", find_raw("context"));
+    let _ = writeln!(out, "  \"phases\": [{}],", phases.join(", "));
+    let _ = writeln!(out, "  \"rounds\": {},", rounds.len());
+    let _ = writeln!(out, "  \"planning_ns_total\": {planning_ns},");
+    let _ = writeln!(out, "  \"workload_ns_total\": {workload_ns},");
+    let _ = writeln!(
+        out,
+        "  \"speculation\": {{\"epochs\": {epochs}, \"slots\": {}, \"hits\": {hits}}},",
+        specs.len()
+    );
+    let _ = writeln!(
+        out,
+        "  \"notes\": {{\"retry_passes\": {}, \"window_growths\": {}, \"retired\": {}}},",
+        note_count("retry_pass"),
+        note_count("window_grew"),
+        note_count("retired")
+    );
+    let _ = writeln!(out, "  \"provenance\": {},", find_raw("provenance"));
+    let _ = writeln!(out, "  \"explore_end\": {}", find_raw("explore_end"));
+    out.push_str("}\n");
+    out
+}
+
 fn feedback_config_by_name(name: &str) -> Option<FeedbackConfig> {
     Some(match name {
         "full" => FeedbackConfig::full(),
@@ -189,10 +791,7 @@ fn main() {
             }
         }
         Some("show") => {
-            let case = args
-                .get(1)
-                .and_then(|id| case_by_id(id))
-                .unwrap_or_else(|| usage());
+            let case = resolve_case(args.get(1));
             println!("{} ({}) on {}", case.ticket, case.id, case.system);
             println!("  {}", case.description);
             println!("  root cause : {} ({})", case.root_site_desc, case.root_exc);
@@ -208,11 +807,11 @@ fn main() {
             }
         }
         Some("log") => {
-            let case = args
-                .get(1)
-                .and_then(|id| case_by_id(id))
-                .unwrap_or_else(|| usage());
-            print!("{}", case.failure_log().expect("failure log"));
+            let case = resolve_case(args.get(1));
+            match case.failure_log() {
+                Ok(log) => print!("{log}"),
+                Err(e) => fail(format!("{}: failure log: {e}", case.id)),
+            }
         }
         Some("analyze") => {
             let mut selector = "all".to_string();
@@ -315,26 +914,27 @@ fn main() {
             match json_path.as_deref() {
                 Some("-") => print!("{json}"),
                 Some(path) => {
-                    std::fs::write(path, &json).expect("write json");
+                    std::fs::write(path, &json)
+                        .unwrap_or_else(|e| fail(format!("cannot write `{path}`: {e}")));
                     println!("\nJSON written to {path}");
                 }
                 None => {
-                    std::fs::create_dir_all("results").expect("create results dir");
-                    std::fs::write("results/analyze.json", &json).expect("write json");
+                    std::fs::create_dir_all("results")
+                        .unwrap_or_else(|e| fail(format!("cannot create results dir: {e}")));
+                    std::fs::write("results/analyze.json", &json)
+                        .unwrap_or_else(|e| fail(format!("cannot write analyze.json: {e}")));
                     println!("\nJSON written to results/analyze.json");
                 }
             }
         }
         Some("reproduce") => {
-            let case = args
-                .get(1)
-                .and_then(|id| case_by_id(id))
-                .unwrap_or_else(|| usage());
+            let case = resolve_case(args.get(1));
             let mut strategy_name = "full".to_string();
             let mut max_rounds = 2_000usize;
             let mut emit_script: Option<String> = None;
             let mut threads = 1usize;
             let mut batch_size: Option<usize> = None;
+            let mut trace_path: Option<String> = None;
             let mut i = 2;
             while i < args.len() {
                 match args[i].as_str() {
@@ -368,13 +968,30 @@ fn main() {
                         );
                         i += 2;
                     }
+                    "--trace" => {
+                        trace_path = Some(args.get(i + 1).cloned().unwrap_or_else(|| usage()));
+                        i += 2;
+                    }
                     _ => usage(),
                 }
             }
-            let gt = case.ground_truth().expect("ground truth");
-            let failure_log = case.failure_log().expect("failure log");
-            let ctx = SearchContext::prepare(case.scenario.clone(), &failure_log, 1_000)
-                .expect("context");
+            let file_tracer = trace_path.as_deref().map(|path| {
+                FileTracer::create(path)
+                    .unwrap_or_else(|e| fail(format!("cannot create trace file `{path}`: {e}")))
+            });
+            let tracer: &dyn Tracer = match &file_tracer {
+                Some(t) => t,
+                None => &NoopTracer,
+            };
+            let gt = case
+                .ground_truth()
+                .unwrap_or_else(|e| fail(format!("{}: ground truth: {e}", case.id)));
+            let failure_log = case
+                .failure_log()
+                .unwrap_or_else(|e| fail(format!("{}: failure log: {e}", case.id)));
+            let ctx =
+                SearchContext::prepare_traced(case.scenario.clone(), &failure_log, 1_000, tracer)
+                    .unwrap_or_else(|e| fail(format!("{}: context preparation: {e}", case.id)));
             eprintln!(
                 "{}: {} observables, {} candidate units, causal graph {}v/{}e",
                 case.id,
@@ -400,20 +1017,32 @@ fn main() {
                     threads,
                 };
                 let mut strategy = FeedbackStrategy::new(fb_cfg);
-                explore_batched(
+                explore_batched_traced(
                     &ctx,
                     &case.oracle,
                     &mut strategy,
                     &cfg,
                     &batch,
                     Some(gt.site),
+                    tracer,
                 )
-                .expect("explore")
+                .unwrap_or_else(|e| fail(format!("{}: exploration: {e}", case.id)))
             } else {
                 let mut strategy = strategy_by_name(&strategy_name).unwrap_or_else(|| usage());
-                explore(&ctx, &case.oracle, strategy.as_mut(), &cfg, Some(gt.site))
-                    .expect("explore")
+                explore_traced(
+                    &ctx,
+                    &case.oracle,
+                    strategy.as_mut(),
+                    &cfg,
+                    Some(gt.site),
+                    tracer,
+                )
+                .unwrap_or_else(|e| fail(format!("{}: exploration: {e}", case.id)))
             };
+            if let Some(path) = &trace_path {
+                tracer.flush();
+                eprintln!("trace written to {path}");
+            }
             if r.success {
                 println!(
                     "reproduced in {} rounds ({} sim ticks, {:?} wall) with {}",
@@ -425,7 +1054,8 @@ fn main() {
                         s.seed, s.exc, s.desc, s.occurrence, r.replay_verified
                     );
                     if let Some(path) = emit_script {
-                        std::fs::write(&path, s.to_text()).expect("write script");
+                        std::fs::write(&path, s.to_text())
+                            .unwrap_or_else(|e| fail(format!("cannot write `{path}`: {e}")));
                         println!("script written to {path}");
                     }
                 }
@@ -437,14 +1067,69 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        Some("trace") => {
+            let Some(path) = args.get(1) else { usage() };
+            enum Mode {
+                Summary,
+                Round(u64),
+                Json,
+            }
+            let mut mode = Mode::Summary;
+            let mut i = 2;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--summary" => {
+                        mode = Mode::Summary;
+                        i += 1;
+                    }
+                    "--round" => {
+                        let n = args
+                            .get(i + 1)
+                            .and_then(|s| s.parse().ok())
+                            .unwrap_or_else(|| usage());
+                        mode = Mode::Round(n);
+                        i += 2;
+                    }
+                    "--json" => {
+                        mode = Mode::Json;
+                        i += 1;
+                    }
+                    _ => usage(),
+                }
+            }
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| fail(format!("cannot read `{path}`: {e}")));
+            let mut events: Vec<(String, Json)> = Vec::new();
+            for (lineno, line) in text.lines().enumerate() {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let v = Json::parse(line)
+                    .unwrap_or_else(|| fail(format!("{path}:{}: malformed JSON", lineno + 1)));
+                if v.get("ev").and_then(Json::as_str).is_none() {
+                    fail(format!(
+                        "{path}:{}: not a trace event (no `ev` key)",
+                        lineno + 1
+                    ));
+                }
+                events.push((line.to_string(), v));
+            }
+            if events.is_empty() {
+                fail(format!("`{path}` contains no trace events"));
+            }
+            match mode {
+                Mode::Summary => render_trace_summary(path, &events),
+                Mode::Round(n) => render_trace_round(&events, n),
+                Mode::Json => print!("{}", trace_report_json(&events)),
+            }
+        }
         Some("explain") => {
-            let case = args
-                .get(1)
-                .and_then(|id| case_by_id(id))
-                .unwrap_or_else(|| usage());
-            let failure_log = case.failure_log().expect("failure log");
+            let case = resolve_case(args.get(1));
+            let failure_log = case
+                .failure_log()
+                .unwrap_or_else(|e| fail(format!("{}: failure log: {e}", case.id)));
             let ctx = SearchContext::prepare(case.scenario.clone(), &failure_log, 1_000)
-                .expect("context");
+                .unwrap_or_else(|e| fail(format!("{}: context preparation: {e}", case.id)));
             let mut s = FeedbackStrategy::new(FeedbackConfig::full());
             s.init(&ctx);
             let _ = s.plan_round(&ctx, 0);
@@ -480,14 +1165,15 @@ fn main() {
             }
         }
         Some("replay") => {
-            let case = args
-                .get(1)
-                .and_then(|id| case_by_id(id))
-                .unwrap_or_else(|| usage());
+            let case = resolve_case(args.get(1));
             let path = args.get(2).unwrap_or_else(|| usage());
-            let text = std::fs::read_to_string(path).expect("read script file");
-            let script = anduril::ReproScript::parse(&text).expect("well-formed script");
-            let r = script.replay(&case.scenario).expect("replay runs");
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| fail(format!("cannot read `{path}`: {e}")));
+            let script = anduril::ReproScript::parse(&text)
+                .unwrap_or_else(|| fail(format!("malformed script `{path}`")));
+            let r = script
+                .replay(&case.scenario)
+                .unwrap_or_else(|e| fail(format!("replay failed: {e}")));
             println!(
                 "replayed {}: oracle satisfied = {}",
                 case.id,

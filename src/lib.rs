@@ -41,10 +41,17 @@
 //! ```
 
 pub use anduril_core::{
-    explore, explore_batched, reproduce, reproduce_batched, BatchExplorerConfig, Combine,
-    ExplorerConfig, FaultUnit, FeedbackConfig, FeedbackStrategy, ObservableInfo, Oracle,
+    explore, explore_batched, explore_batched_traced, explore_traced, reproduce, reproduce_batched,
+    reproduce_traced, BatchExplorerConfig, Combine, ExplorerConfig, FaultUnit, FeedbackConfig,
+    FeedbackStrategy, FileTracer, Json, NoopTracer, ObservableInfo, Oracle, PlanProvenance,
     ReproScript, Reproduction, RoundOutcome, RoundRecord, Scenario, SearchContext, Strategy,
+    StrategyNote, TraceEvent, Tracer, VecTracer,
 };
+
+/// The structured search-trace layer (re-export of `anduril-core::trace`).
+pub mod trace {
+    pub use anduril_core::trace::*;
+}
 
 /// The program IR (re-export of `anduril-ir`).
 pub mod ir {

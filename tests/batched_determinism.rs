@@ -59,6 +59,7 @@ fn assert_identical(id: &str, threads: usize, seq: &Reproduction, bat: &Reproduc
         assert_eq!(a.window, b.window, "{tag}: window @{}", a.round);
         assert_eq!(a.armed, b.armed, "{tag}: armed @{}", a.round);
         assert_eq!(a.injected, b.injected, "{tag}: injected @{}", a.round);
+        assert_eq!(a.k_star, b.k_star, "{tag}: k_star @{}", a.round);
         assert_eq!(a.gt_rank, b.gt_rank, "{tag}: gt rank @{}", a.round);
         assert_eq!(a.sim_time, b.sim_time, "{tag}: sim time @{}", a.round);
         assert_eq!(
