@@ -11,8 +11,8 @@ use std::collections::{HashMap, HashSet};
 use std::time::Instant;
 
 use anduril_causal::{build_graph, BuildTimings, CausalGraph, Observable, Reachability};
-use anduril_ir::{ExceptionType, SiteId, TemplateId};
-use anduril_logdiff::{compare_with, parse_log, Alignment, GroupedLog, ParsedEntry};
+use anduril_ir::{ExceptionType, LogEntry, SiteId, TemplateId};
+use anduril_logdiff::{compare_with, parse_log, Alignment, GroupedLog, InternedLog, ParsedEntry};
 use anduril_sim::{RunResult, SimError};
 
 use crate::scenario::Scenario;
@@ -24,7 +24,9 @@ pub struct ObservableInfo {
     /// The matched template.
     pub template: TemplateId,
     /// Indices of this observable's failure-only entries in the failure
-    /// log (its positions on the failure timeline).
+    /// log (its positions on the failure timeline), sorted ascending —
+    /// they are collected from the diff's `missing` list, which is sorted.
+    /// [`SearchContext::temporal_distance`] binary-searches them.
     pub positions: Vec<usize>,
 }
 
@@ -46,8 +48,20 @@ pub struct SearchContext {
     /// Parsed failure log (from the uninstrumented production system).
     pub failure: Vec<ParsedEntry>,
     /// `failure` pre-grouped by `(node, thread)`, so the per-round diff
-    /// skips regrouping the (constant) failure side every round.
+    /// skips regrouping the (constant) failure side every round. Used by
+    /// the text entry points ([`SearchContext::present_observables`]).
     pub failure_grouped: GroupedLog,
+    /// `failure` interned and grouped once at preparation time: the
+    /// per-round fast path diffs `u32` tokens against this instead of
+    /// re-parsing and re-comparing strings. The intern table is frozen
+    /// here, which keeps the context shareable across the batch engine's
+    /// worker threads.
+    pub failure_interned: InternedLog,
+    /// Forces every round diff through the render-to-text → `parse_log` →
+    /// string-compare baseline instead of the interned structured path.
+    /// Exists so equivalence tests (and the bench) can run both pipelines
+    /// from one binary; production callers leave it `false`.
+    pub text_diff_baseline: bool,
     /// The fault-free run.
     pub normal: RunResult,
     /// Relevant observables (failure-only messages).
@@ -107,18 +121,19 @@ impl SearchContext {
         let normal = scenario.run(base_seed, anduril_sim::InjectionPlan::none())?;
         phase("normal_run", normal.steps, t);
 
+        // The failure log arrives as text (the production system is not
+        // instrumented), so it is parsed once here; the normal run's log is
+        // already structured and needs no text round trip. Interning the
+        // failure side now is what makes every later round diff run over
+        // `u32` tokens.
         let t = Instant::now();
         let failure = parse_log(failure_log_text);
         let failure_grouped = GroupedLog::new(&failure);
-        let normal_parsed = parse_log(&normal.log_text());
-        phase(
-            "parse_logs",
-            (failure.len() + normal_parsed.len()) as u64,
-            t,
-        );
+        let failure_interned = InternedLog::new(&failure);
+        phase("parse_logs", (failure.len() + normal.log.len()) as u64, t);
 
         let t = Instant::now();
-        let diff = compare_with(&normal_parsed, &failure, &failure_grouped);
+        let diff = failure_interned.compare(&normal.log);
         phase("diff", diff.missing.len() as u64, t);
 
         // Map failure-only entries to templates; one observable per
@@ -175,7 +190,7 @@ impl SearchContext {
 
         // Fault-instance distribution mapped onto the failure timeline.
         let t = Instant::now();
-        let alignment = Alignment::build(&diff.matches, normal_parsed.len(), failure.len());
+        let alignment = Alignment::build(&diff.matches, normal.log.len(), failure.len());
         let mut site_instances: Vec<Vec<(u32, f64)>> = vec![Vec::new(); program.sites.len()];
         for t in &normal.trace {
             let mapped = alignment.map(t.log_pos as f64);
@@ -217,6 +232,8 @@ impl SearchContext {
             scenario,
             failure,
             failure_grouped,
+            failure_interned,
+            text_diff_baseline: false,
             normal,
             observables,
             graph,
@@ -232,16 +249,19 @@ impl SearchContext {
     /// The temporal distance `T_{i,j,k}`: messages between instance
     /// position `pos` (already mapped to the failure timeline) and the
     /// nearest position of observable `k`.
+    ///
+    /// Positions are sorted (see [`ObservableInfo::positions`]), so the
+    /// nearest one is found by binary search instead of a linear scan —
+    /// this runs once per (instance, observable) pair in the feedback
+    /// scoring loop.
     pub fn temporal_distance(&self, pos: f64, k: usize) -> f64 {
-        self.observables[k]
-            .positions
-            .iter()
-            .map(|&p| (pos - p as f64).abs())
-            .fold(f64::INFINITY, f64::min)
+        nearest_distance(&self.observables[k].positions, pos)
     }
 
     /// Observables present in a round's log: those whose failure entries
-    /// are matched by the per-thread diff.
+    /// are matched by the per-thread diff. Text entry point — round
+    /// results from the simulator should go through
+    /// [`SearchContext::round_present`] instead, which skips the parse.
     pub fn present_observables(&self, round_log_text: &str) -> Vec<usize> {
         self.present_observables_with(round_log_text, false)
     }
@@ -255,7 +275,30 @@ impl SearchContext {
         } else {
             compare_with(&parsed, &self.failure, &self.failure_grouped)
         };
-        let missing: HashSet<usize> = diff.missing.iter().copied().collect();
+        self.present_from_missing(&diff.missing)
+    }
+
+    /// Presence computation over the simulator's structured log entries —
+    /// the fast path: no render-to-text, no `parse_log`, and the diff runs
+    /// over interned `u32` tokens.
+    pub fn present_observables_structured(&self, entries: &[LogEntry]) -> Vec<usize> {
+        self.present_from_missing(&self.failure_interned.compare(entries).missing)
+    }
+
+    /// Observable presence for one round result: the structured interned
+    /// path, unless [`SearchContext::text_diff_baseline`] forces the text
+    /// round trip (both produce identical presence sets; the flag exists
+    /// for equivalence tests and the bench).
+    pub fn round_present(&self, result: &RunResult) -> Vec<usize> {
+        if self.text_diff_baseline {
+            self.present_observables(&result.log_text())
+        } else {
+            self.present_observables_structured(&result.log)
+        }
+    }
+
+    fn present_from_missing(&self, still_missing: &[usize]) -> Vec<usize> {
+        let missing: HashSet<usize> = still_missing.iter().copied().collect();
         self.observables
             .iter()
             .enumerate()
@@ -263,6 +306,21 @@ impl SearchContext {
             .map(|(k, _)| k)
             .collect()
     }
+}
+
+/// Distance from `pos` to the nearest element of sorted `positions`
+/// (`f64::INFINITY` when empty): `partition_point` plus the two
+/// neighbouring candidates.
+fn nearest_distance(positions: &[usize], pos: f64) -> f64 {
+    let i = positions.partition_point(|&p| (p as f64) < pos);
+    let mut best = f64::INFINITY;
+    if let Some(&p) = positions.get(i) {
+        best = (p as f64 - pos).abs();
+    }
+    if i > 0 {
+        best = best.min((pos - positions[i - 1] as f64).abs());
+    }
+    best
 }
 
 // The batched explorer shares one context across worker threads; every
@@ -298,9 +356,54 @@ pub struct RoundOutcome {
 }
 
 impl RoundOutcome {
-    /// Builds the outcome, computing observable presence via the log diff.
+    /// Builds the outcome, computing observable presence via the log diff
+    /// (structured fast path unless the context's text baseline is forced).
     pub fn new(ctx: &SearchContext, result: RunResult) -> Self {
-        let present = ctx.present_observables(&result.log_text());
+        let present = ctx.round_present(&result);
         RoundOutcome { result, present }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::nearest_distance;
+
+    /// The reference the binary-search version replaced.
+    fn nearest_linear(positions: &[usize], pos: f64) -> f64 {
+        positions
+            .iter()
+            .map(|&p| (pos - p as f64).abs())
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    #[test]
+    fn nearest_distance_equals_linear_scan() {
+        let mut state = 0x5EED_u64;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        for _ in 0..500 {
+            let len = (next() % 40) as usize;
+            let mut positions: Vec<usize> = (0..len).map(|_| (next() % 200) as usize).collect();
+            positions.sort_unstable();
+            // Probe integer, fractional, out-of-range, and exact-hit
+            // query positions.
+            for _ in 0..20 {
+                let pos = (next() % 2200) as f64 / 10.0 - 10.0;
+                assert_eq!(
+                    nearest_distance(&positions, pos).to_bits(),
+                    nearest_linear(&positions, pos).to_bits(),
+                    "positions={positions:?} pos={pos}"
+                );
+            }
+            for &p in &positions {
+                assert_eq!(nearest_distance(&positions, p as f64), 0.0);
+            }
+        }
+        assert_eq!(nearest_distance(&[], 3.0), f64::INFINITY);
     }
 }

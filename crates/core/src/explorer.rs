@@ -377,7 +377,7 @@ impl<'a> ExploreState<'a> {
                 let extra_seed = extra_run_seed(self.cfg.base_seed, round, extra);
                 let extra_run = ctx.scenario.run(extra_seed, InjectionPlan::none())?;
                 self.sim_time_total += extra_run.end_time;
-                for k in ctx.present_observables(&extra_run.log_text()) {
+                for k in ctx.round_present(&extra_run) {
                     if seen.insert(k) {
                         outcome.present.push(k);
                     }

@@ -10,6 +10,8 @@
 
 use std::collections::BTreeMap;
 
+use anduril_ir::Level;
+
 use crate::myers::myers_matches;
 use crate::parse::ParsedEntry;
 
@@ -97,12 +99,19 @@ pub fn compare_with(
                 result.missing.extend(f_indices.iter().copied());
             }
             Some(r_indices) => {
-                let r_bodies: Vec<&str> = r_indices.iter().map(|&i| run[i].body.as_str()).collect();
-                let f_bodies: Vec<&str> = f_indices
+                // Diff on the full sanitized key minus the grouping: (level,
+                // body). Matching on body alone would let an INFO line match
+                // an ERROR line with the same text, hiding level-only
+                // divergences.
+                let r_keys: Vec<(Level, &str)> = r_indices
                     .iter()
-                    .map(|&i| failure[i].body.as_str())
+                    .map(|&i| (run[i].level, run[i].body.as_str()))
                     .collect();
-                let matches = myers_matches(&r_bodies, &f_bodies);
+                let f_keys: Vec<(Level, &str)> = f_indices
+                    .iter()
+                    .map(|&i| (failure[i].level, failure[i].body.as_str()))
+                    .collect();
+                let matches = myers_matches(&r_keys, &f_keys);
                 let matched_f: std::collections::HashSet<usize> =
                     matches.iter().map(|&(_, j)| j).collect();
                 for (j, &fi) in f_indices.iter().enumerate() {
@@ -126,9 +135,9 @@ pub fn compare_with(
 /// sequence, so cross-run reordering between threads produces spurious
 /// missing entries. Kept for the ablation study.
 pub fn compare_global(run: &[ParsedEntry], failure: &[ParsedEntry]) -> DiffResult {
-    let r_bodies: Vec<&str> = run.iter().map(|e| e.body.as_str()).collect();
-    let f_bodies: Vec<&str> = failure.iter().map(|e| e.body.as_str()).collect();
-    let matches = myers_matches(&r_bodies, &f_bodies);
+    let r_keys: Vec<(Level, &str)> = run.iter().map(|e| (e.level, e.body.as_str())).collect();
+    let f_keys: Vec<(Level, &str)> = failure.iter().map(|e| (e.level, e.body.as_str())).collect();
+    let matches = myers_matches(&r_keys, &f_keys);
     let matched: std::collections::HashSet<usize> = matches.iter().map(|&(_, j)| j).collect();
     DiffResult {
         missing: (0..failure.len())
@@ -228,6 +237,21 @@ mod tests {
         // n2:main has no counterpart group, so its entry is missing even
         // though an identical body exists on another node.
         assert_eq!(d.missing, vec![0]);
+    }
+
+    #[test]
+    fn same_body_different_level_does_not_match() {
+        // Regression: the diff key is (level, body), not body alone — a
+        // level-only divergence (e.g. a WARN escalating to ERROR in the
+        // failure run) is a relevant observable.
+        let mut failure = vec![entry("n", "t", 1, "disk sync slow")];
+        failure[0].level = Level::Error;
+        let normal = vec![entry("n", "t", 1, "disk sync slow")]; // Info
+        let d = compare(&normal, &failure);
+        assert_eq!(d.missing, vec![0]);
+        assert!(d.matches.is_empty());
+        let g = compare_global(&normal, &failure);
+        assert_eq!(g.missing, vec![0]);
     }
 
     #[test]

@@ -62,10 +62,26 @@ fn parse_header(line: &str) -> Option<ParsedEntry> {
     })
 }
 
+/// Returns `true` when `line` has the shape of a rendered throwable header:
+/// an exception class name — leading uppercase letter, then identifier
+/// characters (alphanumerics, `.`, `_`, `$`), no spaces — optionally
+/// followed by `: message` (e.g. `IOException` or
+/// `IOException: caused by SocketException`).
+fn is_exception_header(line: &str) -> bool {
+    let name = line.split(':').next().unwrap_or(line);
+    let mut chars = name.chars();
+    matches!(chars.next(), Some(c) if c.is_ascii_uppercase())
+        && chars.all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '$'))
+}
+
 /// Parses a rendered log into records, folding `at` continuation lines and
 /// exception names into the preceding record.
 ///
 /// Lines that match no known shape are ignored (production logs are noisy).
+/// In particular, a non-indented line only folds into the previous record
+/// as its exception when it actually looks like a throwable header (an
+/// exception class name, optionally followed by `: message`) — arbitrary
+/// garbage between records is dropped rather than misattributed.
 pub fn parse_log(text: &str) -> Vec<ParsedEntry> {
     let mut out: Vec<ParsedEntry> = Vec::new();
     for line in text.lines() {
@@ -83,7 +99,10 @@ pub fn parse_log(text: &str) -> Vec<ParsedEntry> {
                 .or_else(|| line.strip_prefix("    at "))
             {
                 last.stack.push(frame.trim().to_string());
-            } else if last.exc.is_none() && !line.starts_with(char::is_whitespace) {
+            } else if last.exc.is_none()
+                && !line.starts_with(char::is_whitespace)
+                && is_exception_header(line)
+            {
                 last.exc = Some(line.trim().to_string());
             }
         }
@@ -133,10 +152,35 @@ IOException
         let text = "not a log line\n00000001 [a:b] INFO - real\n???\n";
         let entries = parse_log(text);
         // The garbage prefix has no record to attach to and is dropped; the
-        // trailing garbage becomes the exception name of `real` (best-effort,
-        // like a real multi-line throwable render).
+        // trailing garbage does not look like an exception header, so it is
+        // dropped too rather than misattributed as `real`'s throwable.
         assert_eq!(entries.len(), 1);
         assert_eq!(entries[0].body, "real");
+        assert_eq!(entries[0].exc, None);
+    }
+
+    #[test]
+    fn exception_header_shape_gates_folding() {
+        // A real throwable header (with a `caused by` message) still folds.
+        let text = "\
+00000001 [a:b] ERROR - sync failed
+IOException: caused by SocketException
+\tat flush
+";
+        let entries = parse_log(text);
+        assert_eq!(
+            entries[0].exc.as_deref(),
+            Some("IOException: caused by SocketException")
+        );
+        assert_eq!(entries[0].stack, vec!["flush"]);
+
+        // Lines without the class-name shape are dropped: lowercase start,
+        // spaces in the name portion, non-identifier characters.
+        for garbage in ["ioexception", "some random words", "Mid sentence: x", "***"] {
+            let text = format!("00000001 [a:b] ERROR - oops\n{garbage}\n");
+            let entries = parse_log(&text);
+            assert_eq!(entries[0].exc, None, "{garbage:?} must not fold");
+        }
     }
 
     #[test]

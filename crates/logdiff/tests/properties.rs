@@ -4,7 +4,10 @@
 //! for `proptest`: the build environment is offline, so the suite carries
 //! its own tiny generator instead of an external dependency.
 
-use anduril_logdiff::{myers_matches, unmatched_b, Alignment};
+use anduril_ir::Level;
+use anduril_logdiff::{
+    compare_with, myers_matches, unmatched_b, Alignment, GroupedLog, InternedLog, ParsedEntry,
+};
 
 /// Deterministic generator for randomized cases.
 struct Rng(u64);
@@ -141,6 +144,40 @@ fn alignment_identity_for_monotone_anchors() {
         for &(x, y) in &pairs {
             assert!((a.map(x as f64) - y as f64).abs() < 1e-9);
         }
+    }
+}
+
+/// The interned fast path is a drop-in for the string-keyed comparison:
+/// identical `missing` and `matches` on randomized multi-node, multi-thread
+/// logs with level collisions and run-only keys.
+#[test]
+fn interned_compare_equals_string_compare() {
+    let mut rng = Rng(18);
+    let levels = [Level::Debug, Level::Info, Level::Warn, Level::Error];
+    let random_log = |rng: &mut Rng, max_len: usize, body_pool: usize| -> Vec<ParsedEntry> {
+        let len = rng.below(max_len + 1);
+        (0..len)
+            .map(|i| ParsedEntry {
+                time: Some(i as u64),
+                node: format!("n{}", rng.below(3)),
+                thread: format!("t{}", rng.below(3)),
+                level: levels[rng.below(4)],
+                body: format!("msg {}", rng.below(body_pool)),
+                exc: None,
+                stack: Vec::new(),
+            })
+            .collect()
+    };
+    for _ in 0..150 {
+        let failure = random_log(&mut rng, 60, 12);
+        // A wider run-side body pool guarantees keys unseen by the intern
+        // table (exercising the sentinel path).
+        let run = random_log(&mut rng, 60, 18);
+        let interned = InternedLog::new(&failure);
+        let fast = interned.compare(&run);
+        let slow = compare_with(&run, &failure, &GroupedLog::new(&failure));
+        assert_eq!(fast.missing, slow.missing);
+        assert_eq!(fast.matches, slow.matches);
     }
 }
 

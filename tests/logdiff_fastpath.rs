@@ -1,0 +1,72 @@
+//! The interned structured diff path is a pure representation change: an
+//! exploration run with `text_diff_baseline` forced (render every round
+//! log to text, re-parse it, diff `(level, body)` string keys) must be
+//! byte-identical — same round count, same per-round decisions, same
+//! emitted script text — to the same exploration through the interned
+//! `u32`-token fast path.
+
+use anduril::failures::case_by_id;
+use anduril::{
+    explore, ExplorerConfig, FeedbackConfig, FeedbackStrategy, Reproduction, SearchContext,
+};
+
+fn run(id: &str, text_diff_baseline: bool) -> Reproduction {
+    let case = case_by_id(id).expect("case");
+    let failure_log = case.failure_log().expect("failure log");
+    let gt = case.ground_truth().expect("ground truth");
+    let mut ctx =
+        SearchContext::prepare(case.scenario.clone(), &failure_log, 1_000).expect("context");
+    ctx.text_diff_baseline = text_diff_baseline;
+    let mut s = FeedbackStrategy::new(FeedbackConfig::full());
+    explore(
+        &ctx,
+        &case.oracle,
+        &mut s,
+        &ExplorerConfig::default(),
+        Some(gt.site),
+    )
+    .expect("explore")
+}
+
+fn assert_identical(id: &str, text: &Reproduction, fast: &Reproduction) {
+    assert_eq!(text.success, fast.success, "{id}: success");
+    assert_eq!(text.rounds, fast.rounds, "{id}: rounds");
+    assert_eq!(text.script, fast.script, "{id}: script");
+    assert_eq!(text.replay_verified, fast.replay_verified, "{id}: replay");
+    assert_eq!(
+        text.injection_requests, fast.injection_requests,
+        "{id}: injection requests"
+    );
+    assert_eq!(text.sim_time_total, fast.sim_time_total, "{id}: sim time");
+    assert_eq!(text.per_round.len(), fast.per_round.len(), "{id}: records");
+    for (a, b) in text.per_round.iter().zip(&fast.per_round) {
+        assert_eq!(a.round, b.round, "{id}: round index");
+        assert_eq!(a.window, b.window, "{id}: window @{}", a.round);
+        assert_eq!(a.armed, b.armed, "{id}: armed @{}", a.round);
+        assert_eq!(a.injected, b.injected, "{id}: injected @{}", a.round);
+        assert_eq!(a.k_star, b.k_star, "{id}: k_star @{}", a.round);
+        assert_eq!(
+            a.oracle_satisfied, b.oracle_satisfied,
+            "{id}: oracle @{}",
+            a.round
+        );
+    }
+    // The user-facing artifact, byte for byte.
+    assert_eq!(
+        text.script.as_ref().map(|s| s.to_text()),
+        fast.script.as_ref().map(|s| s.to_text()),
+        "{id}: script text"
+    );
+}
+
+/// Three cases spanning short and long searches: f3 (short), f9, and f17
+/// (the motivating example, with a retry pass).
+#[test]
+fn fast_path_matches_text_baseline() {
+    for id in ["f3", "f9", "f17"] {
+        let text = run(id, true);
+        let fast = run(id, false);
+        assert!(text.success, "{id}: baseline run must reproduce");
+        assert_identical(id, &text, &fast);
+    }
+}
