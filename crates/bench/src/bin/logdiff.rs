@@ -40,8 +40,8 @@ impl Rng {
 fn entry(time: u64, node: usize, thread: usize, level: Level, body: String) -> LogEntry {
     LogEntry {
         time,
-        node: format!("n{node}"),
-        thread: format!("t{thread}"),
+        node: format!("n{node}").into(),
+        thread: format!("t{thread}").into(),
         level,
         template: TemplateId(0),
         stmt: StmtRef::new(BlockId(0), 0),

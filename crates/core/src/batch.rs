@@ -112,7 +112,7 @@ fn run_batch(
     let workers = threads.min(jobs.len());
     if workers <= 1 {
         for (slot, (r, plan)) in results.iter_mut().zip(jobs) {
-            *slot = Some(ctx.scenario.run(round_seed(cfg, *r), plan.clone()));
+            *slot = Some(ctx.run_round(round_seed(cfg, *r), plan.clone()));
         }
         return results;
     }
@@ -126,7 +126,7 @@ fn run_batch(
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some((r, plan)) = jobs.get(i) else { break };
-                        out.push((i, ctx.scenario.run(round_seed(cfg, *r), plan.clone())));
+                        out.push((i, ctx.run_round(round_seed(cfg, *r), plan.clone())));
                     }
                     out
                 })
@@ -270,7 +270,7 @@ pub fn explore_batched_traced<S: Strategy + Clone>(
                     .and_then(Option::take)
                     .expect("each speculative job ran once")?
             } else {
-                ctx.scenario.run(round_seed(cfg, r), plan)?
+                ctx.run_round(round_seed(cfg, r), plan)?
             };
             merged += 1;
             if let Some(done) = state.absorb(strategy, r, gt_rank, init_ns, armed, result)? {

@@ -8,11 +8,13 @@
 //! timeline (§5.2.3).
 
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 use std::time::Instant;
 
 use anduril_causal::{build_graph, BuildTimings, CausalGraph, Observable, Reachability};
-use anduril_ir::{ExceptionType, LogEntry, SiteId, TemplateId};
+use anduril_ir::{CompiledProgram, ExceptionType, LogEntry, SiteId, TemplateId};
 use anduril_logdiff::{compare_with, parse_log, Alignment, GroupedLog, InternedLog, ParsedEntry};
+use anduril_sim::InjectionPlan;
 use anduril_sim::{RunResult, SimError};
 
 use crate::scenario::Scenario;
@@ -85,6 +87,11 @@ pub struct SearchContext {
     pub units: Vec<FaultUnit>,
     /// Seed used for the normal run (rounds use `base_seed + 1 + round`).
     pub base_seed: u64,
+    /// The scenario's program lowered to the register-VM instruction
+    /// stream, compiled once at preparation time and shared by every
+    /// round (including the batch engine's worker threads — `Arc`, and
+    /// compilation is independent of seed and plan).
+    pub compiled: Arc<CompiledProgram>,
 }
 
 impl SearchContext {
@@ -117,8 +124,15 @@ impl SearchContext {
             }
         };
 
+        // Lower the program to the register-VM form once; every run of
+        // this context (normal and all rounds) executes the compiled
+        // stream.
         let t = Instant::now();
-        let normal = scenario.run(base_seed, anduril_sim::InjectionPlan::none())?;
+        let compiled = Arc::new(anduril_ir::lower::compile(&scenario.program));
+        phase("sim.compile", compiled.code.len() as u64, t);
+
+        let t = Instant::now();
+        let normal = scenario.run_compiled(&compiled, base_seed, InjectionPlan::none())?;
         phase("normal_run", normal.steps, t);
 
         // The failure log arrives as text (the production system is not
@@ -243,7 +257,15 @@ impl SearchContext {
             candidate_sites,
             units,
             base_seed,
+            compiled,
         })
+    }
+
+    /// Runs one round over the context's cached compilation — the
+    /// Explorer's hot path (used by both the sequential and the batched
+    /// engines).
+    pub fn run_round(&self, seed: u64, plan: InjectionPlan) -> Result<RunResult, SimError> {
+        self.scenario.run_compiled(&self.compiled, seed, plan)
     }
 
     /// The temporal distance `T_{i,j,k}`: messages between instance

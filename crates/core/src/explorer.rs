@@ -375,7 +375,7 @@ impl<'a> ExploreState<'a> {
             let mut seen: HashSet<usize> = outcome.present.iter().copied().collect();
             for extra in 0..self.cfg.extra_feedback_runs {
                 let extra_seed = extra_run_seed(self.cfg.base_seed, round, extra);
-                let extra_run = ctx.scenario.run(extra_seed, InjectionPlan::none())?;
+                let extra_run = ctx.run_round(extra_seed, InjectionPlan::none())?;
                 self.sim_time_total += extra_run.end_time;
                 for k in ctx.round_present(&extra_run) {
                     if seen.insert(k) {
@@ -495,7 +495,7 @@ pub fn explore_traced(
             });
         }
         state.drain_notes(strategy, round);
-        let result = ctx.scenario.run(round_seed(cfg, round), plan)?;
+        let result = ctx.run_round(round_seed(cfg, round), plan)?;
         if let Some(done) = state.absorb(strategy, round, gt_rank, init_ns, armed, result)? {
             return Ok(done);
         }

@@ -6,8 +6,8 @@
 //! setup where an existing test or a constructed workload exercises the
 //! affected feature (§2, input 3).
 
-use anduril_ir::{FuncId, Program};
-use anduril_sim::{run, InjectionPlan, RunResult, SimConfig, SimError, Topology};
+use anduril_ir::{CompiledProgram, FuncId, Program};
+use anduril_sim::{run, run_compiled, InjectionPlan, RunResult, SimConfig, SimError, Topology};
 
 /// Everything needed to execute one run of the target under the workload.
 #[derive(Debug, Clone)]
@@ -32,10 +32,30 @@ impl Scenario {
         v
     }
 
-    /// Runs the workload once with the given seed and injection plan.
+    /// Runs the workload once with the given seed and injection plan,
+    /// compiling the program first. One-shot callers only; round loops go
+    /// through [`Scenario::run_compiled`] with the context's cached
+    /// compilation.
     pub fn run(&self, seed: u64, plan: InjectionPlan) -> Result<RunResult, SimError> {
         run(
             &self.program,
+            &self.topology,
+            &self.config.with_seed(seed),
+            plan,
+        )
+    }
+
+    /// Runs the workload over an already-compiled program — the per-round
+    /// hot path (compilation results are independent of seed and plan).
+    pub fn run_compiled(
+        &self,
+        compiled: &CompiledProgram,
+        seed: u64,
+        plan: InjectionPlan,
+    ) -> Result<RunResult, SimError> {
+        run_compiled(
+            &self.program,
+            compiled,
             &self.topology,
             &self.config.with_seed(seed),
             plan,

@@ -50,6 +50,7 @@ pub mod exception;
 pub mod expr;
 pub mod ids;
 pub mod log;
+pub mod lower;
 pub mod program;
 pub mod stmt;
 pub mod value;
@@ -60,6 +61,7 @@ pub use ids::{
     BlockId, ChanId, CondId, ExecId, FuncId, GlobalId, SiteId, StmtRef, TemplateId, VarId,
 };
 pub use log::{Level, LogEntry, LogTemplate};
+pub use lower::{CompiledProgram, Instr};
 pub use program::{
     BlockRole, FaultSite, Function, GlobalInfo, IrError, LintWarning, Program, SiteKind,
 };

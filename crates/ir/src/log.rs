@@ -7,6 +7,8 @@
 //! The Explorer consumes the *production* failure log only as text, through
 //! the parser in `anduril-logdiff`, exactly as the paper's tool does.
 
+use std::sync::Arc;
+
 use crate::ids::{StmtRef, TemplateId};
 
 /// Log severity, mirroring the levels of common Java logging frameworks.
@@ -125,10 +127,12 @@ impl LogTemplate {
 pub struct LogEntry {
     /// Logical time at which the entry was emitted.
     pub time: u64,
-    /// Name of the emitting node.
-    pub node: String,
-    /// Name of the emitting thread.
-    pub thread: String,
+    /// Name of the emitting node. Interned: the simulator shares one
+    /// allocation per node across every entry it emits, so recording an
+    /// entry costs two refcount bumps instead of two string clones.
+    pub node: Arc<str>,
+    /// Name of the emitting thread (interned like [`LogEntry::node`]).
+    pub thread: Arc<str>,
     /// Severity.
     pub level: Level,
     /// The template the entry was rendered from.

@@ -1,0 +1,1038 @@
+//! Lowering: compiles a [`Program`] into a flat, index-resolved instruction
+//! stream for the register-VM executor in `anduril-sim`.
+//!
+//! The tree-walking interpreter re-traverses `Expr` trees and re-resolves
+//! template/handler metadata on every execution of every statement. Because
+//! the Explorer replays the same program thousands of times per search, that
+//! per-step overhead dominates reproduction time (the paper's §7 measures
+//! reproduction cost as run count × run cost). Lowering moves all of it to a
+//! once-per-program compile:
+//!
+//! - every statement becomes one [`Instr`] in a single flat array, addressed
+//!   by `stmt_base[block] + idx` (so a [`StmtRef`] maps to an index with two
+//!   adds, no nested `Vec` walks);
+//! - every expression tree becomes a run of register ops ([`EOp`]) with the
+//!   result in a fixed output register; the register file is allocated once
+//!   per run and reused across statements, so evaluation allocates nothing;
+//! - literals live in a constant pool; log templates are pre-split into
+//!   text/argument segments so bodies render into a single `String` with no
+//!   intermediate per-argument strings;
+//! - names that the simulator emits repeatedly (spawned-thread names,
+//!   executor worker names) are interned as `Arc<str>`;
+//! - `try`/`catch`/`finally` metadata and the meta-info access-point set are
+//!   pre-resolved into flat lookup tables shared by both engines.
+//!
+//! Lowering is purely structural: it never reorders or elides effects, so a
+//! VM run draws random numbers, counts steps, and emits log entries in
+//! exactly the same order as the tree-walking oracle.
+
+use std::sync::Arc;
+
+use crate::expr::{BinOp, Expr};
+use crate::ids::{
+    BlockId, ChanId, CondId, ExecId, FuncId, GlobalId, SiteId, StmtRef, TemplateId, VarId,
+};
+use crate::log::Level;
+use crate::program::Program;
+use crate::stmt::{Handler, Stmt};
+use crate::value::Value;
+
+/// A compiled expression: a run of [`EOp`]s in [`CompiledProgram::eops`]
+/// leaving the result in register `out`.
+#[derive(Debug, Clone, Copy)]
+pub struct CExpr {
+    /// Start of the op run (index into [`CompiledProgram::eops`]).
+    pub start: u32,
+    /// End of the op run (exclusive).
+    pub end: u32,
+    /// Register holding the result after the run executes.
+    pub out: u16,
+    /// Compile-time shape summary; lets the executor answer the most
+    /// common trivial expressions without touching the register file.
+    pub fast: FastExpr,
+}
+
+/// The shapes a [`CExpr`] can be collapsed to at compile time.
+///
+/// Most conditions, assignments, and sleep durations are a single load or
+/// a single comparison over loads; tagging them here lets the executor
+/// resolve the value directly from the frame/globals/pool instead of
+/// running the op loop. `Load` and `Bin` are side-effect-free (no RNG
+/// draws), so skipping the register run cannot perturb determinism.
+#[derive(Debug, Clone, Copy)]
+pub enum FastExpr {
+    /// No shortcut: run the op loop.
+    None,
+    /// The whole expression is one simple load.
+    Load(Operand),
+    /// The whole expression is one fused binary over simple loads.
+    Bin(BinOp, Operand, Operand),
+}
+
+/// A side-effect-free operand source for [`EOp::BinRef`], resolved at
+/// compile time so the executor reads the value by reference.
+#[derive(Debug, Clone, Copy)]
+pub enum Operand {
+    /// The current frame's local slot (reads as `Unit` with no frame).
+    Var(u32),
+    /// The current node's global slot.
+    Global(u32),
+    /// A constant-pool entry.
+    Const(u32),
+}
+
+/// One register-VM expression op. Operands are registers in the per-run
+/// scratch frame; `dst` is always written.
+#[derive(Debug, Clone)]
+pub enum EOp {
+    /// `dst = pool[idx]` (clone from the constant pool).
+    Const {
+        /// Destination register.
+        dst: u16,
+        /// Index into [`CompiledProgram::pool`].
+        idx: u32,
+    },
+    /// `dst = locals[var]` of the current frame (`Unit` with no frame).
+    Var {
+        /// Destination register.
+        dst: u16,
+        /// Local slot index.
+        var: u32,
+    },
+    /// `dst = globals[global]` of the current node.
+    Global {
+        /// Destination register.
+        dst: u16,
+        /// Global slot index.
+        global: u32,
+    },
+    /// `dst = !src` (type error on non-bool).
+    Not {
+        /// Destination register.
+        dst: u16,
+        /// Operand register.
+        src: u16,
+    },
+    /// `dst = len(src)` (type error on non-list/string).
+    Len {
+        /// Destination register.
+        dst: u16,
+        /// Operand register.
+        src: u16,
+    },
+    /// `dst = [srcs...]`; the item registers are moved, not cloned.
+    Gather {
+        /// Destination register.
+        dst: u16,
+        /// Item registers in order.
+        srcs: Box<[u16]>,
+    },
+    /// `dst = src[idx]` where `src` is a register holding a list.
+    Index {
+        /// Destination register.
+        dst: u16,
+        /// Register holding the list.
+        src: u16,
+        /// Element index.
+        idx: u32,
+    },
+    /// `dst = locals[var][idx]` — fused borrow form of `Index(Var(_))` that
+    /// clones only the element, never the whole list.
+    IndexVar {
+        /// Destination register.
+        dst: u16,
+        /// Local slot index.
+        var: u32,
+        /// Element index.
+        idx: u32,
+    },
+    /// `dst = globals[global][idx]` — fused borrow form of
+    /// `Index(Global(_))`.
+    IndexGlobal {
+        /// Destination register.
+        dst: u16,
+        /// Global slot index.
+        global: u32,
+        /// Element index.
+        idx: u32,
+    },
+    /// `dst = rand_range(lo, hi)` drawn from the run's seeded generator
+    /// (returns `lo` when the range is empty, like the tree-walk).
+    Rand {
+        /// Destination register.
+        dst: u16,
+        /// Inclusive lower bound.
+        lo: i64,
+        /// Exclusive upper bound.
+        hi: i64,
+    },
+    /// `dst = <current node name>` as a string value (refcount bump only).
+    SelfNode {
+        /// Destination register.
+        dst: u16,
+    },
+    /// Non-short-circuit binary op: `dst = a <op> b`.
+    Bin {
+        /// Destination register.
+        dst: u16,
+        /// The operator (never `And`/`Or`; those lower to [`EOp::SkipIf`]).
+        op: BinOp,
+        /// Left operand register.
+        a: u16,
+        /// Right operand register.
+        b: u16,
+    },
+    /// Fused binary op over simple operands: both sides are read by
+    /// reference straight from locals/globals/pool — no clones, no
+    /// intermediate registers, one dispatch instead of three. Loading a
+    /// variable, global, or constant has no side effects (in particular no
+    /// RNG draws), so fusing preserves the tree-walk's evaluation order
+    /// exactly.
+    BinRef {
+        /// Destination register.
+        dst: u16,
+        /// The operator (never `And`/`Or`).
+        op: BinOp,
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+    },
+    /// `dst = src as bool` (type error with the tree-walk's
+    /// `expected bool, got ...` message otherwise).
+    AsBool {
+        /// Destination register.
+        dst: u16,
+        /// Operand register.
+        src: u16,
+    },
+    /// Skip the next `skip` ops when `src` holds `Bool(if_val)` — the
+    /// lowering of `&&` / `||` short-circuiting. Skipped ops draw no random
+    /// numbers, preserving the oracle's RNG stream.
+    SkipIf {
+        /// Register tested (already coerced to bool by [`EOp::AsBool`]).
+        src: u16,
+        /// Skip when the register equals this boolean.
+        if_val: bool,
+        /// Number of following ops to skip.
+        skip: u32,
+    },
+}
+
+/// One lowered statement. Mirrors [`Stmt`] with expressions compiled to
+/// [`CExpr`] runs and names/ids pre-resolved.
+#[derive(Debug, Clone)]
+pub enum Instr {
+    /// Emit a log entry.
+    Log {
+        /// Severity.
+        level: Level,
+        /// Source template (for the structured entry).
+        template: TemplateId,
+        /// Compiled argument expressions.
+        args: Box<[CExpr]>,
+        /// Whether to attach the pending handler exception's stack.
+        attach_stack: bool,
+        /// Pre-rendered body for zero-argument templates.
+        pre: Option<Box<str>>,
+    },
+    /// `locals[var] = e`.
+    Assign {
+        /// Destination local.
+        var: VarId,
+        /// Compiled value expression.
+        e: CExpr,
+    },
+    /// `globals[global] = e`.
+    SetGlobal {
+        /// Destination global.
+        global: GlobalId,
+        /// Compiled value expression.
+        e: CExpr,
+    },
+    /// Append `e` to a list-valued global.
+    PushBack {
+        /// The queue global.
+        global: GlobalId,
+        /// Compiled value expression.
+        e: CExpr,
+    },
+    /// Pop the front of a list-valued global into a local.
+    PopFront {
+        /// The queue global.
+        global: GlobalId,
+        /// Destination local.
+        var: VarId,
+    },
+    /// Synchronous call on the same thread.
+    Call {
+        /// Callee.
+        func: FuncId,
+        /// Compiled actual arguments.
+        args: Box<[CExpr]>,
+        /// Local receiving the return value.
+        ret: Option<VarId>,
+    },
+    /// External-exception fault site.
+    External {
+        /// The fault site.
+        site: SiteId,
+    },
+    /// New-exception fault site (`throw new`).
+    ThrowNew {
+        /// The fault site.
+        site: SiteId,
+    },
+    /// Rethrow the nearest handler's exception.
+    Rethrow,
+    /// Two-way branch.
+    If {
+        /// Compiled condition.
+        cond: CExpr,
+        /// Then block.
+        then_blk: BlockId,
+        /// Else block, if present.
+        else_blk: Option<BlockId>,
+    },
+    /// Pre-tested loop.
+    While {
+        /// Compiled condition.
+        cond: CExpr,
+        /// Loop body.
+        body: BlockId,
+    },
+    /// Exception-handling region; handlers/finally live in the try table.
+    Try {
+        /// The protected body.
+        body: BlockId,
+    },
+    /// Return from the current function.
+    Return {
+        /// Compiled return value (`None` returns unit).
+        e: Option<CExpr>,
+    },
+    /// Exit the nearest loop.
+    Break,
+    /// Next iteration of the nearest loop.
+    Continue,
+    /// Spawn a thread on the current node.
+    Spawn {
+        /// Interned thread base name.
+        name: Arc<str>,
+        /// Entry function.
+        func: FuncId,
+        /// Compiled arguments.
+        args: Box<[CExpr]>,
+    },
+    /// Submit a task to an executor.
+    Submit {
+        /// Target executor.
+        exec: ExecId,
+        /// Task body.
+        func: FuncId,
+        /// Compiled arguments.
+        args: Box<[CExpr]>,
+        /// Local receiving the future handle.
+        future: Option<VarId>,
+    },
+    /// Block until a future completes.
+    Await {
+        /// Local holding the future handle.
+        future: VarId,
+        /// Compiled timeout in ticks.
+        timeout: Option<CExpr>,
+        /// Local receiving the task's return value.
+        ret: Option<VarId>,
+    },
+    /// Send a message to `(node, chan)`.
+    Send {
+        /// Compiled destination node name.
+        dest: CExpr,
+        /// Destination channel.
+        chan: ChanId,
+        /// Compiled payload.
+        payload: CExpr,
+    },
+    /// Block until a message arrives on `chan`.
+    Recv {
+        /// Source channel.
+        chan: ChanId,
+        /// Local receiving the payload.
+        var: VarId,
+        /// Compiled timeout in ticks.
+        timeout: Option<CExpr>,
+    },
+    /// Wait on a condition variable.
+    WaitCond {
+        /// The condition variable.
+        cond: CondId,
+        /// Compiled timeout in ticks.
+        timeout: Option<CExpr>,
+        /// Local receiving the signalled-vs-timed-out flag.
+        ok: Option<VarId>,
+    },
+    /// Wake every waiter on a condition variable.
+    SignalCond {
+        /// The condition variable.
+        cond: CondId,
+    },
+    /// Suspend the thread.
+    Sleep {
+        /// Compiled duration in ticks.
+        ticks: CExpr,
+    },
+    /// Abort the current node.
+    Abort {
+        /// Abort reason for the log entry.
+        reason: Box<str>,
+    },
+    /// End the current thread normally.
+    Halt,
+}
+
+/// Pre-resolved `catch`/`finally` metadata of one `try` statement.
+#[derive(Debug, Clone)]
+pub struct TryInfo {
+    /// Catch clauses, in order.
+    pub handlers: Box<[Handler]>,
+    /// Optional finally block.
+    pub finally: Option<BlockId>,
+}
+
+/// One segment of a pre-split log template.
+#[derive(Debug, Clone)]
+pub enum Seg {
+    /// Literal text between holes.
+    Text(Box<str>),
+    /// The n-th `{}` hole (missing arguments render as `?`).
+    Arg(u16),
+}
+
+/// A log template pre-split into text and argument segments, so the VM
+/// renders bodies into one `String` without per-argument intermediates.
+#[derive(Debug, Clone)]
+pub struct CompiledTemplate {
+    /// The segments in order.
+    pub segs: Box<[Seg]>,
+    /// Length of the literal text (render capacity hint).
+    pub text_len: usize,
+}
+
+/// A [`Program`] lowered to the flat register-VM form. Compile once per
+/// search (the `SearchContext` caches it), run many times.
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    /// One instruction per statement, flattened block-major: the statement
+    /// `StmtRef { block, idx }` lives at `stmt_base[block] + idx`.
+    pub code: Vec<Instr>,
+    /// Per-block offset of the first instruction in [`CompiledProgram::code`].
+    pub stmt_base: Vec<u32>,
+    /// Per-block statement count.
+    pub block_len: Vec<u32>,
+    /// All expression ops, referenced by [`CExpr`] ranges.
+    pub eops: Vec<EOp>,
+    /// Constant pool for [`EOp::Const`].
+    pub pool: Vec<Value>,
+    /// Size of the scratch register frame a run must allocate.
+    pub max_regs: usize,
+    /// Pre-split log templates, parallel to `Program::templates`.
+    pub templates: Vec<CompiledTemplate>,
+    /// Interned worker-thread names (`"{exec}-worker"`), parallel to
+    /// `Program::execs`.
+    pub worker_names: Vec<Arc<str>>,
+    /// Statements that touch a meta-info global, sorted (CrashTuner's
+    /// candidate crash points).
+    pub meta_points: Vec<StmtRef>,
+    tries: Vec<TryInfo>,
+    /// Per-instruction index into `tries` (`u32::MAX` for non-`try`).
+    try_of: Vec<u32>,
+    /// Bitset over flat instruction indices marking meta access points.
+    meta_bits: Vec<u64>,
+}
+
+const NO_TRY: u32 = u32::MAX;
+
+impl CompiledProgram {
+    /// Maps a statement reference to its flat instruction index.
+    #[inline]
+    pub fn flat(&self, r: StmtRef) -> usize {
+        self.stmt_base[r.block.index()] as usize + r.idx as usize
+    }
+
+    /// Returns the pre-resolved handler/finally table of a `try` statement,
+    /// or `None` if `r` is not a `try`.
+    #[inline]
+    pub fn try_info(&self, r: StmtRef) -> Option<&TryInfo> {
+        let t = self.try_of[self.flat(r)];
+        if t == NO_TRY {
+            None
+        } else {
+            Some(&self.tries[t as usize])
+        }
+    }
+
+    /// Returns the finally block of a `try` statement, if any.
+    #[inline]
+    pub fn try_finally(&self, r: StmtRef) -> Option<BlockId> {
+        self.try_info(r).and_then(|t| t.finally)
+    }
+
+    /// Returns `true` if the flat instruction index is a meta access point.
+    #[inline]
+    pub fn is_meta(&self, flat: usize) -> bool {
+        (self.meta_bits[flat >> 6] >> (flat & 63)) & 1 == 1
+    }
+}
+
+/// Statements whose execution touches a meta-info global — CrashTuner's
+/// candidate crash points, in deterministic (sorted) order.
+pub fn meta_access_points(program: &Program) -> Vec<StmtRef> {
+    let meta: Vec<bool> = program.globals.iter().map(|g| g.meta_info).collect();
+    if !meta.iter().any(|m| *m) {
+        return Vec::new();
+    }
+    let mut points = Vec::new();
+    for (sref, stmt) in program.all_stmts() {
+        let mut exprs: Vec<&Expr> = Vec::new();
+        let mut writes_meta = false;
+        match stmt {
+            Stmt::SetGlobal { global, expr } | Stmt::PushBack { global, expr } => {
+                writes_meta = meta[global.index()];
+                exprs.push(expr);
+            }
+            Stmt::PopFront { global, .. } => {
+                writes_meta = meta[global.index()];
+            }
+            Stmt::Assign { expr, .. } => exprs.push(expr),
+            Stmt::If { cond, .. } | Stmt::While { cond, .. } => exprs.push(cond),
+            _ => {}
+        }
+        let reads_meta = exprs.iter().any(|e| {
+            let mut vars = Vec::new();
+            let mut globals = Vec::new();
+            e.reads(&mut vars, &mut globals);
+            globals.iter().any(|g| meta[g.index()])
+        });
+        if writes_meta || reads_meta {
+            points.push(sref);
+        }
+    }
+    points.sort_unstable();
+    points
+}
+
+struct ExprCompiler<'p> {
+    eops: Vec<EOp>,
+    pool: Vec<Value>,
+    next_reg: u16,
+    max_regs: usize,
+    program: &'p Program,
+}
+
+impl ExprCompiler<'_> {
+    fn alloc(&mut self) -> u16 {
+        let r = self.next_reg;
+        self.next_reg = self
+            .next_reg
+            .checked_add(1)
+            .expect("statement uses more than 65535 registers");
+        if self.next_reg as usize > self.max_regs {
+            self.max_regs = self.next_reg as usize;
+        }
+        r
+    }
+
+    /// Compiles one expression tree; the emitted ops evaluate sub-expressions
+    /// in exactly the tree-walk's order (so RNG draws and error precedence
+    /// are preserved).
+    fn compile(&mut self, e: &Expr) -> u16 {
+        match e {
+            Expr::Const(v) => {
+                let dst = self.alloc();
+                let idx = self.pool.len() as u32;
+                self.pool.push(v.clone());
+                self.eops.push(EOp::Const { dst, idx });
+                dst
+            }
+            Expr::Var(v) => {
+                let dst = self.alloc();
+                self.eops.push(EOp::Var {
+                    dst,
+                    var: v.index() as u32,
+                });
+                dst
+            }
+            Expr::Global(g) => {
+                let dst = self.alloc();
+                self.eops.push(EOp::Global {
+                    dst,
+                    global: g.index() as u32,
+                });
+                dst
+            }
+            Expr::Not(a) => {
+                let src = self.compile(a);
+                let dst = self.alloc();
+                self.eops.push(EOp::Not { dst, src });
+                dst
+            }
+            Expr::Len(a) => {
+                let src = self.compile(a);
+                let dst = self.alloc();
+                self.eops.push(EOp::Len { dst, src });
+                dst
+            }
+            Expr::List(items) => {
+                let srcs: Box<[u16]> = items.iter().map(|i| self.compile(i)).collect();
+                let dst = self.alloc();
+                self.eops.push(EOp::Gather { dst, srcs });
+                dst
+            }
+            Expr::Index(a, i) => match a.as_ref() {
+                // Borrow-fused forms: index the variable in place and clone
+                // only the element, instead of cloning the whole list first.
+                Expr::Var(v) => {
+                    let dst = self.alloc();
+                    self.eops.push(EOp::IndexVar {
+                        dst,
+                        var: v.index() as u32,
+                        idx: *i,
+                    });
+                    dst
+                }
+                Expr::Global(g) => {
+                    let dst = self.alloc();
+                    self.eops.push(EOp::IndexGlobal {
+                        dst,
+                        global: g.index() as u32,
+                        idx: *i,
+                    });
+                    dst
+                }
+                _ => {
+                    let src = self.compile(a);
+                    let dst = self.alloc();
+                    self.eops.push(EOp::Index { dst, src, idx: *i });
+                    dst
+                }
+            },
+            Expr::RandRange(lo, hi) => {
+                let dst = self.alloc();
+                self.eops.push(EOp::Rand {
+                    dst,
+                    lo: *lo,
+                    hi: *hi,
+                });
+                dst
+            }
+            Expr::SelfNode => {
+                let dst = self.alloc();
+                self.eops.push(EOp::SelfNode { dst });
+                dst
+            }
+            Expr::Bin(op @ (BinOp::And | BinOp::Or), a, b) => {
+                // Lower `a && b` / `a || b` to a conditional skip over the
+                // right operand's ops, mirroring the tree-walk's
+                // short-circuit (skipped ops draw no random numbers).
+                let ra = self.compile(a);
+                let dst = self.alloc();
+                self.eops.push(EOp::AsBool { dst, src: ra });
+                let skip_at = self.eops.len();
+                self.eops.push(EOp::SkipIf {
+                    src: dst,
+                    if_val: matches!(op, BinOp::Or),
+                    skip: 0,
+                });
+                let rb = self.compile(b);
+                self.eops.push(EOp::AsBool { dst, src: rb });
+                let skip = (self.eops.len() - skip_at - 1) as u32;
+                if let EOp::SkipIf { skip: s, .. } = &mut self.eops[skip_at] {
+                    *s = skip;
+                }
+                dst
+            }
+            // Peephole fusion: when both operands are simple loads, emit one
+            // `BinRef` that reads them by reference (the dominant shape for
+            // branch conditions: `var <op> const`, `var <op> var`, ...).
+            Expr::Bin(op, a, b) if Self::is_simple(a) && Self::is_simple(b) => {
+                let a = self.operand(a);
+                let b = self.operand(b);
+                let dst = self.alloc();
+                self.eops.push(EOp::BinRef { dst, op: *op, a, b });
+                dst
+            }
+            Expr::Bin(op, a, b) => {
+                let ra = self.compile(a);
+                let rb = self.compile(b);
+                let dst = self.alloc();
+                self.eops.push(EOp::Bin {
+                    dst,
+                    op: *op,
+                    a: ra,
+                    b: rb,
+                });
+                dst
+            }
+        }
+    }
+
+    /// True when the expression is a fusable side-effect-free load.
+    fn is_simple(e: &Expr) -> bool {
+        matches!(e, Expr::Var(_) | Expr::Global(_) | Expr::Const(_))
+    }
+
+    /// Converts a simple load into a [`BinRef`](EOp::BinRef) operand,
+    /// interning constants into the pool.
+    fn operand(&mut self, e: &Expr) -> Operand {
+        match e {
+            Expr::Var(v) => Operand::Var(v.index() as u32),
+            Expr::Global(g) => Operand::Global(g.index() as u32),
+            Expr::Const(v) => {
+                let idx = self.pool.len() as u32;
+                self.pool.push(v.clone());
+                Operand::Const(idx)
+            }
+            _ => unreachable!("operand() is only called on is_simple exprs"),
+        }
+    }
+
+    fn cexpr(&mut self, e: &Expr) -> CExpr {
+        let start = self.eops.len() as u32;
+        let out = self.compile(e);
+        let end = self.eops.len() as u32;
+        let fast = if end - start == 1 {
+            match &self.eops[start as usize] {
+                EOp::Const { idx, .. } => FastExpr::Load(Operand::Const(*idx)),
+                EOp::Var { var, .. } => FastExpr::Load(Operand::Var(*var)),
+                EOp::Global { global, .. } => FastExpr::Load(Operand::Global(*global)),
+                EOp::BinRef { op, a, b, .. } => FastExpr::Bin(*op, *a, *b),
+                _ => FastExpr::None,
+            }
+        } else {
+            FastExpr::None
+        };
+        CExpr {
+            start,
+            end,
+            out,
+            fast,
+        }
+    }
+
+    fn cexprs(&mut self, es: &[Expr]) -> Box<[CExpr]> {
+        es.iter().map(|e| self.cexpr(e)).collect()
+    }
+}
+
+/// Compiles a program into its flat register-VM form.
+pub fn compile(program: &Program) -> CompiledProgram {
+    let n_stmts: usize = program.blocks.iter().map(Vec::len).sum();
+    let mut stmt_base = Vec::with_capacity(program.blocks.len());
+    let mut block_len = Vec::with_capacity(program.blocks.len());
+    let mut base = 0u32;
+    for b in &program.blocks {
+        stmt_base.push(base);
+        block_len.push(b.len() as u32);
+        base += b.len() as u32;
+    }
+
+    let mut c = ExprCompiler {
+        eops: Vec::new(),
+        pool: Vec::new(),
+        next_reg: 0,
+        max_regs: 0,
+        program,
+    };
+    let mut code = Vec::with_capacity(n_stmts);
+    let mut tries = Vec::new();
+    let mut try_of = vec![NO_TRY; n_stmts];
+
+    for block in &program.blocks {
+        for stmt in block {
+            // Registers are scratch within one statement: every statement
+            // starts from register 0 and the frame is sized to the widest.
+            c.next_reg = 0;
+            let flat = code.len();
+            let instr = match stmt {
+                Stmt::Log {
+                    level,
+                    template,
+                    args,
+                    attach_stack,
+                } => {
+                    let cargs = c.cexprs(args);
+                    let pre = if cargs.is_empty() {
+                        Some(
+                            c.program.templates[template.index()]
+                                .render(&[])
+                                .into_boxed_str(),
+                        )
+                    } else {
+                        None
+                    };
+                    Instr::Log {
+                        level: *level,
+                        template: *template,
+                        args: cargs,
+                        attach_stack: *attach_stack,
+                        pre,
+                    }
+                }
+                Stmt::Assign { var, expr } => Instr::Assign {
+                    var: *var,
+                    e: c.cexpr(expr),
+                },
+                Stmt::SetGlobal { global, expr } => Instr::SetGlobal {
+                    global: *global,
+                    e: c.cexpr(expr),
+                },
+                Stmt::PushBack { global, expr } => Instr::PushBack {
+                    global: *global,
+                    e: c.cexpr(expr),
+                },
+                Stmt::PopFront { global, var } => Instr::PopFront {
+                    global: *global,
+                    var: *var,
+                },
+                Stmt::Call { func, args, ret } => Instr::Call {
+                    func: *func,
+                    args: c.cexprs(args),
+                    ret: *ret,
+                },
+                Stmt::External { site } => Instr::External { site: *site },
+                Stmt::ThrowNew { site } => Instr::ThrowNew { site: *site },
+                Stmt::Rethrow => Instr::Rethrow,
+                Stmt::If {
+                    cond,
+                    then_blk,
+                    else_blk,
+                } => Instr::If {
+                    cond: c.cexpr(cond),
+                    then_blk: *then_blk,
+                    else_blk: *else_blk,
+                },
+                Stmt::While { cond, body } => Instr::While {
+                    cond: c.cexpr(cond),
+                    body: *body,
+                },
+                Stmt::Try {
+                    body,
+                    handlers,
+                    finally,
+                } => {
+                    try_of[flat] = tries.len() as u32;
+                    tries.push(TryInfo {
+                        handlers: handlers.clone().into_boxed_slice(),
+                        finally: *finally,
+                    });
+                    Instr::Try { body: *body }
+                }
+                Stmt::Return { expr } => Instr::Return {
+                    e: expr.as_ref().map(|e| c.cexpr(e)),
+                },
+                Stmt::Break => Instr::Break,
+                Stmt::Continue => Instr::Continue,
+                Stmt::Spawn { name, func, args } => Instr::Spawn {
+                    name: Arc::from(name.as_str()),
+                    func: *func,
+                    args: c.cexprs(args),
+                },
+                Stmt::Submit {
+                    exec,
+                    func,
+                    args,
+                    future,
+                } => Instr::Submit {
+                    exec: *exec,
+                    func: *func,
+                    args: c.cexprs(args),
+                    future: *future,
+                },
+                Stmt::Await {
+                    future,
+                    timeout,
+                    ret,
+                } => Instr::Await {
+                    future: *future,
+                    timeout: timeout.as_ref().map(|e| c.cexpr(e)),
+                    ret: *ret,
+                },
+                Stmt::Send {
+                    node,
+                    chan,
+                    payload,
+                } => Instr::Send {
+                    dest: c.cexpr(node),
+                    chan: *chan,
+                    payload: c.cexpr(payload),
+                },
+                Stmt::Recv { chan, var, timeout } => Instr::Recv {
+                    chan: *chan,
+                    var: *var,
+                    timeout: timeout.as_ref().map(|e| c.cexpr(e)),
+                },
+                Stmt::WaitCond { cond, timeout, ok } => Instr::WaitCond {
+                    cond: *cond,
+                    timeout: timeout.as_ref().map(|e| c.cexpr(e)),
+                    ok: *ok,
+                },
+                Stmt::SignalCond { cond } => Instr::SignalCond { cond: *cond },
+                Stmt::Sleep { ticks } => Instr::Sleep {
+                    ticks: c.cexpr(ticks),
+                },
+                Stmt::Abort { reason } => Instr::Abort {
+                    reason: reason.clone().into_boxed_str(),
+                },
+                Stmt::Halt => Instr::Halt,
+            };
+            code.push(instr);
+        }
+    }
+
+    let templates = program
+        .templates
+        .iter()
+        .map(|t| {
+            let mut segs = Vec::new();
+            let mut text_len = 0;
+            let mut rest = t.text.as_str();
+            let mut arg = 0u16;
+            while let Some(pos) = rest.find("{}") {
+                if pos > 0 {
+                    text_len += pos;
+                    segs.push(Seg::Text(rest[..pos].into()));
+                }
+                segs.push(Seg::Arg(arg));
+                arg += 1;
+                rest = &rest[pos + 2..];
+            }
+            if !rest.is_empty() {
+                text_len += rest.len();
+                segs.push(Seg::Text(rest.into()));
+            }
+            CompiledTemplate {
+                segs: segs.into_boxed_slice(),
+                text_len,
+            }
+        })
+        .collect();
+
+    let worker_names = program
+        .execs
+        .iter()
+        .map(|e| Arc::from(format!("{e}-worker").as_str()))
+        .collect();
+
+    let meta_points = meta_access_points(program);
+    let mut meta_bits = vec![0u64; n_stmts.div_ceil(64)];
+    for p in &meta_points {
+        let flat = stmt_base[p.block.index()] as usize + p.idx as usize;
+        meta_bits[flat >> 6] |= 1 << (flat & 63);
+    }
+
+    CompiledProgram {
+        code,
+        stmt_base,
+        block_len,
+        eops: c.eops,
+        pool: c.pool,
+        max_regs: c.max_regs,
+        templates,
+        worker_names,
+        meta_points,
+        tries,
+        try_of,
+        meta_bits,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::expr::build as e;
+
+    #[test]
+    fn flat_indexing_covers_every_statement() {
+        let mut pb = ProgramBuilder::new("t");
+        let main = pb.declare("main", 0);
+        pb.body(main, |b| {
+            let x = b.local();
+            b.assign(x, e::int(1));
+            b.if_(e::gt(e::var(x), e::int(0)), |b| {
+                b.log(Level::Info, "pos {}", vec![e::var(x)]);
+            });
+        });
+        let p = pb.finish().unwrap();
+        let c = compile(&p);
+        let n: usize = p.blocks.iter().map(Vec::len).sum();
+        assert_eq!(c.code.len(), n);
+        for (sref, _) in p.all_stmts() {
+            assert!(c.flat(sref) < n);
+        }
+    }
+
+    #[test]
+    fn try_info_resolves_handlers_and_finally() {
+        let mut pb = ProgramBuilder::new("t");
+        let main = pb.declare("main", 0);
+        pb.body(main, |b| {
+            b.try_catch(
+                |b| {
+                    b.external("io", &[crate::ExceptionType::Io]);
+                },
+                crate::ExceptionType::Io,
+                |b| {
+                    b.log(Level::Warn, "caught", vec![]);
+                },
+            );
+        });
+        let p = pb.finish().unwrap();
+        let c = compile(&p);
+        let (tref, _) = p
+            .all_stmts()
+            .into_iter()
+            .find(|(_, s)| matches!(s, Stmt::Try { .. }))
+            .unwrap();
+        let info = c.try_info(tref).expect("try has info");
+        assert_eq!(info.handlers.len(), 1);
+        assert_eq!(info.finally, None);
+        // A non-try statement has no info.
+        let (aref, _) = p
+            .all_stmts()
+            .into_iter()
+            .find(|(_, s)| !matches!(s, Stmt::Try { .. }))
+            .unwrap();
+        assert!(c.try_info(aref).is_none());
+    }
+
+    #[test]
+    fn short_circuit_lowers_to_skip() {
+        let mut pb = ProgramBuilder::new("t");
+        let main = pb.declare("main", 0);
+        pb.body(main, |b| {
+            let x = b.local();
+            b.assign(x, e::and(e::bool_(false), e::bool_(true)));
+        });
+        let p = pb.finish().unwrap();
+        let c = compile(&p);
+        assert!(c.eops.iter().any(|op| matches!(op, EOp::SkipIf { .. })));
+    }
+
+    #[test]
+    fn meta_bitset_matches_point_list() {
+        let mut pb = ProgramBuilder::new("t");
+        let g = pb.meta_global("leader", Value::Int(0));
+        let main = pb.declare("main", 0);
+        pb.body(main, |b| {
+            b.set_global(g, e::int(1));
+            b.log(Level::Info, "done", vec![]);
+        });
+        let p = pb.finish().unwrap();
+        let c = compile(&p);
+        assert!(!c.meta_points.is_empty());
+        for (sref, _) in p.all_stmts() {
+            assert_eq!(c.is_meta(c.flat(sref)), c.meta_points.contains(&sref));
+        }
+    }
+}

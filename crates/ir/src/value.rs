@@ -72,17 +72,37 @@ impl Value {
 
     /// Renders the value for inclusion in a log message.
     pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    /// Appends the rendering of the value to `out` without any intermediate
+    /// allocation. `render` is defined in terms of this, so both produce
+    /// byte-identical text.
+    pub fn render_into(&self, out: &mut String) {
+        use std::fmt::Write as _;
         match self {
-            Value::Unit => "()".to_string(),
-            Value::Int(i) => i.to_string(),
-            Value::Bool(b) => b.to_string(),
-            Value::Str(s) => s.to_string(),
-            Value::List(v) => {
-                let inner: Vec<String> = v.iter().map(Value::render).collect();
-                format!("[{}]", inner.join(", "))
+            Value::Unit => out.push_str("()"),
+            Value::Int(i) => {
+                let _ = write!(out, "{i}");
             }
-            Value::Future(id) => format!("future#{id}"),
-            Value::Exc(e) => e.render(),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Str(s) => out.push_str(s),
+            Value::List(v) => {
+                out.push('[');
+                for (i, item) in v.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            Value::Future(id) => {
+                let _ = write!(out, "future#{id}");
+            }
+            Value::Exc(e) => out.push_str(&e.render()),
         }
     }
 }

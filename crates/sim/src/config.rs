@@ -2,6 +2,30 @@
 
 use anduril_ir::{FuncId, Value};
 
+/// Which executor interprets the program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// The bytecode register VM running the lowered instruction stream
+    /// (the default; compiled once per program, no per-step allocation).
+    #[default]
+    Vm,
+    /// The original tree-walking interpreter over the `Stmt`/`Expr` AST.
+    /// Kept as a differential oracle; only available when the sim crate is
+    /// built with the `tree-walk-oracle` feature (or under `cfg(test)`).
+    TreeWalk,
+}
+
+impl Engine {
+    /// Parses a CLI engine name (`"vm"` or `"ast"`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "vm" => Some(Engine::Vm),
+            "ast" => Some(Engine::TreeWalk),
+            _ => None,
+        }
+    }
+}
+
 /// Configuration for one simulation run.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
@@ -18,6 +42,10 @@ pub struct SimConfig {
     pub quantum: u32,
     /// Inclusive-exclusive bounds on simulated message delivery latency.
     pub net_latency: (u64, u64),
+    /// Which executor interprets the program. Both engines are
+    /// step-for-step deterministic and produce byte-identical results; the
+    /// tree-walk is retained as a differential oracle.
+    pub engine: Engine,
 }
 
 impl Default for SimConfig {
@@ -28,6 +56,7 @@ impl Default for SimConfig {
             max_steps: 50_000_000,
             quantum: 8,
             net_latency: (3, 9),
+            engine: Engine::default(),
         }
     }
 }

@@ -10,7 +10,6 @@
 //! guard matches during the run is injected; at most one injection happens
 //! per run, matching ANDURIL's single-fault-per-round design.
 
-use std::collections::HashMap;
 use std::time::Instant;
 
 use anduril_ir::{ExceptionType, FuncId, SiteId, StmtRef};
@@ -115,12 +114,15 @@ pub struct TraceEntry {
 /// The per-run fault-injection runtime state.
 #[derive(Debug)]
 pub struct Fir {
-    plan_by_site: HashMap<SiteId, Vec<Candidate>>,
+    /// Plan candidates indexed densely by site — site ids are compact, so
+    /// the per-request lookup is an index, not a hash.
+    plan_by_site: Vec<Vec<Candidate>>,
     crash_at: Option<CrashPoint>,
     /// Occurrence counter per site.
     occ: Vec<u32>,
-    /// Occurrence counter per meta-access point (keyed by statement).
-    meta_occ: HashMap<StmtRef, u32>,
+    /// Occurrence counters per meta-access point. Programs have a handful
+    /// of meta points at most, so a linear scan beats hashing.
+    meta_occ: Vec<(StmtRef, u32)>,
     /// All traced site executions, in order.
     pub trace: Vec<TraceEntry>,
     /// The injection that fired, if any.
@@ -137,16 +139,19 @@ pub struct Fir {
 impl Fir {
     /// Arms the runtime with a plan for one run over `n_sites` sites.
     pub fn new(n_sites: usize, plan: InjectionPlan) -> Self {
-        let mut plan_by_site: HashMap<SiteId, Vec<Candidate>> = HashMap::new();
+        let mut plan_by_site: Vec<Vec<Candidate>> = vec![Vec::new(); n_sites];
         for c in plan.candidates {
-            plan_by_site.entry(c.site).or_default().push(c);
+            if c.site.index() >= plan_by_site.len() {
+                plan_by_site.resize(c.site.index() + 1, Vec::new());
+            }
+            plan_by_site[c.site.index()].push(c);
         }
         Fir {
             plan_by_site,
             crash_at: plan.crash_at,
             occ: vec![0; n_sites],
-            meta_occ: HashMap::new(),
-            trace: Vec::new(),
+            meta_occ: Vec::new(),
+            trace: Vec::with_capacity(64),
             injected: None,
             crashed: false,
             requests: 0,
@@ -174,6 +179,13 @@ impl Fir {
             log_pos,
         });
         self.requests += 1;
+        // A request with no armed candidates for this site (or after the
+        // one-shot injection has fired) decides nothing; reading the clock
+        // around that no-op would just measure the clock. `decision_ns`
+        // times only requests that actually consult a plan.
+        if self.injected.is_some() || self.plan_by_site[site.index()].is_empty() {
+            return None;
+        }
         let start = Instant::now();
         let decision = self.decide(site, occurrence, time, stack);
         self.decision_ns += start.elapsed().as_nanos() as u64;
@@ -190,7 +202,7 @@ impl Fir {
         if self.injected.is_some() {
             return None;
         }
-        let candidates = self.plan_by_site.get(&site)?;
+        let candidates = &self.plan_by_site[site.index()];
         let hit = candidates.iter().find(|c| {
             c.occurrence.map(|o| o == occurrence).unwrap_or(true)
                 && c.stack
@@ -211,7 +223,13 @@ impl Fir {
     /// Traces one execution of a meta-info access point; returns `true` if
     /// the CrashTuner plan wants the node crashed here.
     pub fn on_meta_access(&mut self, stmt: StmtRef) -> bool {
-        let occ = self.meta_occ.entry(stmt).or_insert(0);
+        let occ = match self.meta_occ.iter_mut().find(|(s, _)| *s == stmt) {
+            Some((_, o)) => o,
+            None => {
+                self.meta_occ.push((stmt, 0));
+                &mut self.meta_occ.last_mut().unwrap().1
+            }
+        };
         let current = *occ;
         *occ += 1;
         if self.crashed {

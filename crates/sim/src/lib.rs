@@ -57,7 +57,7 @@ pub mod rng;
 pub mod thread;
 pub mod world;
 
-pub use config::{NodeSpec, SimConfig, Topology};
+pub use config::{Engine, NodeSpec, SimConfig, Topology};
 pub use fir::{Candidate, CrashPoint, Fir, InjectedRecord, InjectionPlan, TraceEntry};
 pub use result::{NodeSnapshot, RunResult, ThreadEndState, ThreadSnapshot};
-pub use world::{run, SimError};
+pub use world::{meta_access_points, run, run_compiled, SimError};

@@ -7,7 +7,7 @@ use anduril_ir::{log::render_log, LogEntry, Value};
 use crate::fir::{InjectedRecord, TraceEntry};
 
 /// Final state of one thread, with names resolved for oracle checks.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ThreadSnapshot {
     /// Node name.
     pub node: String,
@@ -36,7 +36,7 @@ pub enum ThreadEndState {
 }
 
 /// Final state of one node.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NodeSnapshot {
     /// Node name.
     pub name: String,

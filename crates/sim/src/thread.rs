@@ -165,8 +165,9 @@ pub struct Thread {
     pub id: ThreadId,
     /// Index of the node the thread runs on.
     pub node: usize,
-    /// Thread name (unique per node).
-    pub name: String,
+    /// Thread name (unique per node). Interned so that log emission shares
+    /// one allocation per thread instead of cloning the name every entry.
+    pub name: Arc<str>,
     /// Call stack, outermost first.
     pub frames: Vec<Frame>,
     /// Lifecycle state.

@@ -1,4 +1,4 @@
-//! The discrete-event world: scheduler plus IR interpreter.
+//! The discrete-event world: scheduler plus engine-agnostic run machinery.
 //!
 //! All simulated nondeterminism (message latency, scheduling jitter,
 //! workload jitter) flows from one seeded generator, so a run is a pure
@@ -6,24 +6,39 @@
 //! this: a successful round is replayed exactly by re-running with the same
 //! seed and an [`InjectionPlan::exact`] plan — the paper's "deterministic
 //! reproduction script" (§3 step 4.a).
+//!
+//! Statement execution is pluggable ([`crate::config::Engine`]): the default
+//! register-VM executor runs the lowered instruction stream produced by
+//! [`anduril_ir::lower`], while the original tree-walking interpreter is
+//! retained behind the `tree-walk-oracle` feature as a differential oracle.
+//! Everything else — event scheduling, thread lifecycle, control-flow
+//! unwinding, fault-injection bookkeeping, log emission, RNG draws — is
+//! shared by both engines, which is what makes their runs byte-identical.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 use std::time::Instant;
 
-use crate::config::{SimConfig, Topology};
+use crate::config::{Engine, SimConfig, Topology};
 use crate::fir::{Fir, InjectionPlan};
 use crate::result::{NodeSnapshot, RunResult, ThreadEndState, ThreadSnapshot};
 use crate::rng::SmallRng;
 use crate::thread::{
     BlockReason, Cursor, CursorKind, Frame, Pending, Role, Thread, ThreadId, ThreadStatus, WakeNote,
 };
-use anduril_ir::builder::{STMT_RUNTIME, TMPL_ABORT, TMPL_NODE_CRASH, TMPL_UNCAUGHT};
+use anduril_ir::builder::{STMT_RUNTIME, TMPL_NODE_CRASH, TMPL_UNCAUGHT};
+use anduril_ir::lower::CompiledProgram;
 use anduril_ir::{
-    BinOp, ChanId, ExcValue, ExceptionType, Expr, FuncId, Level, LogEntry, Program, Stmt, StmtRef,
-    TemplateId, Value, VarId,
+    ChanId, ExcValue, FuncId, Level, LogEntry, Program, StmtRef, TemplateId, Value, VarId,
 };
+
+mod events;
+mod exec_vm;
+
+#[cfg(any(test, feature = "tree-walk-oracle"))]
+mod exec_ast;
+
+use events::EventQueue;
 
 /// Errors surfaced by the interpreter.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -59,14 +74,29 @@ impl std::fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
-/// Runs one simulation to completion (quiescence, horizon, or step limit).
+/// Runs one simulation to completion (quiescence, horizon, or step limit),
+/// compiling the program first. Hot callers that replay the same program
+/// many times should compile once and use [`run_compiled`].
 pub fn run(
     program: &Program,
     topo: &Topology,
     cfg: &SimConfig,
     plan: InjectionPlan,
 ) -> Result<RunResult, SimError> {
-    let mut world = World::new(program, topo, cfg, plan)?;
+    let compiled = anduril_ir::lower::compile(program);
+    run_compiled(program, &compiled, topo, cfg, plan)
+}
+
+/// Runs one simulation over an already-compiled program — the Explorer's
+/// per-round hot path (the `SearchContext` caches the compilation).
+pub fn run_compiled(
+    program: &Program,
+    compiled: &CompiledProgram,
+    topo: &Topology,
+    cfg: &SimConfig,
+    plan: InjectionPlan,
+) -> Result<RunResult, SimError> {
+    let mut world = World::new(program, compiled, topo, cfg, plan)?;
     world.drive()?;
     Ok(world.finish())
 }
@@ -132,7 +162,7 @@ struct ExecState {
 
 #[derive(Debug)]
 struct Node {
-    name: String,
+    name: Arc<str>,
     alive: bool,
     aborted: bool,
     globals: Vec<Value>,
@@ -140,7 +170,7 @@ struct Node {
     chan_waiters: Vec<VecDeque<ThreadId>>,
     cond_waiters: Vec<Vec<ThreadId>>,
     execs: Vec<ExecState>,
-    spawn_counts: HashMap<String, u32>,
+    spawn_counts: HashMap<Arc<str>, u32>,
 }
 
 /// Control-flow outcome of executing one statement.
@@ -165,57 +195,86 @@ enum Flow {
 
 struct World<'p> {
     program: &'p Program,
+    compiled: &'p CompiledProgram,
+    engine: Engine,
     cfg: SimConfig,
     rng: SmallRng,
     clock: u64,
     seq: u64,
-    events: BinaryHeap<Reverse<EventEntry>>,
+    events: EventQueue,
     threads: Vec<Thread>,
     nodes: Vec<Node>,
-    node_by_name: HashMap<String, usize>,
+    node_by_name: HashMap<Arc<str>, usize>,
     futures: Vec<FutureState>,
     log: Vec<LogEntry>,
     fir: Fir,
     steps: u64,
-    meta_points: HashSet<StmtRef>,
+    /// Meta access points as a hash set — only built for the tree-walk
+    /// engine; the VM tests the compiled bitset instead.
+    meta_set: HashSet<StmtRef>,
+    /// The VM's scratch register frame, reused across every statement of
+    /// the whole run (sized to the widest statement at compile time).
+    regs: Vec<Value>,
+    /// Recycled locals/argument buffers: returned frames feed this pool so
+    /// steady-state calls reuse allocations instead of hitting the heap.
+    spare_vals: Vec<Vec<Value>>,
+    /// Recycled cursor stacks, same lifecycle as `spare_vals`.
+    spare_cursors: Vec<Vec<Cursor>>,
     started: Instant,
 }
 
 impl<'p> World<'p> {
     fn new(
         program: &'p Program,
+        compiled: &'p CompiledProgram,
         topo: &Topology,
         cfg: &SimConfig,
         plan: InjectionPlan,
     ) -> Result<Self, SimError> {
-        let meta_points = collect_meta_points(program);
+        #[cfg(not(any(test, feature = "tree-walk-oracle")))]
+        if cfg.engine == Engine::TreeWalk {
+            return Err(SimError::Internal(
+                "tree-walk engine requires the `tree-walk-oracle` feature".into(),
+            ));
+        }
+        let meta_set = if cfg.engine == Engine::TreeWalk {
+            compiled.meta_points.iter().copied().collect()
+        } else {
+            HashSet::new()
+        };
         let mut world = World {
             program,
+            compiled,
+            engine: cfg.engine,
             cfg: cfg.clone(),
             rng: SmallRng::seed_from_u64(cfg.seed),
             clock: 0,
             seq: 0,
-            events: BinaryHeap::new(),
+            events: EventQueue::new(),
             threads: Vec::new(),
             nodes: Vec::new(),
             node_by_name: HashMap::new(),
             futures: Vec::new(),
-            log: Vec::new(),
+            log: Vec::with_capacity(64),
             fir: Fir::new(program.sites.len(), plan),
             steps: 0,
-            meta_points,
+            meta_set,
+            regs: vec![Value::Unit; compiled.max_regs],
+            spare_vals: Vec::new(),
+            spare_cursors: Vec::new(),
             started: Instant::now(),
         };
         for (i, spec) in topo.nodes.iter().enumerate() {
-            if world.node_by_name.contains_key(&spec.name) {
+            if world.node_by_name.contains_key(spec.name.as_str()) {
                 return Err(SimError::Internal(format!(
                     "duplicate node name {}",
                     spec.name
                 )));
             }
-            world.node_by_name.insert(spec.name.clone(), i);
+            let name: Arc<str> = Arc::from(spec.name.as_str());
+            world.node_by_name.insert(name.clone(), i);
             world.nodes.push(Node {
-                name: spec.name.clone(),
+                name,
                 alive: true,
                 aborted: false,
                 globals: program.globals.iter().map(|g| g.init.clone()).collect(),
@@ -228,8 +287,9 @@ impl<'p> World<'p> {
                 spawn_counts: HashMap::new(),
             });
         }
+        let main_name: Arc<str> = Arc::from("main");
         for (i, spec) in topo.nodes.iter().enumerate() {
-            let tid = world.create_thread(i, "main", Role::Normal);
+            let tid = world.create_thread(i, &main_name, Role::Normal);
             world.push_entry_frame(tid, spec.main, spec.args.clone(), None)?;
             world.schedule_wake(tid, i as u64, false);
         }
@@ -238,15 +298,15 @@ impl<'p> World<'p> {
 
     // ---- infrastructure -------------------------------------------------
 
-    fn create_thread(&mut self, node: usize, name: &str, role: Role) -> ThreadId {
+    fn create_thread(&mut self, node: usize, name: &Arc<str>, role: Role) -> ThreadId {
         let count = self.nodes[node]
             .spawn_counts
-            .entry(name.to_string())
+            .entry(name.clone())
             .or_insert(0);
-        let unique = if *count == 0 {
-            name.to_string()
+        let unique: Arc<str> = if *count == 0 {
+            name.clone()
         } else {
-            format!("{name}-{count}")
+            Arc::from(format!("{name}-{count}").as_str())
         };
         *count += 1;
         let tid = self.threads.len();
@@ -282,23 +342,55 @@ impl<'p> World<'p> {
         }
         let mut locals = args;
         locals.resize(f.locals as usize, Value::Unit);
+        let mut cursors = self.spare_cursors.pop().unwrap_or_default();
+        cursors.push(Cursor::new(f.entry, CursorKind::Plain));
         self.threads[tid].frames.push(Frame {
             func,
             locals,
             ret_to,
-            cursors: vec![Cursor::new(f.entry, CursorKind::Plain)],
+            cursors,
         });
         Ok(())
+    }
+
+    /// Hands out an empty values buffer for call arguments, reusing a
+    /// returned frame's locals allocation when one is available.
+    fn take_vals(&mut self, cap: usize) -> Vec<Value> {
+        match self.spare_vals.pop() {
+            Some(mut v) => {
+                v.reserve(cap);
+                v
+            }
+            None => Vec::with_capacity(cap),
+        }
+    }
+
+    /// Returns a popped frame's buffers to the recycling pools.
+    fn recycle_frame(&mut self, frame: Frame) {
+        let Frame {
+            mut locals,
+            mut cursors,
+            ..
+        } = frame;
+        // Bound the pools so a deep recursive burst cannot pin memory.
+        if self.spare_vals.len() < 32 {
+            locals.clear();
+            self.spare_vals.push(locals);
+        }
+        if self.spare_cursors.len() < 32 {
+            cursors.clear();
+            self.spare_cursors.push(cursors);
+        }
     }
 
     fn schedule(&mut self, delay: u64, kind: EventKind) {
         let seq = self.seq;
         self.seq += 1;
-        self.events.push(Reverse(EventEntry {
+        self.events.push(EventEntry {
             time: self.clock + delay,
             seq,
             kind,
-        }));
+        });
     }
 
     fn schedule_wake(&mut self, tid: ThreadId, delay: u64, expired: bool) {
@@ -329,16 +421,35 @@ impl<'p> World<'p> {
     }
 
     fn deregister(&mut self, tid: ThreadId, reason: BlockReason) {
+        // Waiter lists are FIFO and the thread being deregistered is almost
+        // always the one at the front (it is the one that just woke), so try
+        // the O(1) front removal before falling back to the order-preserving
+        // scan.
         let node = self.threads[tid].node;
         match reason {
             BlockReason::Chan(c) => {
-                self.nodes[node].chan_waiters[c.index()].retain(|t| *t != tid);
+                let w = &mut self.nodes[node].chan_waiters[c.index()];
+                if w.front() == Some(&tid) {
+                    w.pop_front();
+                } else {
+                    w.retain(|t| *t != tid);
+                }
             }
             BlockReason::Cond(c) => {
-                self.nodes[node].cond_waiters[c.index()].retain(|t| *t != tid);
+                let w = &mut self.nodes[node].cond_waiters[c.index()];
+                if w.first() == Some(&tid) {
+                    w.remove(0);
+                } else {
+                    w.retain(|t| *t != tid);
+                }
             }
             BlockReason::Future(f) => {
-                self.futures[f as usize].waiters.retain(|t| *t != tid);
+                let w = &mut self.futures[f as usize].waiters;
+                if w.first() == Some(&tid) {
+                    w.remove(0);
+                } else {
+                    w.retain(|t| *t != tid);
+                }
             }
             BlockReason::Sleep | BlockReason::IdleWorker => {}
         }
@@ -362,11 +473,13 @@ impl<'p> World<'p> {
         }
     }
 
+    /// Emits a log entry rendered from a template and pre-rendered argument
+    /// strings (the tree-walk and runtime-message path).
     #[allow(clippy::too_many_arguments)] // Log emission legitimately carries the full record.
     fn emit(
         &mut self,
         node: usize,
-        thread: &str,
+        thread: Arc<str>,
         level: Level,
         template: TemplateId,
         stmt: StmtRef,
@@ -375,6 +488,24 @@ impl<'p> World<'p> {
         offset: u64,
     ) {
         let body = self.program.templates[template.index()].render(args);
+        self.emit_raw(node, thread, level, template, stmt, body, exc, offset);
+    }
+
+    /// Emits a log entry with an already-rendered body (the VM's fast path;
+    /// node and thread names are interned, so this allocates nothing beyond
+    /// the body and the entry itself).
+    #[allow(clippy::too_many_arguments)] // Log emission legitimately carries the full record.
+    fn emit_raw(
+        &mut self,
+        node: usize,
+        thread: Arc<str>,
+        level: Level,
+        template: TemplateId,
+        stmt: StmtRef,
+        body: String,
+        exc: Option<&ExcValue>,
+        offset: u64,
+    ) {
         let (exc_name, stack) = match exc {
             Some(e) => (
                 Some(e.render()),
@@ -388,7 +519,7 @@ impl<'p> World<'p> {
         self.log.push(LogEntry {
             time: self.clock + offset,
             node: self.nodes[node].name.clone(),
-            thread: thread.to_string(),
+            thread,
             level,
             template,
             stmt,
@@ -431,7 +562,7 @@ impl<'p> World<'p> {
     // ---- main loop -------------------------------------------------------
 
     fn drive(&mut self) -> Result<(), SimError> {
-        while let Some(Reverse(ev)) = self.events.pop() {
+        while let Some(ev) = self.events.pop() {
             if ev.time > self.cfg.max_time {
                 break;
             }
@@ -478,13 +609,23 @@ impl<'p> World<'p> {
     }
 
     fn run_slice(&mut self, tid: ThreadId) -> Result<(), SimError> {
+        // Dispatch on the engine once per slice, not once per step: each
+        // arm is a monomorphic loop whose executor call the compiler can
+        // see through.
+        match self.engine {
+            Engine::Vm => self.run_slice_in::<true>(tid),
+            Engine::TreeWalk => self.run_slice_in::<false>(tid),
+        }
+    }
+
+    fn run_slice_in<const VM: bool>(&mut self, tid: ThreadId) -> Result<(), SimError> {
         let quantum = self.cfg.quantum as u64 + self.rng.random_range(0..3);
         let mut elapsed: u64 = 0;
         for _ in 0..quantum {
             if !matches!(self.threads[tid].status, ThreadStatus::Runnable) {
                 return Ok(());
             }
-            self.step(tid, &mut elapsed)?;
+            self.step::<VM>(tid, &mut elapsed)?;
             self.steps += 1;
             if self.steps > self.cfg.max_steps {
                 return Err(SimError::StepLimit);
@@ -496,9 +637,9 @@ impl<'p> World<'p> {
         Ok(())
     }
 
-    // ---- interpreter -----------------------------------------------------
+    // ---- engine-agnostic stepping ---------------------------------------
 
-    fn step(&mut self, tid: ThreadId, elapsed: &mut u64) -> Result<(), SimError> {
+    fn step<const VM: bool>(&mut self, tid: ThreadId, elapsed: &mut u64) -> Result<(), SimError> {
         *elapsed += 1;
         if self.threads[tid].frames.is_empty() {
             return self.thread_idle(tid);
@@ -513,16 +654,23 @@ impl<'p> World<'p> {
                 }
             }
         };
-        if idx >= self.program.blocks[block.index()].len() {
+        if idx >= self.compiled.block_len[block.index()] as usize {
             return self.block_end(tid);
         }
         let sref = StmtRef::new(block, idx as u32);
-        if self.meta_points.contains(&sref) && self.fir.on_meta_access(sref) {
+        let flat = if VM { self.compiled.flat(sref) } else { 0 };
+        let is_meta = if VM {
+            self.compiled.is_meta(flat)
+        } else {
+            self.meta_set.contains(&sref)
+        };
+        if is_meta && self.fir.on_meta_access(sref) {
             let node = self.threads[tid].node;
-            let name = self.nodes[node].name.clone();
+            let name = self.nodes[node].name.to_string();
+            let thread = self.threads[tid].name.clone();
             self.emit(
                 node,
-                &self.threads[tid].name.clone(),
+                thread,
                 Level::Error,
                 TMPL_NODE_CRASH,
                 STMT_RUNTIME,
@@ -533,8 +681,35 @@ impl<'p> World<'p> {
             self.kill_node(node);
             return Ok(());
         }
-        let flow = self.exec_stmt(tid, sref, elapsed)?;
-        self.apply_flow(tid, flow)
+        let flow = if VM {
+            self.exec_instr(tid, sref, flat, elapsed)?
+        } else {
+            #[cfg(any(test, feature = "tree-walk-oracle"))]
+            {
+                self.exec_stmt(tid, sref, elapsed)?
+            }
+            #[cfg(not(any(test, feature = "tree-walk-oracle")))]
+            {
+                return Err(SimError::Internal(
+                    "tree-walk engine requires the `tree-walk-oracle` feature".into(),
+                ));
+            }
+        };
+        // The overwhelmingly common flows are handled right here in the
+        // stepping loop; everything that unwinds or searches handler
+        // tables goes through `apply_flow`.
+        match flow {
+            Flow::Next => {
+                if let Some(frame) = self.threads[tid].frames.last_mut() {
+                    if let Some(c) = frame.cursors.last_mut() {
+                        c.idx += 1;
+                    }
+                }
+                Ok(())
+            }
+            Flow::Stay | Flow::Jump | Flow::Stop => Ok(()),
+            flow => self.apply_flow(tid, flow),
+        }
     }
 
     /// Handles a thread with an empty frame stack.
@@ -578,438 +753,6 @@ impl<'p> World<'p> {
         }
     }
 
-    fn exec_stmt(
-        &mut self,
-        tid: ThreadId,
-        sref: StmtRef,
-        elapsed: &mut u64,
-    ) -> Result<Flow, SimError> {
-        let program = self.program;
-        let stmt = program.stmt(sref);
-        let node = self.threads[tid].node;
-        match stmt {
-            Stmt::Log {
-                level,
-                template,
-                args,
-                attach_stack,
-            } => {
-                let mut rendered = Vec::with_capacity(args.len());
-                for a in args {
-                    rendered.push(self.eval(tid, a, Some(sref))?.render());
-                }
-                let exc = if *attach_stack {
-                    self.current_handler_exc(tid)
-                } else {
-                    None
-                };
-                let thread_name = self.threads[tid].name.clone();
-                self.emit(
-                    node,
-                    &thread_name,
-                    *level,
-                    *template,
-                    sref,
-                    &rendered,
-                    exc.as_deref(),
-                    *elapsed,
-                );
-                Ok(Flow::Next)
-            }
-            Stmt::Assign { var, expr } => {
-                let v = self.eval(tid, expr, Some(sref))?;
-                self.write_local(tid, *var, v);
-                Ok(Flow::Next)
-            }
-            Stmt::SetGlobal { global, expr } => {
-                let v = self.eval(tid, expr, Some(sref))?;
-                self.nodes[node].globals[global.index()] = v;
-                Ok(Flow::Next)
-            }
-            Stmt::PushBack { global, expr } => {
-                let v = self.eval(tid, expr, Some(sref))?;
-                match &mut self.nodes[node].globals[global.index()] {
-                    Value::List(items) => {
-                        items.push(v);
-                        Ok(Flow::Next)
-                    }
-                    other => Err(SimError::Type {
-                        stmt: Some(sref),
-                        msg: format!("PushBack on non-list {other:?}"),
-                    }),
-                }
-            }
-            Stmt::PopFront { global, var } => {
-                let popped = match &mut self.nodes[node].globals[global.index()] {
-                    Value::List(items) => {
-                        if items.is_empty() {
-                            Value::Unit
-                        } else {
-                            items.remove(0)
-                        }
-                    }
-                    other => {
-                        return Err(SimError::Type {
-                            stmt: Some(sref),
-                            msg: format!("PopFront on non-list {other:?}"),
-                        })
-                    }
-                };
-                self.write_local(tid, *var, popped);
-                Ok(Flow::Next)
-            }
-            Stmt::Call { func, args, ret } => {
-                let mut vals = Vec::with_capacity(args.len());
-                for a in args {
-                    vals.push(self.eval(tid, a, Some(sref))?);
-                }
-                // Advance past the call before pushing the callee frame.
-                if let Some(c) = self.threads[tid]
-                    .frames
-                    .last_mut()
-                    .and_then(|f| f.cursors.last_mut())
-                {
-                    c.idx += 1;
-                }
-                self.push_entry_frame(tid, *func, vals, *ret)?;
-                Ok(Flow::Jump)
-            }
-            Stmt::External { site } => {
-                let info = &program.sites[site.index()];
-                *elapsed += info.latency as u64;
-                let stack = self.threads[tid].stack_funcs();
-                let time = self.clock + *elapsed;
-                let log_pos = self.log.len() as u32;
-                match self.fir.on_site(*site, time, log_pos, &stack) {
-                    Some(ty) => Ok(Flow::Throw(Arc::new(ExcValue {
-                        ty,
-                        inner: None,
-                        origin_site: Some(*site),
-                        injected: true,
-                        stack,
-                    }))),
-                    None => Ok(Flow::Next),
-                }
-            }
-            Stmt::ThrowNew { site } => {
-                let info = &program.sites[site.index()];
-                let stack = self.threads[tid].stack_funcs();
-                let time = self.clock + *elapsed;
-                let log_pos = self.log.len() as u32;
-                // `throw new` always throws when reached; the FIR call
-                // traces the occurrence and records a matching plan
-                // candidate as this round's injection.
-                let matched = self.fir.on_site(*site, time, log_pos, &stack);
-                Ok(Flow::Throw(Arc::new(ExcValue {
-                    ty: info.exceptions[0],
-                    inner: None,
-                    origin_site: Some(*site),
-                    injected: matched.is_some(),
-                    stack,
-                })))
-            }
-            Stmt::Rethrow => match self.current_handler_exc(tid) {
-                Some(exc) => Ok(Flow::Throw(exc)),
-                None => Err(SimError::Internal(format!(
-                    "Rethrow outside a handler at {sref}"
-                ))),
-            },
-            Stmt::If {
-                cond,
-                then_blk,
-                else_blk,
-            } => {
-                let taken = self.eval_bool(tid, cond, sref)?;
-                if let Some(c) = self.threads[tid]
-                    .frames
-                    .last_mut()
-                    .and_then(|f| f.cursors.last_mut())
-                {
-                    c.idx += 1;
-                }
-                let target = if taken { Some(*then_blk) } else { *else_blk };
-                if let Some(b) = target {
-                    self.threads[tid]
-                        .frames
-                        .last_mut()
-                        .unwrap()
-                        .cursors
-                        .push(Cursor::new(b, CursorKind::Plain));
-                }
-                Ok(Flow::Jump)
-            }
-            Stmt::While { cond, body } => {
-                let taken = self.eval_bool(tid, cond, sref)?;
-                if taken {
-                    self.threads[tid]
-                        .frames
-                        .last_mut()
-                        .unwrap()
-                        .cursors
-                        .push(Cursor::new(*body, CursorKind::Loop { stmt: sref }));
-                    Ok(Flow::Jump)
-                } else {
-                    Ok(Flow::Next)
-                }
-            }
-            Stmt::Try { body, .. } => {
-                if let Some(c) = self.threads[tid]
-                    .frames
-                    .last_mut()
-                    .and_then(|f| f.cursors.last_mut())
-                {
-                    c.idx += 1;
-                }
-                self.threads[tid]
-                    .frames
-                    .last_mut()
-                    .unwrap()
-                    .cursors
-                    .push(Cursor::new(*body, CursorKind::TryBody { stmt: sref }));
-                Ok(Flow::Jump)
-            }
-            Stmt::Return { expr } => {
-                let v = match expr {
-                    Some(e) => self.eval(tid, e, Some(sref))?,
-                    None => Value::Unit,
-                };
-                Ok(Flow::Return(v))
-            }
-            Stmt::Break => Ok(Flow::Break),
-            Stmt::Continue => Ok(Flow::Continue),
-            Stmt::Spawn { name, func, args } => {
-                let mut vals = Vec::with_capacity(args.len());
-                for a in args {
-                    vals.push(self.eval(tid, a, Some(sref))?);
-                }
-                let child = self.create_thread(node, name, Role::Normal);
-                self.push_entry_frame(child, *func, vals, None)?;
-                self.schedule_wake(child, 1, false);
-                Ok(Flow::Next)
-            }
-            Stmt::Submit {
-                exec,
-                func,
-                args,
-                future,
-            } => {
-                let mut vals = Vec::with_capacity(args.len());
-                for a in args {
-                    vals.push(self.eval(tid, a, Some(sref))?);
-                }
-                let fid = self.futures.len() as u64;
-                self.futures.push(FutureState {
-                    done: None,
-                    waiters: Vec::new(),
-                });
-                self.nodes[node].execs[exec.index()].queue.push_back(Task {
-                    func: *func,
-                    args: vals,
-                    future: fid,
-                });
-                match self.nodes[node].execs[exec.index()].worker {
-                    Some(worker) => {
-                        if matches!(
-                            self.threads[worker].status,
-                            ThreadStatus::Blocked(BlockReason::IdleWorker)
-                        ) {
-                            self.wake_thread(worker, WakeNote::Signaled);
-                        }
-                    }
-                    None => {
-                        let name = format!("{}-worker", program.execs[exec.index()]);
-                        let worker = self.create_thread(node, &name, Role::Worker(*exec));
-                        self.nodes[node].execs[exec.index()].worker = Some(worker);
-                        self.schedule_wake(worker, 1, false);
-                    }
-                }
-                if let Some(var) = future {
-                    self.write_local(tid, *var, Value::Future(fid));
-                }
-                Ok(Flow::Next)
-            }
-            Stmt::Await {
-                future,
-                timeout,
-                ret,
-            } => {
-                let note = std::mem::replace(&mut self.threads[tid].note, WakeNote::None);
-                let fid = match self.read_local(tid, *future) {
-                    Value::Future(f) => f,
-                    other => {
-                        return Err(SimError::Type {
-                            stmt: Some(sref),
-                            msg: format!("Await on non-future {other:?}"),
-                        })
-                    }
-                };
-                match self.futures[fid as usize].done.clone() {
-                    Some(Ok(v)) => {
-                        if let Some(var) = ret {
-                            self.write_local(tid, *var, v);
-                        }
-                        Ok(Flow::Next)
-                    }
-                    Some(Err(task_exc)) => {
-                        let stack = self.threads[tid].stack_funcs();
-                        Ok(Flow::Throw(Arc::new(ExcValue {
-                            ty: ExceptionType::Execution,
-                            inner: Some(Box::new((*task_exc).clone())),
-                            origin_site: task_exc.origin_site,
-                            injected: task_exc.injected,
-                            stack,
-                        })))
-                    }
-                    None => {
-                        if note == WakeNote::Expired {
-                            let stack = self.threads[tid].stack_funcs();
-                            return Ok(Flow::Throw(Arc::new(ExcValue {
-                                ty: ExceptionType::Timeout,
-                                inner: None,
-                                origin_site: None,
-                                injected: false,
-                                stack,
-                            })));
-                        }
-                        let t = match timeout {
-                            Some(e) => Some(self.eval_int(tid, e, sref)? as u64),
-                            None => None,
-                        };
-                        self.park(tid, BlockReason::Future(fid), t);
-                        Ok(Flow::Stay)
-                    }
-                }
-            }
-            Stmt::Send {
-                node: dest,
-                chan,
-                payload,
-            } => {
-                let dest_name = match self.eval(tid, dest, Some(sref))? {
-                    Value::Str(s) => s.to_string(),
-                    other => {
-                        return Err(SimError::Type {
-                            stmt: Some(sref),
-                            msg: format!("Send destination must be a node name, got {other:?}"),
-                        })
-                    }
-                };
-                let dest_idx = *self
-                    .node_by_name
-                    .get(&dest_name)
-                    .ok_or(SimError::NoSuchNode(dest_name))?;
-                let value = self.eval(tid, payload, Some(sref))?;
-                let (lo, hi) = self.cfg.net_latency;
-                let latency = if hi > lo {
-                    self.rng.random_range(lo..hi)
-                } else {
-                    lo
-                };
-                self.schedule(
-                    latency,
-                    EventKind::Deliver {
-                        node: dest_idx,
-                        chan: *chan,
-                        payload: value,
-                    },
-                );
-                Ok(Flow::Next)
-            }
-            Stmt::Recv { chan, var, timeout } => {
-                let note = std::mem::replace(&mut self.threads[tid].note, WakeNote::None);
-                if let Some(v) = self.nodes[node].chans[chan.index()].pop_front() {
-                    self.write_local(tid, *var, v);
-                    return Ok(Flow::Next);
-                }
-                if note == WakeNote::Expired {
-                    let stack = self.threads[tid].stack_funcs();
-                    return Ok(Flow::Throw(Arc::new(ExcValue {
-                        ty: ExceptionType::Timeout,
-                        inner: None,
-                        origin_site: None,
-                        injected: false,
-                        stack,
-                    })));
-                }
-                let t = match timeout {
-                    Some(e) => Some(self.eval_int(tid, e, sref)? as u64),
-                    None => None,
-                };
-                self.park(tid, BlockReason::Chan(*chan), t);
-                Ok(Flow::Stay)
-            }
-            Stmt::WaitCond { cond, timeout, ok } => {
-                let note = std::mem::replace(&mut self.threads[tid].note, WakeNote::None);
-                match note {
-                    WakeNote::Signaled => {
-                        if let Some(var) = ok {
-                            self.write_local(tid, *var, Value::Bool(true));
-                        }
-                        Ok(Flow::Next)
-                    }
-                    WakeNote::Expired => {
-                        if let Some(var) = ok {
-                            self.write_local(tid, *var, Value::Bool(false));
-                        }
-                        Ok(Flow::Next)
-                    }
-                    WakeNote::None => {
-                        let t = match timeout {
-                            Some(e) => Some(self.eval_int(tid, e, sref)? as u64),
-                            None => None,
-                        };
-                        self.park(tid, BlockReason::Cond(*cond), t);
-                        Ok(Flow::Stay)
-                    }
-                }
-            }
-            Stmt::SignalCond { cond } => {
-                let waiters = std::mem::take(&mut self.nodes[node].cond_waiters[cond.index()]);
-                for w in waiters {
-                    self.wake_thread(w, WakeNote::Signaled);
-                }
-                Ok(Flow::Next)
-            }
-            Stmt::Sleep { ticks } => {
-                let note = std::mem::replace(&mut self.threads[tid].note, WakeNote::None);
-                if note == WakeNote::Expired {
-                    Ok(Flow::Next)
-                } else {
-                    let t = self.eval_int(tid, ticks, sref)? as u64;
-                    self.park(tid, BlockReason::Sleep, Some(t));
-                    Ok(Flow::Stay)
-                }
-            }
-            Stmt::Abort { reason } => {
-                let node_name = self.nodes[node].name.clone();
-                let thread_name = self.threads[tid].name.clone();
-                self.emit(
-                    node,
-                    &thread_name,
-                    Level::Error,
-                    TMPL_ABORT,
-                    STMT_RUNTIME,
-                    &[node_name, reason.clone()],
-                    None,
-                    *elapsed,
-                );
-                self.nodes[node].aborted = true;
-                self.kill_node(node);
-                Ok(Flow::Stop)
-            }
-            Stmt::Halt => {
-                self.threads[tid].frames.clear();
-                match self.threads[tid].role {
-                    Role::Normal => {
-                        self.threads[tid].status = ThreadStatus::Done;
-                        Ok(Flow::Stop)
-                    }
-                    Role::Worker(_) => Ok(Flow::Jump),
-                }
-            }
-        }
-    }
-
     /// Finds the exception of the nearest enclosing handler, searching the
     /// cursor stacks from the innermost frame outward.
     fn current_handler_exc(&self, tid: ThreadId) -> Option<Arc<ExcValue>> {
@@ -1028,6 +771,8 @@ impl<'p> World<'p> {
             .frames
             .pop()
             .ok_or_else(|| SimError::Internal("return with no frame".into()))?;
+        let ret_to = popped.ret_to;
+        self.recycle_frame(popped);
         if self.threads[tid].frames.is_empty() {
             match self.threads[tid].role {
                 Role::Normal => self.threads[tid].status = ThreadStatus::Done,
@@ -1039,14 +784,18 @@ impl<'p> World<'p> {
             }
             return Ok(());
         }
-        if let Some(var) = popped.ret_to {
+        if let Some(var) = ret_to {
             self.write_local(tid, var, value);
         }
         Ok(())
     }
 
     /// Implements `return`, unwinding through `finally` blocks.
+    ///
+    /// Handler/finally metadata comes from the compiled try table, so the
+    /// walk is shared verbatim by both engines.
     fn do_return_walk(&mut self, tid: ThreadId, value: Value) -> Result<(), SimError> {
+        let compiled = self.compiled;
         loop {
             let frame = self.threads[tid]
                 .frames
@@ -1056,12 +805,9 @@ impl<'p> World<'p> {
                 None => return self.do_return(tid, value),
                 Some(cursor) => match cursor.kind {
                     CursorKind::TryBody { stmt } | CursorKind::Handler { stmt, .. } => {
-                        if let Stmt::Try {
-                            finally: Some(f), ..
-                        } = self.program.stmt(stmt)
-                        {
+                        if let Some(f) = compiled.try_finally(stmt) {
                             frame.cursors.push(Cursor::new(
-                                *f,
+                                f,
                                 CursorKind::Finally {
                                     pending: Pending::Return(value),
                                 },
@@ -1078,8 +824,8 @@ impl<'p> World<'p> {
     /// Implements `break` (`continue` when `is_continue`), honouring
     /// `finally` blocks between the statement and the loop.
     fn do_loop_ctl(&mut self, tid: ThreadId, is_continue: bool) -> Result<(), SimError> {
+        let compiled = self.compiled;
         loop {
-            let program = self.program;
             let frame = self.threads[tid]
                 .frames
                 .last_mut()
@@ -1102,10 +848,7 @@ impl<'p> World<'p> {
                         return Ok(());
                     }
                     CursorKind::TryBody { stmt } | CursorKind::Handler { stmt, .. } => {
-                        if let Stmt::Try {
-                            finally: Some(f), ..
-                        } = program.stmt(stmt)
-                        {
+                        if let Some(f) = compiled.try_finally(stmt) {
                             let pending = if is_continue {
                                 Pending::Continue
                             } else {
@@ -1113,7 +856,7 @@ impl<'p> World<'p> {
                             };
                             frame
                                 .cursors
-                                .push(Cursor::new(*f, CursorKind::Finally { pending }));
+                                .push(Cursor::new(f, CursorKind::Finally { pending }));
                             return Ok(());
                         }
                     }
@@ -1124,7 +867,7 @@ impl<'p> World<'p> {
     }
 
     fn do_throw(&mut self, tid: ThreadId, exc: Arc<ExcValue>) -> Result<(), SimError> {
-        let program = self.program;
+        let compiled = self.compiled;
         loop {
             if self.threads[tid].frames.is_empty() {
                 return self.uncaught(tid, exc);
@@ -1137,13 +880,10 @@ impl<'p> World<'p> {
                 };
                 match cursor.kind {
                     CursorKind::TryBody { stmt } => {
-                        let Stmt::Try {
-                            handlers, finally, ..
-                        } = program.stmt(stmt)
-                        else {
+                        let Some(info) = compiled.try_info(stmt) else {
                             return Err(SimError::Internal("TryBody without Try".into()));
                         };
-                        if let Some(h) = handlers.iter().find(|h| h.pattern.matches(exc.ty)) {
+                        if let Some(h) = info.handlers.iter().find(|h| h.pattern.matches(exc.ty)) {
                             if let Some(bind) = h.bind {
                                 frame.locals[bind.index()] = Value::Exc(exc.clone());
                             }
@@ -1156,9 +896,9 @@ impl<'p> World<'p> {
                             ));
                             return Ok(());
                         }
-                        if let Some(f) = finally {
+                        if let Some(f) = info.finally {
                             frame.cursors.push(Cursor::new(
-                                *f,
+                                f,
                                 CursorKind::Finally {
                                     pending: Pending::Exc(exc.clone()),
                                 },
@@ -1167,12 +907,9 @@ impl<'p> World<'p> {
                         }
                     }
                     CursorKind::Handler { stmt, .. } => {
-                        if let Stmt::Try {
-                            finally: Some(f), ..
-                        } = program.stmt(stmt)
-                        {
+                        if let Some(f) = compiled.try_finally(stmt) {
                             frame.cursors.push(Cursor::new(
-                                *f,
+                                f,
                                 CursorKind::Finally {
                                     pending: Pending::Exc(exc.clone()),
                                 },
@@ -1184,7 +921,9 @@ impl<'p> World<'p> {
                 }
             }
             // No handler in this frame.
-            self.threads[tid].frames.pop();
+            if let Some(f) = self.threads[tid].frames.pop() {
+                self.recycle_frame(f);
+            }
         }
     }
 
@@ -1195,11 +934,11 @@ impl<'p> World<'p> {
                 let thread_name = self.threads[tid].name.clone();
                 self.emit(
                     node,
-                    &thread_name.clone(),
+                    thread_name.clone(),
                     Level::Error,
                     TMPL_UNCAUGHT,
                     STMT_RUNTIME,
-                    &[exc.render(), thread_name],
+                    &[exc.render(), thread_name.to_string()],
                     Some(&exc),
                     0,
                 );
@@ -1218,7 +957,7 @@ impl<'p> World<'p> {
     }
 
     fn block_end(&mut self, tid: ThreadId) -> Result<(), SimError> {
-        let program = self.program;
+        let compiled = self.compiled;
         let frame = self.threads[tid]
             .frames
             .last_mut()
@@ -1238,12 +977,9 @@ impl<'p> World<'p> {
                 Ok(())
             }
             CursorKind::TryBody { stmt } | CursorKind::Handler { stmt, .. } => {
-                if let Stmt::Try {
-                    finally: Some(f), ..
-                } = program.stmt(stmt)
-                {
+                if let Some(f) = compiled.try_finally(stmt) {
                     frame.cursors.push(Cursor::new(
-                        *f,
+                        f,
                         CursorKind::Finally {
                             pending: Pending::None,
                         },
@@ -1261,8 +997,11 @@ impl<'p> World<'p> {
         }
     }
 
-    // ---- expression evaluation --------------------------------------------
+    // ---- locals ----------------------------------------------------------
 
+    /// Clones a local (the tree-walk's variable read; the VM reads locals
+    /// by borrow inside `eval_c`).
+    #[cfg(any(test, feature = "tree-walk-oracle"))]
     fn read_local(&self, tid: ThreadId, var: VarId) -> Value {
         self.threads[tid]
             .frames
@@ -1275,132 +1014,6 @@ impl<'p> World<'p> {
         if let Some(f) = self.threads[tid].frames.last_mut() {
             f.locals[var.index()] = value;
         }
-    }
-
-    fn eval(&mut self, tid: ThreadId, e: &Expr, at: Option<StmtRef>) -> Result<Value, SimError> {
-        let node = self.threads[tid].node;
-        match e {
-            Expr::Const(v) => Ok(v.clone()),
-            Expr::Var(v) => Ok(self.read_local(tid, *v)),
-            Expr::Global(g) => Ok(self.nodes[node].globals[g.index()].clone()),
-            Expr::Not(a) => {
-                let v = self.eval(tid, a, at)?;
-                match v.as_bool() {
-                    Some(b) => Ok(Value::Bool(!b)),
-                    None => Err(SimError::Type {
-                        stmt: at,
-                        msg: format!("! on non-bool {v:?}"),
-                    }),
-                }
-            }
-            Expr::Len(a) => {
-                let v = self.eval(tid, a, at)?;
-                v.len().map(Value::Int).ok_or(SimError::Type {
-                    stmt: at,
-                    msg: format!("len on {v:?}"),
-                })
-            }
-            Expr::List(items) => {
-                let mut vs = Vec::with_capacity(items.len());
-                for i in items {
-                    vs.push(self.eval(tid, i, at)?);
-                }
-                Ok(Value::List(vs))
-            }
-            Expr::Index(a, i) => {
-                let v = self.eval(tid, a, at)?;
-                match v {
-                    Value::List(items) => items.get(*i as usize).cloned().ok_or(SimError::Type {
-                        stmt: at,
-                        msg: format!("index {i} out of bounds ({} items)", items.len()),
-                    }),
-                    other => Err(SimError::Type {
-                        stmt: at,
-                        msg: format!("index on non-list {other:?}"),
-                    }),
-                }
-            }
-            Expr::RandRange(lo, hi) => {
-                if hi > lo {
-                    Ok(Value::Int(self.rng.random_range(*lo..*hi)))
-                } else {
-                    Ok(Value::Int(*lo))
-                }
-            }
-            Expr::SelfNode => Ok(Value::str(&self.nodes[node].name)),
-            Expr::Bin(op, a, b) => {
-                // Short-circuit booleans first.
-                if matches!(op, BinOp::And | BinOp::Or) {
-                    let av = self.eval_bool_v(tid, a, at)?;
-                    return match (op, av) {
-                        (BinOp::And, false) => Ok(Value::Bool(false)),
-                        (BinOp::Or, true) => Ok(Value::Bool(true)),
-                        _ => Ok(Value::Bool(self.eval_bool_v(tid, b, at)?)),
-                    };
-                }
-                let av = self.eval(tid, a, at)?;
-                let bv = self.eval(tid, b, at)?;
-                match op {
-                    BinOp::Eq => Ok(Value::Bool(av == bv)),
-                    BinOp::Ne => Ok(Value::Bool(av != bv)),
-                    _ => {
-                        let (x, y) = match (av.as_int(), bv.as_int()) {
-                            (Some(x), Some(y)) => (x, y),
-                            _ => {
-                                return Err(SimError::Type {
-                                    stmt: at,
-                                    msg: format!("{op:?} on non-ints"),
-                                })
-                            }
-                        };
-                        Ok(match op {
-                            BinOp::Add => Value::Int(x.wrapping_add(y)),
-                            BinOp::Sub => Value::Int(x.wrapping_sub(y)),
-                            BinOp::Mul => Value::Int(x.wrapping_mul(y)),
-                            BinOp::Rem => {
-                                if y == 0 {
-                                    return Err(SimError::Type {
-                                        stmt: at,
-                                        msg: "remainder by zero".into(),
-                                    });
-                                }
-                                Value::Int(x.wrapping_rem(y))
-                            }
-                            BinOp::Lt => Value::Bool(x < y),
-                            BinOp::Le => Value::Bool(x <= y),
-                            BinOp::Gt => Value::Bool(x > y),
-                            BinOp::Ge => Value::Bool(x >= y),
-                            BinOp::Eq | BinOp::Ne | BinOp::And | BinOp::Or => unreachable!(),
-                        })
-                    }
-                }
-            }
-        }
-    }
-
-    fn eval_bool_v(
-        &mut self,
-        tid: ThreadId,
-        e: &Expr,
-        at: Option<StmtRef>,
-    ) -> Result<bool, SimError> {
-        let v = self.eval(tid, e, at)?;
-        v.as_bool().ok_or(SimError::Type {
-            stmt: at,
-            msg: format!("expected bool, got {v:?}"),
-        })
-    }
-
-    fn eval_bool(&mut self, tid: ThreadId, e: &Expr, at: StmtRef) -> Result<bool, SimError> {
-        self.eval_bool_v(tid, e, Some(at))
-    }
-
-    fn eval_int(&mut self, tid: ThreadId, e: &Expr, at: StmtRef) -> Result<i64, SimError> {
-        let v = self.eval(tid, e, Some(at))?;
-        v.as_int().ok_or(SimError::Type {
-            stmt: Some(at),
-            msg: format!("expected int, got {v:?}"),
-        })
     }
 
     // ---- finalization ------------------------------------------------------
@@ -1421,8 +1034,8 @@ impl<'p> World<'p> {
                     ThreadStatus::Killed => ThreadEndState::Killed,
                 };
                 ThreadSnapshot {
-                    node: self.nodes[t.node].name.clone(),
-                    thread: t.name.clone(),
+                    node: self.nodes[t.node].name.to_string(),
+                    thread: t.name.to_string(),
                     state,
                     stack: t
                         .frames
@@ -1437,7 +1050,7 @@ impl<'p> World<'p> {
             .nodes
             .iter()
             .map(|n| NodeSnapshot {
-                name: n.name.clone(),
+                name: n.name.to_string(),
                 alive: n.alive,
                 aborted: n.aborted,
                 globals: program
@@ -1466,51 +1079,8 @@ impl<'p> World<'p> {
 }
 
 /// Statements whose execution touches a meta-info global — CrashTuner's
-/// candidate crash points, in deterministic order.
+/// candidate crash points, in deterministic order. (Delegates to the
+/// lowering pass, which is the single source of this analysis.)
 pub fn meta_access_points(program: &Program) -> Vec<StmtRef> {
-    let mut v: Vec<StmtRef> = collect_meta_points(program).into_iter().collect();
-    v.sort_unstable();
-    v
-}
-
-/// Statements whose execution touches a meta-info global (CrashTuner's
-/// candidate crash points).
-fn collect_meta_points(program: &Program) -> HashSet<StmtRef> {
-    let meta: HashSet<usize> = program
-        .globals
-        .iter()
-        .enumerate()
-        .filter(|(_, g)| g.meta_info)
-        .map(|(i, _)| i)
-        .collect();
-    if meta.is_empty() {
-        return HashSet::new();
-    }
-    let mut points = HashSet::new();
-    for (sref, stmt) in program.all_stmts() {
-        let mut exprs: Vec<&Expr> = Vec::new();
-        let mut writes_meta = false;
-        match stmt {
-            Stmt::SetGlobal { global, expr } | Stmt::PushBack { global, expr } => {
-                writes_meta = meta.contains(&global.index());
-                exprs.push(expr);
-            }
-            Stmt::PopFront { global, .. } => {
-                writes_meta = meta.contains(&global.index());
-            }
-            Stmt::Assign { expr, .. } => exprs.push(expr),
-            Stmt::If { cond, .. } | Stmt::While { cond, .. } => exprs.push(cond),
-            _ => {}
-        }
-        let reads_meta = exprs.iter().any(|e| {
-            let mut vars = Vec::new();
-            let mut globals = Vec::new();
-            e.reads(&mut vars, &mut globals);
-            globals.iter().any(|g| meta.contains(&g.index()))
-        });
-        if writes_meta || reads_meta {
-            points.insert(sref);
-        }
-    }
-    points
+    anduril_ir::lower::meta_access_points(program)
 }

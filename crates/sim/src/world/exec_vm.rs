@@ -1,0 +1,873 @@
+//! The register-VM statement executor — the default engine, running the
+//! flat instruction stream produced by [`anduril_ir::lower`].
+//!
+//! One `Instr` per statement, addressed by `stmt_base[block] + idx`;
+//! expression trees are runs of register ops over a scratch frame allocated
+//! once per run. The common path allocates nothing per step: constants clone
+//! from the pool, names are interned `Arc<str>`s, log bodies render into a
+//! single pre-sized `String`, and values move between registers with
+//! `mem::replace`. Every arm mirrors the tree-walk oracle (`exec_ast`)
+//! statement for statement — same evaluation order, same RNG draws, same
+//! error strings — so runs are byte-identical across engines.
+
+use super::*;
+use anduril_ir::builder::TMPL_ABORT;
+use anduril_ir::lower::{CExpr, EOp, FastExpr, Instr, Operand, Seg};
+use anduril_ir::{BinOp, ExceptionType};
+
+/// The `Unit` a frameless local read resolves to, by reference.
+static UNIT: Value = Value::Unit;
+
+/// Resolves a fused-binary operand to a borrowed value.
+#[inline]
+fn operand_ref<'a>(
+    o: &Operand,
+    locals: Option<&'a [Value]>,
+    globals: &'a [Value],
+    pool: &'a [Value],
+) -> &'a Value {
+    match o {
+        Operand::Var(v) => locals.map_or(&UNIT, |l| &l[*v as usize]),
+        Operand::Global(g) => &globals[*g as usize],
+        Operand::Const(i) => &pool[*i as usize],
+    }
+}
+
+impl World<'_> {
+    /// Moves a register's value out, leaving `Unit`.
+    #[inline]
+    fn take_reg(&mut self, r: u16) -> Value {
+        std::mem::replace(&mut self.regs[r as usize], Value::Unit)
+    }
+
+    /// Reads a register as a bool (tree-walk `eval_bool` semantics).
+    #[inline]
+    fn reg_bool(&self, r: u16, at: StmtRef) -> Result<bool, SimError> {
+        let v = &self.regs[r as usize];
+        v.as_bool().ok_or_else(|| SimError::Type {
+            stmt: Some(at),
+            msg: format!("expected bool, got {v:?}"),
+        })
+    }
+
+    /// Reads a register as an int (tree-walk `eval_int` semantics).
+    #[allow(dead_code)] // kept as the registers-path twin of `reg_bool`
+    #[inline]
+    fn reg_int(&self, r: u16, at: StmtRef) -> Result<i64, SimError> {
+        let v = &self.regs[r as usize];
+        v.as_int().ok_or_else(|| SimError::Type {
+            stmt: Some(at),
+            msg: format!("expected int, got {v:?}"),
+        })
+    }
+
+    /// Resolves a fast-expression operand against the current frame, the
+    /// node's globals, and the constant pool, by reference.
+    #[inline]
+    fn fast_ref(&self, tid: ThreadId, o: &Operand) -> &Value {
+        match o {
+            Operand::Var(v) => self.threads[tid]
+                .frames
+                .last()
+                .map_or(&UNIT, |f| &f.locals[*v as usize]),
+            Operand::Global(g) => &self.nodes[self.threads[tid].node].globals[*g as usize],
+            Operand::Const(i) => &self.compiled.pool[*i as usize],
+        }
+    }
+
+    /// Evaluates a compiled expression to an owned value, skipping the
+    /// register file when the compiler collapsed it to a load or a fused
+    /// comparison. Semantics, evaluation order, and error strings are
+    /// exactly `eval_c` + `take_reg`.
+    #[inline]
+    fn eval_owned(
+        &mut self,
+        tid: ThreadId,
+        e: &CExpr,
+        at: Option<StmtRef>,
+    ) -> Result<Value, SimError> {
+        match &e.fast {
+            FastExpr::Load(o) => Ok(self.fast_ref(tid, o).clone()),
+            FastExpr::Bin(op, a, b) => {
+                bin_values(*op, self.fast_ref(tid, a), self.fast_ref(tid, b), at)
+            }
+            FastExpr::None => {
+                self.eval_c(tid, e, at)?;
+                Ok(self.take_reg(e.out))
+            }
+        }
+    }
+
+    /// Evaluates a compiled expression as a bool (tree-walk `eval_bool`
+    /// semantics), using the fast shape when available.
+    #[inline]
+    fn eval_cond(&mut self, tid: ThreadId, e: &CExpr, at: StmtRef) -> Result<bool, SimError> {
+        let v = match &e.fast {
+            FastExpr::Load(o) => self.fast_ref(tid, o).as_bool(),
+            FastExpr::Bin(op, a, b) => {
+                let v = bin_values(*op, self.fast_ref(tid, a), self.fast_ref(tid, b), Some(at))?;
+                match v.as_bool() {
+                    Some(b) => return Ok(b),
+                    None => {
+                        return Err(SimError::Type {
+                            stmt: Some(at),
+                            msg: format!("expected bool, got {v:?}"),
+                        })
+                    }
+                }
+            }
+            FastExpr::None => {
+                self.eval_c(tid, e, Some(at))?;
+                return self.reg_bool(e.out, at);
+            }
+        };
+        match v {
+            Some(b) => Ok(b),
+            None => Err(SimError::Type {
+                stmt: Some(at),
+                msg: format!("expected bool, got {:?}", self.fast_value_for_error(tid, e)),
+            }),
+        }
+    }
+
+    /// Evaluates a compiled expression as an int (tree-walk `eval_int`
+    /// semantics), using the fast shape when available.
+    #[inline]
+    fn eval_ticks(&mut self, tid: ThreadId, e: &CExpr, at: StmtRef) -> Result<i64, SimError> {
+        if let FastExpr::Load(o) = &e.fast {
+            let v = self.fast_ref(tid, o);
+            if let Some(i) = v.as_int() {
+                return Ok(i);
+            }
+            return Err(SimError::Type {
+                stmt: Some(at),
+                msg: format!("expected int, got {v:?}"),
+            });
+        }
+        let v = self.eval_owned(tid, e, Some(at))?;
+        match v.as_int() {
+            Some(i) => Ok(i),
+            None => Err(SimError::Type {
+                stmt: Some(at),
+                msg: format!("expected int, got {v:?}"),
+            }),
+        }
+    }
+
+    /// Evaluates a compiled expression into its `out` register, using the
+    /// fast shape to skip the op loop when possible.
+    #[inline]
+    fn eval_reg(&mut self, tid: ThreadId, e: &CExpr, at: Option<StmtRef>) -> Result<(), SimError> {
+        match &e.fast {
+            FastExpr::None => self.eval_c(tid, e, at),
+            FastExpr::Load(o) => {
+                let v = self.fast_ref(tid, o).clone();
+                self.regs[e.out as usize] = v;
+                Ok(())
+            }
+            FastExpr::Bin(op, a, b) => {
+                let v = bin_values(*op, self.fast_ref(tid, a), self.fast_ref(tid, b), at)?;
+                self.regs[e.out as usize] = v;
+                Ok(())
+            }
+        }
+    }
+
+    /// Re-reads a fast load purely to render the type-error message.
+    #[cold]
+    fn fast_value_for_error(&self, tid: ThreadId, e: &CExpr) -> Value {
+        match &e.fast {
+            FastExpr::Load(o) => self.fast_ref(tid, o).clone(),
+            _ => Value::Unit,
+        }
+    }
+
+    /// Executes a compiled expression, leaving the result in `e.out`.
+    ///
+    /// The op run evaluates sub-expressions in exactly the tree-walk's
+    /// order; `SkipIf` jumps over the skipped operand's ops, so a
+    /// short-circuited right-hand side draws no random numbers.
+    fn eval_c(&mut self, tid: ThreadId, e: &CExpr, at: Option<StmtRef>) -> Result<(), SimError> {
+        let compiled = self.compiled;
+        let node = self.threads[tid].node;
+        // Split borrows once for the whole run: no statement op can push or
+        // pop frames, swap nodes, or resize the register file mid-expression,
+        // so every op works on these locals instead of re-deriving them
+        // through `self`.
+        let World {
+            regs,
+            threads,
+            nodes,
+            rng,
+            ..
+        } = self;
+        let locals: Option<&[Value]> = threads[tid].frames.last().map(|f| f.locals.as_slice());
+        let globals: &[Value] = &nodes[node].globals;
+        let pool: &[Value] = &compiled.pool;
+        // Slice the expression's op run once: the loop bound is the slice
+        // length, so the per-op fetch needs no bounds check.
+        let ops = &compiled.eops[e.start as usize..e.end as usize];
+        let mut i = 0usize;
+        while i < ops.len() {
+            match &ops[i] {
+                EOp::Const { dst, idx } => {
+                    regs[*dst as usize] = pool[*idx as usize].clone();
+                }
+                EOp::Var { dst, var } => {
+                    let v = locals.map_or(Value::Unit, |l| l[*var as usize].clone());
+                    regs[*dst as usize] = v;
+                }
+                EOp::Global { dst, global } => {
+                    regs[*dst as usize] = globals[*global as usize].clone();
+                }
+                EOp::Not { dst, src } => {
+                    let s = *src as usize;
+                    match regs[s].as_bool() {
+                        Some(b) => regs[*dst as usize] = Value::Bool(!b),
+                        None => {
+                            return Err(SimError::Type {
+                                stmt: at,
+                                msg: format!("! on non-bool {:?}", regs[s]),
+                            })
+                        }
+                    }
+                }
+                EOp::Len { dst, src } => {
+                    let s = *src as usize;
+                    match regs[s].len() {
+                        Some(n) => regs[*dst as usize] = Value::Int(n),
+                        None => {
+                            return Err(SimError::Type {
+                                stmt: at,
+                                msg: format!("len on {:?}", regs[s]),
+                            })
+                        }
+                    }
+                }
+                EOp::Gather { dst, srcs } => {
+                    let items: Vec<Value> = srcs
+                        .iter()
+                        .map(|s| std::mem::replace(&mut regs[*s as usize], Value::Unit))
+                        .collect();
+                    regs[*dst as usize] = Value::List(items);
+                }
+                EOp::Index { dst, src, idx } => {
+                    let v = std::mem::replace(&mut regs[*src as usize], Value::Unit);
+                    match v {
+                        Value::List(mut items) => {
+                            let n = items.len();
+                            if (*idx as usize) < n {
+                                // The list is scratch: move the element out.
+                                regs[*dst as usize] = items.swap_remove(*idx as usize);
+                            } else {
+                                return Err(SimError::Type {
+                                    stmt: at,
+                                    msg: format!("index {idx} out of bounds ({n} items)"),
+                                });
+                            }
+                        }
+                        other => {
+                            return Err(SimError::Type {
+                                stmt: at,
+                                msg: format!("index on non-list {other:?}"),
+                            })
+                        }
+                    }
+                }
+                EOp::IndexVar { dst, var, idx } => {
+                    let elem = match locals {
+                        Some(l) => match &l[*var as usize] {
+                            Value::List(items) => match items.get(*idx as usize) {
+                                Some(e) => Ok(e.clone()),
+                                None => Err(format!(
+                                    "index {idx} out of bounds ({} items)",
+                                    items.len()
+                                )),
+                            },
+                            other => Err(format!("index on non-list {other:?}")),
+                        },
+                        // No frame: the variable reads as `Unit`.
+                        None => Err("index on non-list Unit".to_string()),
+                    };
+                    match elem {
+                        Ok(v) => regs[*dst as usize] = v,
+                        Err(msg) => return Err(SimError::Type { stmt: at, msg }),
+                    }
+                }
+                EOp::IndexGlobal { dst, global, idx } => {
+                    let elem = match &globals[*global as usize] {
+                        Value::List(items) => match items.get(*idx as usize) {
+                            Some(e) => Ok(e.clone()),
+                            None => {
+                                Err(format!("index {idx} out of bounds ({} items)", items.len()))
+                            }
+                        },
+                        other => Err(format!("index on non-list {other:?}")),
+                    };
+                    match elem {
+                        Ok(v) => regs[*dst as usize] = v,
+                        Err(msg) => return Err(SimError::Type { stmt: at, msg }),
+                    }
+                }
+                EOp::Rand { dst, lo, hi } => {
+                    let v = if hi > lo {
+                        rng.random_range(*lo..*hi)
+                    } else {
+                        *lo
+                    };
+                    regs[*dst as usize] = Value::Int(v);
+                }
+                EOp::SelfNode { dst } => {
+                    regs[*dst as usize] = Value::Str(nodes[node].name.clone());
+                }
+                EOp::Bin { dst, op, a, b } => {
+                    let r = bin_values(*op, &regs[*a as usize], &regs[*b as usize], at)?;
+                    regs[*dst as usize] = r;
+                }
+                EOp::BinRef { dst, op, a, b } => {
+                    let va = operand_ref(a, locals, globals, pool);
+                    let vb = operand_ref(b, locals, globals, pool);
+                    let r = bin_values(*op, va, vb, at)?;
+                    regs[*dst as usize] = r;
+                }
+                EOp::AsBool { dst, src } => {
+                    let s = *src as usize;
+                    match regs[s].as_bool() {
+                        Some(b) => regs[*dst as usize] = Value::Bool(b),
+                        None => {
+                            return Err(SimError::Type {
+                                stmt: at,
+                                msg: format!("expected bool, got {:?}", regs[s]),
+                            })
+                        }
+                    }
+                }
+                EOp::SkipIf { src, if_val, skip } => {
+                    if regs[*src as usize] == Value::Bool(*if_val) {
+                        i += *skip as usize;
+                    }
+                }
+            }
+            i += 1;
+        }
+        Ok(())
+    }
+
+    // Kept out of line: inlining this ~large dispatch into the stepping
+    // loop bloats it past the icache and costs more than the call.
+    #[inline(never)]
+    pub(super) fn exec_instr(
+        &mut self,
+        tid: ThreadId,
+        sref: StmtRef,
+        flat: usize,
+        elapsed: &mut u64,
+    ) -> Result<Flow, SimError> {
+        let program = self.program;
+        let compiled = self.compiled;
+        let instr = &compiled.code[flat];
+        let node = self.threads[tid].node;
+        match instr {
+            Instr::Log {
+                level,
+                template,
+                args,
+                attach_stack,
+                pre,
+            } => {
+                // Simple loads are pure: leave them unevaluated and render
+                // them by reference below. Everything else runs in arg
+                // order, preserving RNG draws.
+                for a in args.iter() {
+                    if !matches!(a.fast, FastExpr::Load(_)) {
+                        self.eval_reg(tid, a, Some(sref))?;
+                    }
+                }
+                let body = match pre {
+                    Some(p) => p.to_string(),
+                    None => {
+                        let ct = &compiled.templates[template.index()];
+                        let mut out = String::with_capacity(ct.text_len + 16);
+                        for seg in ct.segs.iter() {
+                            match seg {
+                                Seg::Text(t) => out.push_str(t),
+                                Seg::Arg(n) => match args.get(*n as usize) {
+                                    Some(a) => match &a.fast {
+                                        FastExpr::Load(o) => {
+                                            self.fast_ref(tid, o).render_into(&mut out)
+                                        }
+                                        _ => self.regs[a.out as usize].render_into(&mut out),
+                                    },
+                                    None => out.push('?'),
+                                },
+                            }
+                        }
+                        out
+                    }
+                };
+                let exc = if *attach_stack {
+                    self.current_handler_exc(tid)
+                } else {
+                    None
+                };
+                let thread_name = self.threads[tid].name.clone();
+                self.emit_raw(
+                    node,
+                    thread_name,
+                    *level,
+                    *template,
+                    sref,
+                    body,
+                    exc.as_deref(),
+                    *elapsed,
+                );
+                Ok(Flow::Next)
+            }
+            Instr::Assign { var, e } => {
+                let v = self.eval_owned(tid, e, Some(sref))?;
+                self.write_local(tid, *var, v);
+                Ok(Flow::Next)
+            }
+            Instr::SetGlobal { global, e } => {
+                let v = self.eval_owned(tid, e, Some(sref))?;
+                self.nodes[node].globals[global.index()] = v;
+                Ok(Flow::Next)
+            }
+            Instr::PushBack { global, e } => {
+                let v = self.eval_owned(tid, e, Some(sref))?;
+                match &mut self.nodes[node].globals[global.index()] {
+                    Value::List(items) => {
+                        items.push(v);
+                        Ok(Flow::Next)
+                    }
+                    other => Err(SimError::Type {
+                        stmt: Some(sref),
+                        msg: format!("PushBack on non-list {other:?}"),
+                    }),
+                }
+            }
+            Instr::PopFront { global, var } => {
+                let popped = match &mut self.nodes[node].globals[global.index()] {
+                    Value::List(items) => {
+                        if items.is_empty() {
+                            Value::Unit
+                        } else {
+                            items.remove(0)
+                        }
+                    }
+                    other => {
+                        return Err(SimError::Type {
+                            stmt: Some(sref),
+                            msg: format!("PopFront on non-list {other:?}"),
+                        })
+                    }
+                };
+                self.write_local(tid, *var, popped);
+                Ok(Flow::Next)
+            }
+            Instr::Call { func, args, ret } => {
+                let mut vals = self.take_vals(args.len());
+                for a in args.iter() {
+                    let v = self.eval_owned(tid, a, Some(sref))?;
+                    vals.push(v);
+                }
+                // Advance past the call before pushing the callee frame.
+                if let Some(c) = self.threads[tid]
+                    .frames
+                    .last_mut()
+                    .and_then(|f| f.cursors.last_mut())
+                {
+                    c.idx += 1;
+                }
+                self.push_entry_frame(tid, *func, vals, *ret)?;
+                Ok(Flow::Jump)
+            }
+            Instr::External { site } => {
+                let info = &program.sites[site.index()];
+                *elapsed += info.latency as u64;
+                let stack = self.threads[tid].stack_funcs();
+                let time = self.clock + *elapsed;
+                let log_pos = self.log.len() as u32;
+                match self.fir.on_site(*site, time, log_pos, &stack) {
+                    Some(ty) => Ok(Flow::Throw(Arc::new(ExcValue {
+                        ty,
+                        inner: None,
+                        origin_site: Some(*site),
+                        injected: true,
+                        stack,
+                    }))),
+                    None => Ok(Flow::Next),
+                }
+            }
+            Instr::ThrowNew { site } => {
+                let info = &program.sites[site.index()];
+                let stack = self.threads[tid].stack_funcs();
+                let time = self.clock + *elapsed;
+                let log_pos = self.log.len() as u32;
+                // `throw new` always throws when reached; the FIR call
+                // traces the occurrence and records a matching plan
+                // candidate as this round's injection.
+                let matched = self.fir.on_site(*site, time, log_pos, &stack);
+                Ok(Flow::Throw(Arc::new(ExcValue {
+                    ty: info.exceptions[0],
+                    inner: None,
+                    origin_site: Some(*site),
+                    injected: matched.is_some(),
+                    stack,
+                })))
+            }
+            Instr::Rethrow => match self.current_handler_exc(tid) {
+                Some(exc) => Ok(Flow::Throw(exc)),
+                None => Err(SimError::Internal(format!(
+                    "Rethrow outside a handler at {sref}"
+                ))),
+            },
+            Instr::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
+                let taken = self.eval_cond(tid, cond, sref)?;
+                let target = if taken { Some(*then_blk) } else { *else_blk };
+                // One traversal to the frame: advance past the `if`, then
+                // enter the taken block, if any.
+                if let Some(f) = self.threads[tid].frames.last_mut() {
+                    if let Some(c) = f.cursors.last_mut() {
+                        c.idx += 1;
+                    }
+                    if let Some(b) = target {
+                        f.cursors.push(Cursor::new(b, CursorKind::Plain));
+                    }
+                }
+                // The cursor was advanced above either way: `Jump`, so the
+                // epilogue does not advance it again.
+                Ok(Flow::Jump)
+            }
+            Instr::While { cond, body } => {
+                let taken = self.eval_cond(tid, cond, sref)?;
+                if taken {
+                    self.threads[tid]
+                        .frames
+                        .last_mut()
+                        .unwrap()
+                        .cursors
+                        .push(Cursor::new(*body, CursorKind::Loop { stmt: sref }));
+                    Ok(Flow::Jump)
+                } else {
+                    Ok(Flow::Next)
+                }
+            }
+            Instr::Try { body } => {
+                if let Some(c) = self.threads[tid]
+                    .frames
+                    .last_mut()
+                    .and_then(|f| f.cursors.last_mut())
+                {
+                    c.idx += 1;
+                }
+                self.threads[tid]
+                    .frames
+                    .last_mut()
+                    .unwrap()
+                    .cursors
+                    .push(Cursor::new(*body, CursorKind::TryBody { stmt: sref }));
+                Ok(Flow::Jump)
+            }
+            Instr::Return { e } => {
+                let v = match e {
+                    Some(ce) => self.eval_owned(tid, ce, Some(sref))?,
+                    None => Value::Unit,
+                };
+                Ok(Flow::Return(v))
+            }
+            Instr::Break => Ok(Flow::Break),
+            Instr::Continue => Ok(Flow::Continue),
+            Instr::Spawn { name, func, args } => {
+                let mut vals = self.take_vals(args.len());
+                for a in args.iter() {
+                    let v = self.eval_owned(tid, a, Some(sref))?;
+                    vals.push(v);
+                }
+                let child = self.create_thread(node, name, Role::Normal);
+                self.push_entry_frame(child, *func, vals, None)?;
+                self.schedule_wake(child, 1, false);
+                Ok(Flow::Next)
+            }
+            Instr::Submit {
+                exec,
+                func,
+                args,
+                future,
+            } => {
+                let mut vals = self.take_vals(args.len());
+                for a in args.iter() {
+                    let v = self.eval_owned(tid, a, Some(sref))?;
+                    vals.push(v);
+                }
+                let fid = self.futures.len() as u64;
+                self.futures.push(FutureState {
+                    done: None,
+                    waiters: Vec::new(),
+                });
+                self.nodes[node].execs[exec.index()].queue.push_back(Task {
+                    func: *func,
+                    args: vals,
+                    future: fid,
+                });
+                match self.nodes[node].execs[exec.index()].worker {
+                    Some(worker) => {
+                        if matches!(
+                            self.threads[worker].status,
+                            ThreadStatus::Blocked(BlockReason::IdleWorker)
+                        ) {
+                            self.wake_thread(worker, WakeNote::Signaled);
+                        }
+                    }
+                    None => {
+                        let name = compiled.worker_names[exec.index()].clone();
+                        let worker = self.create_thread(node, &name, Role::Worker(*exec));
+                        self.nodes[node].execs[exec.index()].worker = Some(worker);
+                        self.schedule_wake(worker, 1, false);
+                    }
+                }
+                if let Some(var) = future {
+                    self.write_local(tid, *var, Value::Future(fid));
+                }
+                Ok(Flow::Next)
+            }
+            Instr::Await {
+                future,
+                timeout,
+                ret,
+            } => {
+                let note = std::mem::replace(&mut self.threads[tid].note, WakeNote::None);
+                // Read the future handle by borrow (a missing frame reads
+                // as `Unit`, matching the tree-walk's `read_local`).
+                let fid = match self.threads[tid]
+                    .frames
+                    .last()
+                    .map(|f| &f.locals[future.index()])
+                {
+                    Some(Value::Future(f)) => *f,
+                    Some(other) => {
+                        return Err(SimError::Type {
+                            stmt: Some(sref),
+                            msg: format!("Await on non-future {other:?}"),
+                        })
+                    }
+                    None => {
+                        return Err(SimError::Type {
+                            stmt: Some(sref),
+                            msg: format!("Await on non-future {:?}", Value::Unit),
+                        })
+                    }
+                };
+                match self.futures[fid as usize].done.clone() {
+                    Some(Ok(v)) => {
+                        if let Some(var) = ret {
+                            self.write_local(tid, *var, v);
+                        }
+                        Ok(Flow::Next)
+                    }
+                    Some(Err(task_exc)) => {
+                        let stack = self.threads[tid].stack_funcs();
+                        Ok(Flow::Throw(Arc::new(ExcValue {
+                            ty: ExceptionType::Execution,
+                            inner: Some(Box::new((*task_exc).clone())),
+                            origin_site: task_exc.origin_site,
+                            injected: task_exc.injected,
+                            stack,
+                        })))
+                    }
+                    None => {
+                        if note == WakeNote::Expired {
+                            let stack = self.threads[tid].stack_funcs();
+                            return Ok(Flow::Throw(Arc::new(ExcValue {
+                                ty: ExceptionType::Timeout,
+                                inner: None,
+                                origin_site: None,
+                                injected: false,
+                                stack,
+                            })));
+                        }
+                        let t = match timeout {
+                            Some(e) => Some(self.eval_ticks(tid, e, sref)? as u64),
+                            None => None,
+                        };
+                        self.park(tid, BlockReason::Future(fid), t);
+                        Ok(Flow::Stay)
+                    }
+                }
+            }
+            Instr::Send {
+                dest,
+                chan,
+                payload,
+            } => {
+                let dest_name = match self.eval_owned(tid, dest, Some(sref))? {
+                    Value::Str(s) => s,
+                    other => {
+                        return Err(SimError::Type {
+                            stmt: Some(sref),
+                            msg: format!("Send destination must be a node name, got {other:?}"),
+                        })
+                    }
+                };
+                let dest_idx = *self
+                    .node_by_name
+                    .get(dest_name.as_ref())
+                    .ok_or_else(|| SimError::NoSuchNode(dest_name.to_string()))?;
+                let value = self.eval_owned(tid, payload, Some(sref))?;
+                let (lo, hi) = self.cfg.net_latency;
+                let latency = if hi > lo {
+                    self.rng.random_range(lo..hi)
+                } else {
+                    lo
+                };
+                self.schedule(
+                    latency,
+                    EventKind::Deliver {
+                        node: dest_idx,
+                        chan: *chan,
+                        payload: value,
+                    },
+                );
+                Ok(Flow::Next)
+            }
+            Instr::Recv { chan, var, timeout } => {
+                let note = std::mem::replace(&mut self.threads[tid].note, WakeNote::None);
+                if let Some(v) = self.nodes[node].chans[chan.index()].pop_front() {
+                    self.write_local(tid, *var, v);
+                    return Ok(Flow::Next);
+                }
+                if note == WakeNote::Expired {
+                    let stack = self.threads[tid].stack_funcs();
+                    return Ok(Flow::Throw(Arc::new(ExcValue {
+                        ty: ExceptionType::Timeout,
+                        inner: None,
+                        origin_site: None,
+                        injected: false,
+                        stack,
+                    })));
+                }
+                let t = match timeout {
+                    Some(e) => Some(self.eval_ticks(tid, e, sref)? as u64),
+                    None => None,
+                };
+                self.park(tid, BlockReason::Chan(*chan), t);
+                Ok(Flow::Stay)
+            }
+            Instr::WaitCond { cond, timeout, ok } => {
+                let note = std::mem::replace(&mut self.threads[tid].note, WakeNote::None);
+                match note {
+                    WakeNote::Signaled => {
+                        if let Some(var) = ok {
+                            self.write_local(tid, *var, Value::Bool(true));
+                        }
+                        Ok(Flow::Next)
+                    }
+                    WakeNote::Expired => {
+                        if let Some(var) = ok {
+                            self.write_local(tid, *var, Value::Bool(false));
+                        }
+                        Ok(Flow::Next)
+                    }
+                    WakeNote::None => {
+                        let t = match timeout {
+                            Some(e) => Some(self.eval_ticks(tid, e, sref)? as u64),
+                            None => None,
+                        };
+                        self.park(tid, BlockReason::Cond(*cond), t);
+                        Ok(Flow::Stay)
+                    }
+                }
+            }
+            Instr::SignalCond { cond } => {
+                let waiters = std::mem::take(&mut self.nodes[node].cond_waiters[cond.index()]);
+                for w in waiters {
+                    self.wake_thread(w, WakeNote::Signaled);
+                }
+                Ok(Flow::Next)
+            }
+            Instr::Sleep { ticks } => {
+                let note = std::mem::replace(&mut self.threads[tid].note, WakeNote::None);
+                if note == WakeNote::Expired {
+                    Ok(Flow::Next)
+                } else {
+                    let t = self.eval_ticks(tid, ticks, sref)? as u64;
+                    self.park(tid, BlockReason::Sleep, Some(t));
+                    Ok(Flow::Stay)
+                }
+            }
+            Instr::Abort { reason } => {
+                let node_name = self.nodes[node].name.to_string();
+                let thread_name = self.threads[tid].name.clone();
+                self.emit(
+                    node,
+                    thread_name,
+                    Level::Error,
+                    TMPL_ABORT,
+                    STMT_RUNTIME,
+                    &[node_name, reason.to_string()],
+                    None,
+                    *elapsed,
+                );
+                self.nodes[node].aborted = true;
+                self.kill_node(node);
+                Ok(Flow::Stop)
+            }
+            Instr::Halt => {
+                self.threads[tid].frames.clear();
+                match self.threads[tid].role {
+                    Role::Normal => {
+                        self.threads[tid].status = ThreadStatus::Done;
+                        Ok(Flow::Stop)
+                    }
+                    Role::Worker(_) => Ok(Flow::Jump),
+                }
+            }
+        }
+    }
+}
+
+/// Non-short-circuit binary op over two register values, with the
+/// tree-walk's exact typing rules and error strings.
+fn bin_values(op: BinOp, a: &Value, b: &Value, at: Option<StmtRef>) -> Result<Value, SimError> {
+    match op {
+        BinOp::Eq => Ok(Value::Bool(a == b)),
+        BinOp::Ne => Ok(Value::Bool(a != b)),
+        BinOp::And | BinOp::Or => Err(SimError::Internal(
+            "And/Or must lower to SkipIf, not Bin".into(),
+        )),
+        _ => {
+            let (x, y) = match (a.as_int(), b.as_int()) {
+                (Some(x), Some(y)) => (x, y),
+                _ => {
+                    return Err(SimError::Type {
+                        stmt: at,
+                        msg: format!("{op:?} on non-ints"),
+                    })
+                }
+            };
+            Ok(match op {
+                BinOp::Add => Value::Int(x.wrapping_add(y)),
+                BinOp::Sub => Value::Int(x.wrapping_sub(y)),
+                BinOp::Mul => Value::Int(x.wrapping_mul(y)),
+                BinOp::Rem => {
+                    if y == 0 {
+                        return Err(SimError::Type {
+                            stmt: at,
+                            msg: "remainder by zero".into(),
+                        });
+                    }
+                    Value::Int(x.wrapping_rem(y))
+                }
+                BinOp::Lt => Value::Bool(x < y),
+                BinOp::Le => Value::Bool(x <= y),
+                BinOp::Gt => Value::Bool(x > y),
+                BinOp::Ge => Value::Bool(x >= y),
+                BinOp::Eq | BinOp::Ne | BinOp::And | BinOp::Or => unreachable!(),
+            })
+        }
+    }
+}

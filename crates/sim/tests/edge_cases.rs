@@ -244,7 +244,7 @@ fn injection_window_honours_first_match_across_nodes() {
     assert_eq!(r.count_log("op ok"), 1);
     let failed_entry = r.log.iter().find(|l| l.body == "op failed here").unwrap();
     assert_eq!(
-        failed_entry.node, "a",
+        &*failed_entry.node, "a",
         "node start order fixes occurrence 0"
     );
 }

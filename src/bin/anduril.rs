@@ -21,7 +21,7 @@ fn usage() -> ! {
         "usage:\n  anduril list\n  anduril show <case>\n  anduril log <case>\n  \
          anduril analyze [<case>|<system>|all] [--json FILE]\n  \
          anduril reproduce <case> [--strategy NAME] [--max-rounds N] [--emit-script FILE]\n  \
-         {:21}[--threads N] [--batch N] [--trace FILE]\n  \
+         {:21}[--threads N] [--batch N] [--trace FILE] [--engine vm|ast]\n  \
          anduril trace <file> [--summary | --round N | --json]\n  \
          anduril replay <case> <script-file>\n  \
          anduril explain <case>\n\n\
@@ -33,6 +33,8 @@ fn usage() -> ! {
          --trace FILE records the structured search-trace stream (context\n\
          phases, per-round decisions with priority provenance, feedback,\n\
          speculation) as JSONL; `anduril trace FILE` renders it\n\n\
+         --engine selects the simulator executor: vm (default, bytecode\n\
+         register VM) or ast (tree-walking oracle); both are byte-identical\n\n\
          analyze prints the static-analysis report (site reduction, graph\n\
          size, phase timings, per-observable distances) and writes the same\n\
          data as JSON (default results/analyze.json; `--json -` for stdout)",
@@ -935,6 +937,7 @@ fn main() {
             let mut threads = 1usize;
             let mut batch_size: Option<usize> = None;
             let mut trace_path: Option<String> = None;
+            let mut engine: Option<anduril::sim::Engine> = None;
             let mut i = 2;
             while i < args.len() {
                 match args[i].as_str() {
@@ -972,6 +975,14 @@ fn main() {
                         trace_path = Some(args.get(i + 1).cloned().unwrap_or_else(|| usage()));
                         i += 2;
                     }
+                    "--engine" => {
+                        engine = Some(
+                            args.get(i + 1)
+                                .and_then(|s| anduril::sim::Engine::parse(s))
+                                .unwrap_or_else(|| usage()),
+                        );
+                        i += 2;
+                    }
                     _ => usage(),
                 }
             }
@@ -989,9 +1000,12 @@ fn main() {
             let failure_log = case
                 .failure_log()
                 .unwrap_or_else(|e| fail(format!("{}: failure log: {e}", case.id)));
-            let ctx =
-                SearchContext::prepare_traced(case.scenario.clone(), &failure_log, 1_000, tracer)
-                    .unwrap_or_else(|e| fail(format!("{}: context preparation: {e}", case.id)));
+            let mut scenario = case.scenario.clone();
+            if let Some(e) = engine {
+                scenario.config.engine = e;
+            }
+            let ctx = SearchContext::prepare_traced(scenario, &failure_log, 1_000, tracer)
+                .unwrap_or_else(|e| fail(format!("{}: context preparation: {e}", case.id)));
             eprintln!(
                 "{}: {} observables, {} candidate units, causal graph {}v/{}e",
                 case.id,

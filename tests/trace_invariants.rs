@@ -52,8 +52,12 @@ fn context_events_precede_exploration_and_stream_terminates() {
             }
         }
         assert!(
-            matches!(events.first(), Some(TraceEvent::ContextPhase { phase, .. }) if *phase == "normal_run"),
-            "{id}: stream must open with the normal-run phase"
+            matches!(events.first(), Some(TraceEvent::ContextPhase { phase, .. }) if *phase == "sim.compile"),
+            "{id}: stream must open with the bytecode-compile phase"
+        );
+        assert!(
+            matches!(events.get(1), Some(TraceEvent::ContextPhase { phase, .. }) if *phase == "normal_run"),
+            "{id}: the normal-run phase must follow compilation"
         );
         assert!(
             matches!(events.last(), Some(TraceEvent::ExploreEnd { .. })),
