@@ -45,7 +45,7 @@ fn entry(time: u64, node: usize, thread: usize, level: Level, body: String) -> L
         level,
         template: TemplateId(0),
         stmt: StmtRef::new(BlockId(0), 0),
-        body,
+        body: body.into(),
         exc: None,
         stack: Vec::new(),
     }
@@ -84,7 +84,7 @@ fn gen_round(rng: &mut Rng, failure: &[LogEntry], pct: usize) -> Vec<LogEntry> {
                 3..=7 => {
                     let mut e = e.clone();
                     fresh += 1;
-                    e.body = format!("divergent event {fresh}");
+                    e.body = format!("divergent event {fresh}").into();
                     out.push(e);
                 }
                 _ => {

@@ -101,6 +101,13 @@ impl Predictor {
 
 /// Executes a batch of speculative `(round, plan)` jobs, returning one
 /// result slot per job (in job order).
+///
+/// Jobs run with snapshot capture: each stores its clean prefix in the
+/// context's seed-keyed cache, so when the merge loop below discards a
+/// mispredicted result and reruns the round — same seed, different plan —
+/// the rerun resumes from the latest pre-divergence snapshot instead of
+/// replaying from step zero. Replay verification of a successful script
+/// benefits the same way.
 fn run_batch(
     ctx: &SearchContext,
     cfg: &ExplorerConfig,
@@ -112,7 +119,7 @@ fn run_batch(
     let workers = threads.min(jobs.len());
     if workers <= 1 {
         for (slot, (r, plan)) in results.iter_mut().zip(jobs) {
-            *slot = Some(ctx.run_round(round_seed(cfg, *r), plan.clone()));
+            *slot = Some(ctx.run_round_capturing(round_seed(cfg, *r), plan.clone()));
         }
         return results;
     }
@@ -126,7 +133,10 @@ fn run_batch(
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some((r, plan)) = jobs.get(i) else { break };
-                        out.push((i, ctx.run_round(round_seed(cfg, *r), plan.clone())));
+                        out.push((
+                            i,
+                            ctx.run_round_capturing(round_seed(cfg, *r), plan.clone()),
+                        ));
                     }
                     out
                 })

@@ -320,11 +320,18 @@ impl<'a> ExploreState<'a> {
                         exc,
                         desc: ctx.scenario.program.sites[site.index()].desc.clone(),
                     };
+                    // Replay through the context rather than the script's
+                    // own (recompiling) entry point: the round loop's
+                    // cached compilation is reused, and in batch mode the
+                    // verification resumes from the successful round's
+                    // captured prefix — the seeds match by construction.
                     let verified = if self.cfg.verify_replay {
-                        script
-                            .replay(&ctx.scenario)
-                            .map(|r| self.oracle.check(&r))
-                            .unwrap_or(false)
+                        ctx.run_round(
+                            script.seed,
+                            InjectionPlan::exact(script.site, script.occurrence, script.exc),
+                        )
+                        .map(|r| self.oracle.check(&r))
+                        .unwrap_or(false)
                     } else {
                         false
                     };

@@ -414,10 +414,15 @@ impl FeedbackStrategy {
             };
             scored.push((primary, t, unit, occ));
         }
+        // `total_cmp`, not `partial_cmp().unwrap_or(Equal)`: collapsing an
+        // incomparable (NaN) score to Equal makes the sort order depend on
+        // the comparison sequence — i.e. on the unit iteration order — so
+        // two runs could arm different candidates from identical scores.
+        // The IEEE total order keeps the ranking a pure function of the
+        // score values (NaN sorts after +inf, never silently "ties").
         scored.sort_by(|a, b| {
-            a.0.partial_cmp(&b.0)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+            a.0.total_cmp(&b.0)
+                .then(a.1.total_cmp(&b.1))
                 .then(a.2.site.cmp(&b.2.site))
                 .then(a.2.exc.cmp(&b.2.exc))
         });

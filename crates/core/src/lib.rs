@@ -33,7 +33,7 @@ pub mod strategy;
 pub mod trace;
 
 pub use batch::{explore_batched, explore_batched_traced, reproduce_batched, BatchExplorerConfig};
-pub use context::{FaultUnit, ObservableInfo, RoundOutcome, SearchContext};
+pub use context::{FaultUnit, ObservableInfo, RoundOutcome, SearchContext, SnapshotStats};
 pub use explorer::{
     explore, explore_traced, reproduce, reproduce_traced, ExplorerConfig, ReproScript,
     Reproduction, RoundRecord,

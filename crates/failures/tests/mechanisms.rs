@@ -50,7 +50,7 @@ fn f3_listener_dead_but_leader_node_alive() {
     let listener = r
         .threads
         .iter()
-        .find(|t| t.thread == "ListenerThread")
+        .find(|t| t.thread.as_ref() == "ListenerThread")
         .expect("listener exists");
     assert_eq!(listener.state, anduril_sim::ThreadEndState::Done);
     assert_eq!(r.global("zk3", "electionStuck"), Some(&Value::Bool(true)));

@@ -440,6 +440,9 @@ pub struct CompiledProgram {
     /// Interned worker-thread names (`"{exec}-worker"`), parallel to
     /// `Program::execs`.
     pub worker_names: Vec<Arc<str>>,
+    /// Interned global-variable names, parallel to `Program::globals`, so
+    /// per-run result snapshots share one allocation per name.
+    pub global_names: Vec<Arc<str>>,
     /// Statements that touch a meta-info global, sorted (CrashTuner's
     /// candidate crash points).
     pub meta_points: Vec<StmtRef>,
@@ -923,6 +926,12 @@ pub fn compile(program: &Program) -> CompiledProgram {
         .map(|e| Arc::from(format!("{e}-worker").as_str()))
         .collect();
 
+    let global_names = program
+        .globals
+        .iter()
+        .map(|g| Arc::from(g.name.as_str()))
+        .collect();
+
     let meta_points = meta_access_points(program);
     let mut meta_bits = vec![0u64; n_stmts.div_ceil(64)];
     for p in &meta_points {
@@ -939,6 +948,7 @@ pub fn compile(program: &Program) -> CompiledProgram {
         max_regs: c.max_regs,
         templates,
         worker_names,
+        global_names,
         meta_points,
         tries,
         try_of,

@@ -249,6 +249,46 @@ impl Fir {
         &self.occ
     }
 
+    /// Clones the per-site occurrence counters (snapshot capture).
+    pub(crate) fn occ_clone(&self) -> Vec<u32> {
+        self.occ.clone()
+    }
+
+    /// Clones the meta-access occurrence counters (snapshot capture).
+    pub(crate) fn meta_occ_clone(&self) -> Vec<(StmtRef, u32)> {
+        self.meta_occ.clone()
+    }
+
+    /// Meta-access count for one statement at this point of the run (`0`
+    /// if the statement has not executed yet). Snapshot validity checks use
+    /// this to decide whether a crash point already passed.
+    pub(crate) fn meta_count(meta_occ: &[(StmtRef, u32)], stmt: StmtRef) -> u32 {
+        meta_occ
+            .iter()
+            .find(|(s, _)| *s == stmt)
+            .map(|(_, c)| *c)
+            .unwrap_or(0)
+    }
+
+    /// Restores the runtime's prefix state from a snapshot: occurrence
+    /// counters, the trace prefix, and the request count. The armed plan
+    /// (set by [`Fir::new`]) is untouched — a resumed run re-decides
+    /// injections from the restored counters onward, and the snapshot
+    /// layer guarantees the plan could not have fired inside the prefix.
+    pub(crate) fn restore_prefix(
+        &mut self,
+        occ: Vec<u32>,
+        meta_occ: Vec<(StmtRef, u32)>,
+        trace: Vec<TraceEntry>,
+        requests: u64,
+    ) {
+        debug_assert!(self.injected.is_none() && !self.crashed && self.trace.is_empty());
+        self.occ = occ;
+        self.meta_occ = meta_occ;
+        self.trace = trace;
+        self.requests = requests;
+    }
+
     /// Final occurrence counts per site, as an owned vector.
     pub fn occ_vec(&self) -> Vec<u32> {
         self.occ.clone()

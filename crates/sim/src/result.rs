@@ -1,5 +1,6 @@
 //! The observable outcome of one simulation run.
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use anduril_ir::{log::render_log, LogEntry, Value};
@@ -9,10 +10,10 @@ use crate::fir::{InjectedRecord, TraceEntry};
 /// Final state of one thread, with names resolved for oracle checks.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ThreadSnapshot {
-    /// Node name.
-    pub node: String,
-    /// Thread name.
-    pub thread: String,
+    /// Node name (interned: shares the simulator's per-node allocation).
+    pub node: Arc<str>,
+    /// Thread name (interned like [`ThreadSnapshot::node`]).
+    pub thread: Arc<str>,
     /// Final lifecycle state.
     pub state: ThreadEndState,
     /// Function names on the call stack at the end, innermost first.
@@ -38,20 +39,24 @@ pub enum ThreadEndState {
 /// Final state of one node.
 #[derive(Debug, Clone, PartialEq)]
 pub struct NodeSnapshot {
-    /// Node name.
-    pub name: String,
+    /// Node name (interned: shares the simulator's per-node allocation).
+    pub name: Arc<str>,
     /// `false` if the node aborted or crashed.
     pub alive: bool,
     /// `true` if the node executed an `Abort` statement.
     pub aborted: bool,
-    /// Final global variable values, as `(name, value)` pairs.
-    pub globals: Vec<(String, Value)>,
+    /// Final global variable values, as `(name, value)` pairs (names
+    /// interned once per compiled program).
+    pub globals: Vec<(Arc<str>, Value)>,
 }
 
 impl NodeSnapshot {
     /// Looks up a global by name.
     pub fn global(&self, name: &str) -> Option<&Value> {
-        self.globals.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+        self.globals
+            .iter()
+            .find(|(n, _)| n.as_ref() == name)
+            .map(|(_, v)| v)
     }
 }
 
@@ -129,19 +134,23 @@ impl RunResult {
 
     /// Returns `true` if the named node aborted.
     pub fn node_aborted(&self, node: &str) -> bool {
-        self.nodes.iter().any(|n| n.name == node && n.aborted)
+        self.nodes
+            .iter()
+            .any(|n| n.name.as_ref() == node && n.aborted)
     }
 
     /// Returns `true` if the named node is still alive.
     pub fn node_alive(&self, node: &str) -> bool {
-        self.nodes.iter().any(|n| n.name == node && n.alive)
+        self.nodes
+            .iter()
+            .any(|n| n.name.as_ref() == node && n.alive)
     }
 
     /// Looks up a node's final global value.
     pub fn global(&self, node: &str, name: &str) -> Option<&Value> {
         self.nodes
             .iter()
-            .find(|n| n.name == node)
+            .find(|n| n.name.as_ref() == node)
             .and_then(|n| n.global(name))
     }
 }

@@ -159,7 +159,7 @@ pub enum Role {
 }
 
 /// A simulated thread.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Thread {
     /// This thread's id.
     pub id: ThreadId,

@@ -34,11 +34,13 @@ use anduril_ir::{
 
 mod events;
 mod exec_vm;
+pub mod snapshot;
 
 #[cfg(any(test, feature = "tree-walk-oracle"))]
 mod exec_ast;
 
 use events::EventQueue;
+use snapshot::CaptureState;
 
 /// Errors surfaced by the interpreter.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -101,14 +103,14 @@ pub fn run_compiled(
     Ok(world.finish())
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct EventEntry {
     time: u64,
     seq: u64,
     kind: EventKind,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum EventKind {
     /// Run (or unblock, when `expired`) a thread.
     Wake {
@@ -141,26 +143,26 @@ impl Ord for EventEntry {
     }
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct FutureState {
     done: Option<Result<Value, Arc<ExcValue>>>,
     waiters: Vec<ThreadId>,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Task {
     func: FuncId,
     args: Vec<Value>,
     future: u64,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 struct ExecState {
     queue: VecDeque<Task>,
     worker: Option<ThreadId>,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Node {
     name: Arc<str>,
     alive: bool,
@@ -220,6 +222,9 @@ struct World<'p> {
     spare_vals: Vec<Vec<Value>>,
     /// Recycled cursor stacks, same lifecycle as `spare_vals`.
     spare_cursors: Vec<Vec<Cursor>>,
+    /// Snapshot-capture bookkeeping; `None` (the common case) outside
+    /// [`snapshot::run_compiled_capture`] runs.
+    capture: Option<Box<CaptureState>>,
     started: Instant,
 }
 
@@ -242,28 +247,7 @@ impl<'p> World<'p> {
         } else {
             HashSet::new()
         };
-        let mut world = World {
-            program,
-            compiled,
-            engine: cfg.engine,
-            cfg: cfg.clone(),
-            rng: SmallRng::seed_from_u64(cfg.seed),
-            clock: 0,
-            seq: 0,
-            events: EventQueue::new(),
-            threads: Vec::new(),
-            nodes: Vec::new(),
-            node_by_name: HashMap::new(),
-            futures: Vec::new(),
-            log: Vec::with_capacity(64),
-            fir: Fir::new(program.sites.len(), plan),
-            steps: 0,
-            meta_set,
-            regs: vec![Value::Unit; compiled.max_regs],
-            spare_vals: Vec::new(),
-            spare_cursors: Vec::new(),
-            started: Instant::now(),
-        };
+        let mut world = World::empty(program, compiled, cfg, plan, meta_set);
         for (i, spec) in topo.nodes.iter().enumerate() {
             if world.node_by_name.contains_key(spec.name.as_str()) {
                 return Err(SimError::Internal(format!(
@@ -292,6 +276,70 @@ impl<'p> World<'p> {
             let tid = world.create_thread(i, &main_name, Role::Normal);
             world.push_entry_frame(tid, spec.main, spec.args.clone(), None)?;
             world.schedule_wake(tid, i as u64, false);
+        }
+        Ok(world)
+    }
+
+    /// The bare struct with no nodes, threads, or scheduled events.
+    fn empty(
+        program: &'p Program,
+        compiled: &'p CompiledProgram,
+        cfg: &SimConfig,
+        plan: InjectionPlan,
+        meta_set: HashSet<StmtRef>,
+    ) -> Self {
+        World {
+            program,
+            compiled,
+            engine: cfg.engine,
+            cfg: cfg.clone(),
+            rng: SmallRng::seed_from_u64(cfg.seed),
+            clock: 0,
+            seq: 0,
+            events: EventQueue::new(),
+            threads: Vec::new(),
+            nodes: Vec::new(),
+            node_by_name: HashMap::new(),
+            futures: Vec::new(),
+            log: Vec::with_capacity(64),
+            fir: Fir::new(program.sites.len(), plan),
+            steps: 0,
+            meta_set,
+            regs: vec![Value::Unit; compiled.max_regs],
+            spare_vals: Vec::new(),
+            spare_cursors: Vec::new(),
+            capture: None,
+            started: Instant::now(),
+        }
+    }
+
+    /// A world shell for `restore`: only the name→index map survives from
+    /// topology setup (a snapshot overwrites nodes, threads, futures, the
+    /// event wheel, RNG, log, and FIR wholesale), so the per-node globals
+    /// clones, entry frames, and initial wake events `new` performs would
+    /// be pure waste on the resume path. Must not be driven without a
+    /// `restore` first.
+    fn new_shell(
+        program: &'p Program,
+        compiled: &'p CompiledProgram,
+        topo: &Topology,
+        cfg: &SimConfig,
+        plan: InjectionPlan,
+    ) -> Result<Self, SimError> {
+        #[cfg(not(any(test, feature = "tree-walk-oracle")))]
+        if cfg.engine == Engine::TreeWalk {
+            return Err(SimError::Internal(
+                "tree-walk engine requires the `tree-walk-oracle` feature".into(),
+            ));
+        }
+        let meta_set = if cfg.engine == Engine::TreeWalk {
+            compiled.meta_points.iter().copied().collect()
+        } else {
+            HashSet::new()
+        };
+        let mut world = World::empty(program, compiled, cfg, plan, meta_set);
+        for (i, spec) in topo.nodes.iter().enumerate() {
+            world.node_by_name.insert(Arc::from(spec.name.as_str()), i);
         }
         Ok(world)
     }
@@ -523,7 +571,7 @@ impl<'p> World<'p> {
             level,
             template,
             stmt,
-            body,
+            body: body.into(),
             exc: exc_name,
             stack,
         });
@@ -562,7 +610,13 @@ impl<'p> World<'p> {
     // ---- main loop -------------------------------------------------------
 
     fn drive(&mut self) -> Result<(), SimError> {
-        while let Some(ev) = self.events.pop() {
+        loop {
+            // Snapshot at the loop top, where the state is a complete
+            // resumable quiescent point (the next event still queued).
+            if self.capture.is_some() {
+                self.maybe_snapshot();
+            }
+            let Some(ev) = self.events.pop() else { break };
             if ev.time > self.cfg.max_time {
                 break;
             }
@@ -1034,8 +1088,8 @@ impl<'p> World<'p> {
                     ThreadStatus::Killed => ThreadEndState::Killed,
                 };
                 ThreadSnapshot {
-                    node: self.nodes[t.node].name.to_string(),
-                    thread: t.name.to_string(),
+                    node: self.nodes[t.node].name.clone(),
+                    thread: t.name.clone(),
                     state,
                     stack: t
                         .frames
@@ -1050,14 +1104,15 @@ impl<'p> World<'p> {
             .nodes
             .iter()
             .map(|n| NodeSnapshot {
-                name: n.name.to_string(),
+                name: n.name.clone(),
                 alive: n.alive,
                 aborted: n.aborted,
-                globals: program
-                    .globals
+                globals: self
+                    .compiled
+                    .global_names
                     .iter()
                     .zip(&n.globals)
-                    .map(|(g, v)| (g.name.clone(), v.clone()))
+                    .map(|(g, v)| (g.clone(), v.clone()))
                     .collect(),
             })
             .collect();

@@ -242,7 +242,11 @@ fn injection_window_honours_first_match_across_nodes() {
     // Exactly one node saw the failure; the other succeeded.
     assert_eq!(r.count_log("op failed here"), 1);
     assert_eq!(r.count_log("op ok"), 1);
-    let failed_entry = r.log.iter().find(|l| l.body == "op failed here").unwrap();
+    let failed_entry = r
+        .log
+        .iter()
+        .find(|l| l.body.as_ref() == "op failed here")
+        .unwrap();
     assert_eq!(
         &*failed_entry.node, "a",
         "node start order fixes occurrence 0"

@@ -313,7 +313,7 @@ fn spawned_threads_run_concurrently() {
     let r = run_single(&p, "main");
     assert_eq!(r.global("n1", "counter"), Some(&Value::Int(6)));
     // Duplicate spawn names are made unique.
-    let names: Vec<&str> = r.threads.iter().map(|t| t.thread.as_str()).collect();
+    let names: Vec<&str> = r.threads.iter().map(|t| t.thread.as_ref()).collect();
     assert!(names.contains(&"w"));
     assert!(names.contains(&"w-1"));
     assert!(names.contains(&"w-2"));

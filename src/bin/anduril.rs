@@ -21,7 +21,8 @@ fn usage() -> ! {
         "usage:\n  anduril list\n  anduril show <case>\n  anduril log <case>\n  \
          anduril analyze [<case>|<system>|all] [--json FILE]\n  \
          anduril reproduce <case> [--strategy NAME] [--max-rounds N] [--emit-script FILE]\n  \
-         {:21}[--threads N] [--batch N] [--trace FILE] [--engine vm|ast]\n  \
+         {0:21}[--threads N] [--batch N] [--trace FILE] [--engine vm|ast]\n  \
+         {0:21}[--snapshots N]\n  \
          anduril trace <file> [--summary | --round N | --json]\n  \
          anduril replay <case> <script-file>\n  \
          anduril explain <case>\n\n\
@@ -35,6 +36,10 @@ fn usage() -> ! {
          speculation) as JSONL; `anduril trace FILE` renders it\n\n\
          --engine selects the simulator executor: vm (default, bytecode\n\
          register VM) or ast (tree-walking oracle); both are byte-identical\n\n\
+         --snapshots N caps the snapshot-prefix cache at N seeds (default\n\
+         16; 0 disables). Batched rounds capture world-state snapshots so\n\
+         same-seed reruns (speculation misses, replay verification) resume\n\
+         mid-timeline; results are byte-identical either way\n\n\
          analyze prints the static-analysis report (site reduction, graph\n\
          size, phase timings, per-observable distances) and writes the same\n\
          data as JSON (default results/analyze.json; `--json -` for stdout)",
@@ -49,6 +54,16 @@ fn usage() -> ! {
 fn fail(msg: impl std::fmt::Display) -> ! {
     eprintln!("anduril: {msg}");
     std::process::exit(1);
+}
+
+/// Sorts `explain` rows by ascending priority `F_i`.
+///
+/// `total_cmp`, not `partial_cmp().unwrap()`: `F_i` is a sum of graph and
+/// temporal terms that can degenerate to NaN (e.g. `inf - inf` when an
+/// observable has no positions), and a diagnostic subcommand must render
+/// such a unit — ordered after every finite priority — rather than panic.
+fn sort_explanations(explanations: &mut [anduril::Explanation]) {
+    explanations.sort_by(|a, b| a.f_i.total_cmp(&b.f_i));
 }
 
 /// Resolves a `<case>` argument or exits nonzero with a clear message.
@@ -856,7 +871,7 @@ fn main() {
                 report,
                 "Static analysis report (fault-site reduction and causal-graph shape)\n"
             )
-            .unwrap();
+            .unwrap_or_else(|e| fail(format!("analyze: cannot format report: {e}")));
             let mut t = anduril_bench::TextTable::new(&[
                 "Case", "Ticket", "System", "Sites", "Reach", "Inferred", "Units", "Nodes",
                 "Edges", "Obs", "MinDist", "Exc us", "Slice us", "Chain us", "Total us",
@@ -892,7 +907,8 @@ fn main() {
                 ]);
                 last_system = r.system;
             }
-            write!(report, "{}", t.render()).unwrap();
+            write!(report, "{}", t.render())
+                .unwrap_or_else(|e| fail(format!("analyze: cannot format report: {e}")));
             writeln!(
                 report,
                 "\nSites = static fault sites; Reach = reachable from the workload \
@@ -900,10 +916,11 @@ fn main() {
                  candidates after pruning; MinDist = per-observable minimum source \
                  distance."
             )
-            .unwrap();
+            .unwrap_or_else(|e| fail(format!("analyze: cannot format report: {e}")));
             for r in &rows {
                 for l in &r.lints {
-                    writeln!(report, "lint [{}]: {}", r.id, l).unwrap();
+                    writeln!(report, "lint [{}]: {}", r.id, l)
+                        .unwrap_or_else(|e| fail(format!("analyze: cannot format report: {e}")));
                 }
             }
             if json_stdout {
@@ -938,6 +955,7 @@ fn main() {
             let mut batch_size: Option<usize> = None;
             let mut trace_path: Option<String> = None;
             let mut engine: Option<anduril::sim::Engine> = None;
+            let mut snapshot_capacity: Option<usize> = None;
             let mut i = 2;
             while i < args.len() {
                 match args[i].as_str() {
@@ -983,6 +1001,14 @@ fn main() {
                         );
                         i += 2;
                     }
+                    "--snapshots" => {
+                        snapshot_capacity = Some(
+                            args.get(i + 1)
+                                .and_then(|s| s.parse().ok())
+                                .unwrap_or_else(|| usage()),
+                        );
+                        i += 2;
+                    }
                     _ => usage(),
                 }
             }
@@ -1004,8 +1030,11 @@ fn main() {
             if let Some(e) = engine {
                 scenario.config.engine = e;
             }
-            let ctx = SearchContext::prepare_traced(scenario, &failure_log, 1_000, tracer)
+            let mut ctx = SearchContext::prepare_traced(scenario, &failure_log, 1_000, tracer)
                 .unwrap_or_else(|e| fail(format!("{}: context preparation: {e}", case.id)));
+            if let Some(cap) = snapshot_capacity {
+                ctx.set_snapshot_capacity(cap);
+            }
             eprintln!(
                 "{}: {} observables, {} candidate units, causal graph {}v/{}e",
                 case.id,
@@ -1160,7 +1189,7 @@ fn main() {
                 .iter()
                 .filter_map(|&u| s.explain(&ctx, u))
                 .collect();
-            explanations.sort_by(|a, b| a.f_i.partial_cmp(&b.f_i).unwrap());
+            sort_explanations(&mut explanations);
             for ex in explanations {
                 let (occ, t) = ex
                     .best_instance
@@ -1195,5 +1224,45 @@ fn main() {
             );
         }
         _ => usage(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sort_explanations;
+    use anduril::ir::{ExceptionType, SiteId};
+    use anduril::{Explanation, FaultUnit};
+
+    fn row(site: u32, f_i: f64) -> Explanation {
+        Explanation {
+            unit: FaultUnit {
+                site: SiteId(site),
+                exc: ExceptionType::Io,
+            },
+            f_i,
+            k_star: 0,
+            l: 0,
+            i_k: 0.0,
+            best_instance: None,
+            rank: None,
+        }
+    }
+
+    /// A NaN priority (possible when an observable's temporal term
+    /// degenerates) must sort after every finite row, not panic the
+    /// subcommand like the old `partial_cmp().unwrap()` did.
+    #[test]
+    fn explain_sort_survives_nan_priorities() {
+        let mut rows = vec![
+            row(0, 2.0),
+            row(1, f64::NAN),
+            row(2, 1.0),
+            row(3, f64::INFINITY),
+            row(4, -1.0),
+        ];
+        sort_explanations(&mut rows);
+        let order: Vec<u32> = rows.iter().map(|e| e.unit.site.0).collect();
+        assert_eq!(order, vec![4, 2, 0, 3, 1]);
+        assert!(rows.last().unwrap().f_i.is_nan());
     }
 }
