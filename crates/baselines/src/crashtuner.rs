@@ -15,7 +15,7 @@
 
 use std::collections::HashSet;
 
-use anduril_core::{RoundOutcome, SearchContext, Strategy};
+use anduril_core::{RoundOutcome, SearchContext, Strategy, StrategyNote};
 use anduril_ir::{ExceptionType, SiteId, StmtRef};
 use anduril_sim::{world::meta_access_points, Candidate, CrashPoint, InjectionPlan};
 
@@ -39,6 +39,7 @@ pub struct CrashTuner {
     exc_order: Vec<(SiteId, u32, ExceptionType)>,
     tried: HashSet<(SiteId, u32, ExceptionType)>,
     window: usize,
+    pending_notes: Vec<StrategyNote>,
 }
 
 impl CrashTuner {
@@ -51,6 +52,7 @@ impl CrashTuner {
             exc_order: Vec::new(),
             tried: HashSet::new(),
             window: 10,
+            pending_notes: Vec::new(),
         }
     }
 
@@ -80,6 +82,7 @@ impl Strategy for CrashTuner {
         self.crash_next = 0;
         self.exc_order.clear();
         self.tried.clear();
+        self.pending_notes.clear();
         let points = meta_access_points(program);
         match self.mode {
             Mode::Crashes => {
@@ -108,27 +111,40 @@ impl Strategy for CrashTuner {
                 }
                 meta_funcs = extended;
                 let max_occ = ctx.site_instances.iter().map(Vec::len).max().unwrap_or(1) as u32;
+                let mut bound_pruned = 0usize;
                 for occ in 0..max_occ.max(1) {
                     for &sid in &ctx.candidate_sites {
                         let site = &program.sites[sid.index()];
                         if meta_funcs.contains(&site.func)
                             && (occ as usize) < ctx.site_instances[sid.index()].len().max(1)
                         {
+                            if !ctx.occurrence_feasible(sid, Some(occ)) {
+                                bound_pruned += site.exceptions.len();
+                            }
                             for &exc in &site.exceptions {
                                 self.exc_order.push((sid, occ, exc));
                             }
                         }
                     }
                 }
+                if bound_pruned > 0 {
+                    self.pending_notes.push(StrategyNote::BoundPruned {
+                        count: bound_pruned,
+                    });
+                }
             }
         }
     }
 
-    fn plan_round(&mut self, _ctx: &SearchContext, _round: usize) -> Vec<Candidate> {
+    fn plan_round(&mut self, ctx: &SearchContext, _round: usize) -> Vec<Candidate> {
+        // As in [`Fate`], statically infeasible `(site, occurrence)` plans
+        // keep their queue slot (the window pacing is the baseline under
+        // comparison) but are never armed.
         self.exc_order
             .iter()
             .filter(|c| !self.tried.contains(c))
             .take(self.window)
+            .filter(|&&(site, occ, _)| ctx.occurrence_feasible(site, Some(occ)))
             .map(|&(site, occ, exc)| Candidate {
                 site,
                 occurrence: Some(occ),
@@ -149,11 +165,13 @@ impl Strategy for CrashTuner {
                 })
             }
             Mode::MetaExceptions => {
-                let candidates = self.plan_round(ctx, round);
-                if candidates.is_empty() {
+                // Exhaustion is a property of the queue, not of the armed
+                // set: placeholder-only windows are (wasted) rounds, spent
+                // exactly as the tool would have spent them.
+                if self.exc_order.iter().all(|c| self.tried.contains(c)) {
                     None
                 } else {
-                    Some(InjectionPlan::window(candidates))
+                    Some(InjectionPlan::window(self.plan_round(ctx, round)))
                 }
             }
         }
@@ -168,5 +186,9 @@ impl Strategy for CrashTuner {
                 self.window = (self.window * 2).min(4_096);
             }
         }
+    }
+
+    fn drain_notes(&mut self) -> Vec<StrategyNote> {
+        std::mem::take(&mut self.pending_notes)
     }
 }

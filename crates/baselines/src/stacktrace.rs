@@ -9,7 +9,7 @@
 
 use std::collections::HashSet;
 
-use anduril_core::{RoundOutcome, SearchContext, Strategy};
+use anduril_core::{RoundOutcome, SearchContext, Strategy, StrategyNote};
 use anduril_ir::{ExceptionType, FuncId, Level, SiteId};
 use anduril_sim::Candidate;
 
@@ -28,6 +28,7 @@ struct Target {
 pub struct StacktraceInjector {
     targets: Vec<Target>,
     tried: HashSet<(SiteId, u32)>,
+    pending_notes: Vec<StrategyNote>,
 }
 
 impl StacktraceInjector {
@@ -50,6 +51,8 @@ impl Strategy for StacktraceInjector {
     fn init(&mut self, ctx: &SearchContext) {
         self.targets.clear();
         self.tried.clear();
+        self.pending_notes.clear();
+        let mut bound_pruned = 0usize;
         let program = &ctx.scenario.program;
         let mut seen: HashSet<(SiteId, Vec<FuncId>)> = HashSet::new();
         for entry in &ctx.failure {
@@ -78,7 +81,15 @@ impl Strategy for StacktraceInjector {
                 if site.func == innermost && site.exceptions.contains(&exc) {
                     let key = (sid, stack.clone());
                     if seen.insert(key) {
-                        let max_occ = ctx.site_instances[sid.index()].len().max(1) as u32;
+                        // Cap the occurrence sweep at the static bound: slots
+                        // past `hi` can never fire, so trying them only burns
+                        // rounds. A dead site (`hi == 0`) contributes nothing.
+                        let dyn_occ = ctx.site_instances[sid.index()].len().max(1) as u32;
+                        let max_occ = match ctx.site_bound(sid).hi {
+                            Some(h) => dyn_occ.min(h.min(u64::from(u32::MAX)) as u32),
+                            None => dyn_occ,
+                        };
+                        bound_pruned += (dyn_occ - max_occ) as usize;
                         self.targets.push(Target {
                             site: sid,
                             exc,
@@ -91,6 +102,15 @@ impl Strategy for StacktraceInjector {
             }
         }
         self.targets.sort_by_key(|t| t.site);
+        if bound_pruned > 0 {
+            self.pending_notes.push(StrategyNote::BoundPruned {
+                count: bound_pruned,
+            });
+        }
+    }
+
+    fn drain_notes(&mut self) -> Vec<StrategyNote> {
+        std::mem::take(&mut self.pending_notes)
     }
 
     fn plan_round(&mut self, _ctx: &SearchContext, _round: usize) -> Vec<Candidate> {

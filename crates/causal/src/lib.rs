@@ -36,11 +36,13 @@
 
 #![warn(missing_docs)]
 
+pub mod dataflow;
 pub mod exceptions;
 pub mod graph;
 pub mod reach;
 pub mod slicing;
 
+pub use dataflow::{Interval, OccurrenceBounds, RootCall};
 pub use exceptions::{analyze, ExcAnalysis, ThrowKind, ThrowPoint};
 pub use graph::{build, BuildTimings, CausalGraph, NodeKey, Observable};
 pub use reach::Reachability;

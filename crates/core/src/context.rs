@@ -11,7 +11,9 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use anduril_causal::{build_graph, BuildTimings, CausalGraph, Observable, Reachability};
+use anduril_causal::{
+    build_graph, BuildTimings, CausalGraph, Interval, Observable, OccurrenceBounds, Reachability,
+};
 use anduril_ir::{CompiledProgram, ExceptionType, LogEntry, SiteId, TemplateId};
 use anduril_logdiff::{compare_with, parse_log, Alignment, GroupedLog, InternedLog, ParsedEntry};
 use anduril_sim::InjectionPlan;
@@ -168,6 +170,12 @@ pub struct SearchContext {
     /// The static fault candidates (reachable graph sources × declared
     /// exceptions).
     pub units: Vec<FaultUnit>,
+    /// Static `[lo, hi]` occurrence bounds per fault site (abstract
+    /// interpretation over loop trip counts and call multiplicities,
+    /// seeded from the topology's literal node arguments). Strategies
+    /// consult [`SearchContext::occurrence_feasible`] to skip plans whose
+    /// occurrence index provably exceeds `hi`.
+    pub bounds: OccurrenceBounds,
     /// Seed used for the normal run (rounds use `base_seed + 1 + round`).
     pub base_seed: u64,
     /// The scenario's program lowered to the register-VM instruction
@@ -315,6 +323,17 @@ impl SearchContext {
                 units.push(FaultUnit { site, exc });
             }
         }
+
+        // Static occurrence bounds (the second pruning layer on top of
+        // reachability): `[lo, hi]` execution-count intervals per site,
+        // with the topology's literal node arguments as the root constant
+        // environment. Strategies filter infeasible occurrence indices
+        // against these when planning.
+        let bounds = OccurrenceBounds::compute(program, &scenario.root_calls());
+        let sites_bounded = candidate_sites
+            .iter()
+            .filter(|&&s| !bounds.site(s).is_dead())
+            .count();
         phase("pruning", candidate_sites.len() as u64, t);
 
         if tracer.enabled() {
@@ -323,6 +342,7 @@ impl SearchContext {
                 units: units.len(),
                 sites_total: program.sites.len(),
                 sites_reachable: candidate_sites.len(),
+                sites_bounded,
                 graph_nodes: graph.node_count(),
                 graph_edges: graph.edge_count(),
             });
@@ -342,6 +362,7 @@ impl SearchContext {
             site_instances,
             candidate_sites,
             units,
+            bounds,
             base_seed,
             compiled,
             snapshots: Mutex::new(SnapshotCache::new(DEFAULT_SNAPSHOT_CAPACITY)),
@@ -461,6 +482,58 @@ impl SearchContext {
                 .resumed += 1;
         }
         Ok(result)
+    }
+
+    /// Whether an injection candidate is statically feasible under the
+    /// occurrence bounds: a concrete occurrence index must lie strictly
+    /// below the site's `hi`; an any-occurrence candidate (`None`) only
+    /// requires the site not to be provably dead. Soundness of the bounds
+    /// (`hi` over-approximates; see DESIGN.md §14) guarantees every plan
+    /// this rejects records zero injections at the claimed occurrence.
+    pub fn occurrence_feasible(&self, site: SiteId, occurrence: Option<u32>) -> bool {
+        self.bounds.feasible(site, occurrence)
+    }
+
+    /// The static `[lo, hi]` occurrence interval of one site.
+    pub fn site_bound(&self, site: SiteId) -> Interval {
+        self.bounds.site(site)
+    }
+
+    /// Fraction of the occurrence-oblivious plan space the bounds prove
+    /// infeasible, in `[0, 1]`.
+    ///
+    /// The baseline is the FATE-style a-priori space: every candidate
+    /// site × every declared exception × a uniform occurrence horizon `H`
+    /// (the largest dynamic instance count any candidate site showed in
+    /// the normal run). The bounded space caps each site's occurrence arm
+    /// at `min(H, hi)`. Sites the analysis proves execute fewer than `H`
+    /// times — straight-line code, small constant loops, dead branches —
+    /// shrink the numerator.
+    pub fn pruned_plan_ratio(&self) -> f64 {
+        let horizon = self
+            .candidate_sites
+            .iter()
+            .map(|s| self.site_instances[s.index()].len().max(1) as u64)
+            .max()
+            .unwrap_or(1);
+        let mut baseline = 0u64;
+        let mut bounded = 0u64;
+        for &s in &self.candidate_sites {
+            let excs = self.scenario.program.sites[s.index()]
+                .exceptions
+                .len()
+                .max(1) as u64;
+            let hi = match self.bounds.site(s).hi {
+                Some(h) => h.min(horizon),
+                None => horizon,
+            };
+            baseline += horizon * excs;
+            bounded += hi * excs;
+        }
+        if baseline == 0 {
+            return 0.0;
+        }
+        1.0 - bounded as f64 / baseline as f64
     }
 
     /// The temporal distance `T_{i,j,k}`: messages between instance

@@ -330,10 +330,16 @@ impl FeedbackStrategy {
         // Exhaustive enumeration has no priority model to explain.
         self.last_provenance = None;
         let mut out = Vec::new();
+        let mut bound_pruned = 0usize;
         'outer: for &unit in &ctx.units {
             let insts = self.instances(ctx, unit);
             for &(occ, _) in insts {
                 if self.tried.contains(&(unit.site, unit.exc, occ)) {
+                    continue;
+                }
+                if !ctx.occurrence_feasible(unit.site, Some(occ)) {
+                    // Statically provable dead plan — never worth a run.
+                    bound_pruned += 1;
                     continue;
                 }
                 out.push(Candidate {
@@ -346,6 +352,11 @@ impl FeedbackStrategy {
                     break 'outer;
                 }
             }
+        }
+        if bound_pruned > 0 {
+            self.pending_notes.push(StrategyNote::BoundPruned {
+                count: bound_pruned,
+            });
         }
         out
     }
@@ -401,6 +412,7 @@ impl FeedbackStrategy {
     fn plan_prioritized_pass(&mut self, ctx: &SearchContext) -> Vec<Candidate> {
         // Score every unit that still has untried instances.
         let mut scored: Vec<(f64, f64, FaultUnit, Option<u32>)> = Vec::new();
+        let mut bound_pruned = 0usize;
         for &unit in &ctx.units {
             let Some((f_i, k_star)) = self.site_priority(ctx, unit) else {
                 continue;
@@ -408,11 +420,23 @@ impl FeedbackStrategy {
             let Some((occ, t)) = self.best_instance(ctx, unit, k_star) else {
                 continue;
             };
+            if !ctx.occurrence_feasible(unit.site, occ) {
+                // The static bounds prove this candidate can never fire
+                // (in practice: an any-occurrence fallback on a site with
+                // `hi == 0`); skip it without spending a round.
+                bound_pruned += 1;
+                continue;
+            }
             let primary = match self.cfg.combine {
                 Combine::TwoLevel => f_i,
                 Combine::Multiply => f_i * (t + 1.0),
             };
             scored.push((primary, t, unit, occ));
+        }
+        if bound_pruned > 0 {
+            self.pending_notes.push(StrategyNote::BoundPruned {
+                count: bound_pruned,
+            });
         }
         // `total_cmp`, not `partial_cmp().unwrap_or(Equal)`: collapsing an
         // incomparable (NaN) score to Equal makes the sort order depend on

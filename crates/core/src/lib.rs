@@ -32,6 +32,7 @@ pub mod scenario;
 pub mod strategy;
 pub mod trace;
 
+pub use anduril_causal::{Interval, OccurrenceBounds, RootCall};
 pub use batch::{explore_batched, explore_batched_traced, reproduce_batched, BatchExplorerConfig};
 pub use context::{FaultUnit, ObservableInfo, RoundOutcome, SearchContext, SnapshotStats};
 pub use explorer::{

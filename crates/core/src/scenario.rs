@@ -6,6 +6,7 @@
 //! setup where an existing test or a constructed workload exercises the
 //! affected feature (§2, input 3).
 
+use anduril_causal::RootCall;
 use anduril_ir::{CompiledProgram, FuncId, Program};
 use anduril_sim::{run, run_compiled, InjectionPlan, RunResult, SimConfig, SimError, Topology};
 
@@ -30,6 +31,20 @@ impl Scenario {
         v.sort_unstable();
         v.dedup();
         v
+    }
+
+    /// The root invocations with their literal arguments, one per node —
+    /// the constant environment the occurrence-bounds dataflow analysis
+    /// starts from (node multiplicities sum for shared mains).
+    pub fn root_calls(&self) -> Vec<RootCall> {
+        self.topology
+            .nodes
+            .iter()
+            .map(|n| RootCall {
+                func: n.main,
+                args: n.args.clone(),
+            })
+            .collect()
     }
 
     /// Runs the workload once with the given seed and injection plan,

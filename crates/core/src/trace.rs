@@ -97,6 +97,12 @@ pub enum StrategyNote {
         /// The retired candidate's exception type.
         exc: ExceptionType,
     },
+    /// Plans were skipped this round because their occurrence index
+    /// exceeds the site's static `hi` bound (the dataflow pruning pass).
+    BoundPruned {
+        /// How many candidate plans the bounds proved infeasible.
+        count: usize,
+    },
 }
 
 /// One typed event in the search-trace stream.
@@ -125,6 +131,9 @@ pub enum TraceEvent {
         sites_total: usize,
         /// Sites statically reachable from the workload roots.
         sites_reachable: usize,
+        /// Reachable candidate sites the occurrence bounds leave alive
+        /// (`hi != 0`).
+        sites_bounded: usize,
         /// Causal-graph node count.
         graph_nodes: usize,
         /// Causal-graph edge count.
@@ -355,11 +364,13 @@ impl TraceEvent {
                 units,
                 sites_total,
                 sites_reachable,
+                sites_bounded,
                 graph_nodes,
                 graph_edges,
             } => format!(
                 "{{\"ev\":\"context\",\"observables\":{observables},\"units\":{units},\
                  \"sites_total\":{sites_total},\"sites_reachable\":{sites_reachable},\
+                 \"sites_bounded\":{sites_bounded},\
                  \"graph_nodes\":{graph_nodes},\"graph_edges\":{graph_edges}}}"
             ),
             TraceEvent::ExploreStart {
@@ -408,6 +419,10 @@ impl TraceEvent {
                      \"exc\":\"{}\"}}",
                     site.0,
                     exc.name()
+                ),
+                StrategyNote::BoundPruned { count } => format!(
+                    "{{\"ev\":\"note\",\"round\":{round},\"note\":\"bound_pruned\",\
+                     \"count\":{count}}}"
                 ),
             },
             TraceEvent::EpochStart { epoch, round, jobs } => {
@@ -848,6 +863,7 @@ mod tests {
                 units: 14,
                 sites_total: 40,
                 sites_reachable: 30,
+                sites_bounded: 28,
                 graph_nodes: 120,
                 graph_edges: 240,
             },
@@ -890,6 +906,10 @@ mod tests {
             TraceEvent::Note {
                 round: 12,
                 note: StrategyNote::RetryPass { pass: 1 },
+            },
+            TraceEvent::Note {
+                round: 13,
+                note: StrategyNote::BoundPruned { count: 6 },
             },
             TraceEvent::EpochStart {
                 epoch: 0,

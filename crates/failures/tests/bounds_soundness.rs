@@ -1,0 +1,138 @@
+//! Differential soundness check for the static occurrence bounds (§4.1 of
+//! DESIGN.md §14): for every case, the abstract interpretation's `[lo, hi]`
+//! interval must contain the dynamic occurrence count actually observed
+//! under the failure seed, plans beyond `hi` must be unexecutable, and the
+//! ground-truth root cause must never be pruned as infeasible.
+
+use anduril_core::OccurrenceBounds;
+use anduril_failures::all_cases;
+use anduril_sim::InjectionPlan;
+
+/// Static hi must over-approximate and lo under-approximate the dynamic
+/// occurrence count of every fault site, on every case.
+#[test]
+fn static_bounds_contain_dynamic_occurrence_counts() {
+    for case in all_cases() {
+        let bounds = OccurrenceBounds::compute(&case.scenario.program, &case.scenario.root_calls());
+        let normal = case
+            .scenario
+            .run(case.failure_seed, InjectionPlan::none())
+            .expect("fault-free run");
+        for site in &case.scenario.program.sites {
+            let dynamic = normal.site_occurrences[site.id.index()] as u64;
+            let b = bounds.site(site.id);
+            assert!(
+                b.lo <= dynamic,
+                "{}: site `{}` ({:?}) lo {} > dynamic count {dynamic}",
+                case.id,
+                site.desc,
+                site.id,
+                b.lo
+            );
+            if let Some(hi) = b.hi {
+                assert!(
+                    dynamic <= hi,
+                    "{}: site `{}` ({:?}) dynamic count {dynamic} > hi {hi} — \
+                     the bound is unsound",
+                    case.id,
+                    site.desc,
+                    site.id,
+                );
+            }
+        }
+    }
+}
+
+/// Injecting at occurrence `hi` (the first claimed-impossible index) must
+/// never fire: the run completes with zero injections.
+#[test]
+fn plans_beyond_hi_never_inject() {
+    for case in all_cases() {
+        let bounds = OccurrenceBounds::compute(&case.scenario.program, &case.scenario.root_calls());
+        // A handful of finite-hi sites per case keeps the debug-profile
+        // runtime proportionate; the interval containment test above
+        // already sweeps every site statically.
+        let mut probed = 0usize;
+        for site in &case.scenario.program.sites {
+            let Some(hi) = bounds.site(site.id).hi else {
+                continue;
+            };
+            let Some(&exc) = site.exceptions.first() else {
+                continue;
+            };
+            // Occurrence indices are u32 in plans; an astronomically large
+            // hi is equivalent to unbounded for this probe.
+            let Ok(occ) = u32::try_from(hi) else { continue };
+            let r = case
+                .scenario
+                .run(case.failure_seed, InjectionPlan::exact(site.id, occ, exc))
+                .expect("run with infeasible plan");
+            assert!(
+                r.injected.is_none(),
+                "{}: site `{}` fired at occurrence {occ} despite hi = {hi}",
+                case.id,
+                site.desc,
+            );
+            probed += 1;
+            if probed >= 6 {
+                break;
+            }
+        }
+    }
+}
+
+/// Statically dead sites (`hi == 0`) must never execute: injection armed at
+/// occurrence 0 does not fire.
+#[test]
+fn dead_sites_never_fire() {
+    for case in all_cases() {
+        let bounds = OccurrenceBounds::compute(&case.scenario.program, &case.scenario.root_calls());
+        for site in &case.scenario.program.sites {
+            if !bounds.site(site.id).is_dead() {
+                continue;
+            }
+            let Some(&exc) = site.exceptions.first() else {
+                continue;
+            };
+            let r = case
+                .scenario
+                .run(case.failure_seed, InjectionPlan::exact(site.id, 0, exc))
+                .expect("run with dead-site plan");
+            assert!(
+                r.injected.is_none(),
+                "{}: statically dead site `{}` fired",
+                case.id,
+                site.desc,
+            );
+        }
+    }
+}
+
+/// The ground-truth root cause is always statically feasible: its site is
+/// never dead, and its occurrence index lies below `hi` when `hi` is finite.
+#[test]
+fn ground_truth_occurrence_is_statically_feasible() {
+    for case in all_cases() {
+        let gt = case.ground_truth().expect("resolvable ground truth");
+        let bounds = OccurrenceBounds::compute(&case.scenario.program, &case.scenario.root_calls());
+        let b = bounds.site(gt.site);
+        assert!(
+            !b.is_dead(),
+            "{}: ground-truth site claimed statically dead",
+            case.id
+        );
+        if let Some(hi) = b.hi {
+            assert!(
+                u64::from(gt.occurrence) < hi,
+                "{}: ground-truth occurrence {} not below hi {hi}",
+                case.id,
+                gt.occurrence
+            );
+        }
+        assert!(
+            bounds.feasible(gt.site, Some(gt.occurrence)),
+            "{}: feasible() rejects the ground truth",
+            case.id
+        );
+    }
+}

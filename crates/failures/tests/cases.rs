@@ -116,6 +116,20 @@ fn ground_truth_sites_survive_static_pruning() {
             "{}: ground-truth (site, exception) unit missing after pruning",
             case.id
         );
+        // (d) The static occurrence bounds must leave the ground truth
+        // alive: the site is not dead and the exact occurrence is feasible.
+        let bound = ctx.site_bound(gt.site);
+        assert!(
+            !bound.is_dead(),
+            "{}: root-cause site statically dead ({bound})",
+            case.id
+        );
+        assert!(
+            ctx.occurrence_feasible(gt.site, Some(gt.occurrence)),
+            "{}: ground-truth occurrence {} infeasible under bound {bound}",
+            case.id,
+            gt.occurrence
+        );
     }
 }
 

@@ -671,7 +671,9 @@ mod tests {
         });
         let (_, warnings) = pb.finish_linted().unwrap();
         assert_eq!(warnings.len(), 1);
-        let crate::program::LintWarning::UnsignaledCond { name, .. } = &warnings[0];
+        let crate::program::LintWarning::UnsignaledCond { name, .. } = &warnings[0] else {
+            panic!("expected UnsignaledCond, got {:?}", warnings[0]);
+        };
         assert_eq!(name, "ready");
     }
 

@@ -69,6 +69,57 @@ pub enum LintWarning {
         /// Its declared name.
         name: String,
     },
+    /// A condition variable is signaled but no statement ever waits on it,
+    /// so every [`Stmt::SignalCond`] is a no-op.
+    UnwaitedCond {
+        /// The offending condition variable.
+        cond: crate::ids::CondId,
+        /// Its declared name.
+        name: String,
+    },
+    /// A channel is sent to but no statement ever receives from it, so
+    /// every [`Stmt::Send`] queues a message nobody consumes.
+    UnreceivedChan {
+        /// The offending channel.
+        chan: crate::ids::ChanId,
+        /// Its declared name.
+        name: String,
+    },
+    /// A channel is received from but no statement ever sends to it, so
+    /// every [`Stmt::Recv`] either blocks forever or times out.
+    UnsentChan {
+        /// The offending channel.
+        chan: crate::ids::ChanId,
+        /// Its declared name.
+        name: String,
+    },
+    /// An [`Stmt::Await`] whose future variable is never written in the
+    /// function (and is not a parameter), so the await always sees a
+    /// non-future value.
+    UnsubmittedAwait {
+        /// Name of the containing function.
+        func: String,
+        /// The await statement.
+        at: StmtRef,
+    },
+    /// A global variable is written but never read by any expression (or
+    /// queue pop). Meta-info globals are exempt: the CrashTuner baseline
+    /// and the oracle read them out of band.
+    UnreadGlobal {
+        /// The offending global.
+        global: crate::ids::GlobalId,
+        /// Its declared name.
+        name: String,
+    },
+    /// A fault site the occurrence-bounds analysis proves can never
+    /// execute (`hi == 0`) under the analyzed workload roots; injecting
+    /// into it can never do anything.
+    DeadSite {
+        /// The offending fault site.
+        site: SiteId,
+        /// Its human-readable description.
+        desc: String,
+    },
 }
 
 impl std::fmt::Display for LintWarning {
@@ -77,6 +128,29 @@ impl std::fmt::Display for LintWarning {
             LintWarning::UnsignaledCond { cond, name } => write!(
                 f,
                 "condition variable `{name}` ({cond}) is waited on but never signaled"
+            ),
+            LintWarning::UnwaitedCond { cond, name } => write!(
+                f,
+                "condition variable `{name}` ({cond}) is signaled but never waited on"
+            ),
+            LintWarning::UnreceivedChan { chan, name } => write!(
+                f,
+                "channel `{name}` ({chan}) is sent to but never received from"
+            ),
+            LintWarning::UnsentChan { chan, name } => write!(
+                f,
+                "channel `{name}` ({chan}) is received from but never sent to"
+            ),
+            LintWarning::UnsubmittedAwait { func, at } => write!(
+                f,
+                "await at {at} in `{func}` on a future that is never produced"
+            ),
+            LintWarning::UnreadGlobal { global, name } => {
+                write!(f, "global `{name}` ({global}) is written but never read")
+            }
+            LintWarning::DeadSite { site, desc } => write!(
+                f,
+                "fault site `{desc}` ({site}) is statically dead (bound hi = 0)"
             ),
         }
     }
@@ -414,28 +488,186 @@ impl Program {
     ///
     /// Fatal structural problems (duplicate templates, dangling
     /// references) are rejected at build time; this reports the non-fatal
-    /// smells on top.
+    /// smells on top: unpaired concurrency primitives (condition
+    /// variables, channels, futures) and write-only globals.
+    ///
+    /// The result is deterministically ordered by the `(function, block,
+    /// statement)` position of each warning's anchor statement (the first
+    /// use of the unpaired primitive, in program order), so serialized
+    /// reports are byte-stable across runs.
     pub fn lints(&self) -> Vec<LintWarning> {
-        let mut waited = std::collections::BTreeSet::new();
-        let mut signaled = std::collections::BTreeSet::new();
-        for (_, stmt) in self.all_stmts() {
+        let mut anchored = self.syntactic_lints();
+        anchored.sort_by_key(|(key, _)| *key);
+        anchored.into_iter().map(|(_, w)| w).collect()
+    }
+
+    /// [`Program::lints`] plus the bounds-aware lint: fault sites the
+    /// occurrence-bounds analysis proves dead (`hi == 0`).
+    ///
+    /// `site_hi` is the per-site static upper bound indexed by `SiteId`
+    /// (`None` = unbounded), as produced by the dataflow analysis in
+    /// `anduril-causal` (`OccurrenceBounds::site_his`). Ordering follows
+    /// the same `(function, block, statement)` anchor rule, a dead site
+    /// anchoring at its own statement.
+    pub fn lints_with_bounds(&self, site_hi: &[Option<u64>]) -> Vec<LintWarning> {
+        let mut anchored = self.syntactic_lints();
+        for site in &self.sites {
+            if site_hi.get(site.id.index()).copied() == Some(Some(0)) {
+                anchored.push((
+                    self.anchor_key(site.stmt),
+                    LintWarning::DeadSite {
+                        site: site.id,
+                        desc: site.desc.clone(),
+                    },
+                ));
+            }
+        }
+        anchored.sort_by_key(|(key, _)| *key);
+        anchored.into_iter().map(|(_, w)| w).collect()
+    }
+
+    /// The deterministic sort key of a warning anchored at `r`.
+    fn anchor_key(&self, r: StmtRef) -> (u32, u32, u32) {
+        (self.func_of_stmt(r).0, r.block.0, r.idx)
+    }
+
+    /// Computes the syntactic (bounds-free) lints, each paired with its
+    /// anchor key; unsorted.
+    fn syntactic_lints(&self) -> Vec<((u32, u32, u32), LintWarning)> {
+        use std::collections::BTreeMap;
+        // First statement touching each primitive, per role.
+        let mut cond_waits: BTreeMap<crate::ids::CondId, StmtRef> = BTreeMap::new();
+        let mut cond_signals: BTreeMap<crate::ids::CondId, StmtRef> = BTreeMap::new();
+        let mut chan_sends: BTreeMap<crate::ids::ChanId, StmtRef> = BTreeMap::new();
+        let mut chan_recvs: BTreeMap<crate::ids::ChanId, StmtRef> = BTreeMap::new();
+        let mut global_writes: BTreeMap<crate::ids::GlobalId, StmtRef> = BTreeMap::new();
+        let mut global_reads: std::collections::BTreeSet<crate::ids::GlobalId> =
+            std::collections::BTreeSet::new();
+        let mut awaits: Vec<(StmtRef, crate::ids::VarId)> = Vec::new();
+        // Local-variable writers per function (for the future-producer
+        // check); params are implicit writers.
+        let mut var_writers: std::collections::BTreeSet<(FuncId, crate::ids::VarId)> =
+            std::collections::BTreeSet::new();
+
+        fn first<K: Ord>(this: &Program, map: &mut BTreeMap<K, StmtRef>, key: K, r: StmtRef) {
+            let entry = map.entry(key).or_insert(r);
+            if this.anchor_key(r) < this.anchor_key(*entry) {
+                *entry = r;
+            }
+        }
+        for (r, stmt) in self.all_stmts() {
+            let func = self.func_of_stmt(r);
             match stmt {
-                Stmt::WaitCond { cond, .. } => {
-                    waited.insert(*cond);
+                Stmt::WaitCond { cond, .. } => first(self, &mut cond_waits, *cond, r),
+                Stmt::SignalCond { cond } => first(self, &mut cond_signals, *cond, r),
+                Stmt::Send { chan, .. } => first(self, &mut chan_sends, *chan, r),
+                Stmt::Recv { chan, .. } => first(self, &mut chan_recvs, *chan, r),
+                Stmt::SetGlobal { global, .. } | Stmt::PushBack { global, .. } => {
+                    first(self, &mut global_writes, *global, r)
                 }
-                Stmt::SignalCond { cond } => {
-                    signaled.insert(*cond);
+                Stmt::PopFront { global, .. } => {
+                    global_reads.insert(*global);
+                }
+                Stmt::Await { future, .. } => awaits.push((r, *future)),
+                _ => {}
+            }
+            match stmt {
+                Stmt::Assign { var, .. } | Stmt::PopFront { var, .. } | Stmt::Recv { var, .. } => {
+                    var_writers.insert((func, *var));
+                }
+                Stmt::Call { ret: Some(v), .. }
+                | Stmt::Submit {
+                    future: Some(v), ..
+                }
+                | Stmt::Await { ret: Some(v), .. }
+                | Stmt::WaitCond { ok: Some(v), .. } => {
+                    var_writers.insert((func, *v));
+                }
+                Stmt::Try { handlers, .. } => {
+                    for h in handlers {
+                        if let Some(v) = h.bind {
+                            var_writers.insert((func, v));
+                        }
+                    }
                 }
                 _ => {}
             }
+            for expr in stmt.exprs() {
+                let (_, globals) = expr.reads_collected();
+                global_reads.extend(globals);
+            }
         }
-        waited
-            .difference(&signaled)
-            .map(|&cond| LintWarning::UnsignaledCond {
-                cond,
-                name: self.conds[cond.index()].clone(),
-            })
-            .collect()
+
+        let mut out = Vec::new();
+        for (&cond, &r) in &cond_waits {
+            if !cond_signals.contains_key(&cond) {
+                out.push((
+                    self.anchor_key(r),
+                    LintWarning::UnsignaledCond {
+                        cond,
+                        name: self.conds[cond.index()].clone(),
+                    },
+                ));
+            }
+        }
+        for (&cond, &r) in &cond_signals {
+            if !cond_waits.contains_key(&cond) {
+                out.push((
+                    self.anchor_key(r),
+                    LintWarning::UnwaitedCond {
+                        cond,
+                        name: self.conds[cond.index()].clone(),
+                    },
+                ));
+            }
+        }
+        for (&chan, &r) in &chan_sends {
+            if !chan_recvs.contains_key(&chan) {
+                out.push((
+                    self.anchor_key(r),
+                    LintWarning::UnreceivedChan {
+                        chan,
+                        name: self.chans[chan.index()].clone(),
+                    },
+                ));
+            }
+        }
+        for (&chan, &r) in &chan_recvs {
+            if !chan_sends.contains_key(&chan) {
+                out.push((
+                    self.anchor_key(r),
+                    LintWarning::UnsentChan {
+                        chan,
+                        name: self.chans[chan.index()].clone(),
+                    },
+                ));
+            }
+        }
+        for (r, future) in awaits {
+            let func = self.func_of_stmt(r);
+            let is_param = future.0 < self.funcs[func.index()].params;
+            if !is_param && !var_writers.contains(&(func, future)) {
+                out.push((
+                    self.anchor_key(r),
+                    LintWarning::UnsubmittedAwait {
+                        func: self.funcs[func.index()].name.clone(),
+                        at: r,
+                    },
+                ));
+            }
+        }
+        for (&global, &r) in &global_writes {
+            if !global_reads.contains(&global) && !self.globals[global.index()].meta_info {
+                out.push((
+                    self.anchor_key(r),
+                    LintWarning::UnreadGlobal {
+                        global,
+                        name: self.globals[global.index()].name.clone(),
+                    },
+                ));
+            }
+        }
+        out
     }
 }
 
@@ -488,6 +720,106 @@ mod tests {
             },
         ];
         assert!(one_func(vec![vec![Stmt::Halt]], templates).is_ok());
+    }
+
+    #[test]
+    fn lint_suite_flags_each_unpaired_primitive() {
+        use crate::builder::ProgramBuilder;
+        use crate::expr::build as e;
+        use crate::log::Level;
+        let mut pb = ProgramBuilder::new("t");
+        let ghost_wait = pb.cond("ghost_wait"); // waited, never signaled
+        let ghost_sig = pb.cond("ghost_sig"); // signaled, never waited
+        let paired = pb.cond("paired");
+        let dead_letter = pb.chan("dead_letter"); // sent, never received
+        let silent = pb.chan("silent"); // received, never sent
+        let write_only = pb.global("write_only", Value::Int(0));
+        let meta = pb.meta_global("leader", Value::Int(0));
+        let read_back = pb.global("read_back", Value::Int(0));
+        let f = pb.declare("f", 1);
+        pb.body(f, |b| {
+            b.wait_cond(ghost_wait, Some(e::int(5)), None);
+            b.signal(ghost_sig);
+            b.wait_cond(paired, None, None);
+            b.signal(paired);
+            b.send(e::str_("n1"), dead_letter, e::int(1));
+            let v = b.local();
+            b.recv(silent, v, Some(e::int(5)));
+            b.set_global(write_only, e::int(1));
+            b.set_global(meta, e::int(2)); // meta-info: exempt
+            b.set_global(read_back, e::int(3));
+            b.log(Level::Info, "rb {}", vec![e::glob(read_back)]);
+            let fut = b.local(); // never written: await lints
+            b.await_(fut, Some(e::int(5)), None);
+            let arg_fut = b.param(0); // param: exempt
+            b.await_(arg_fut, Some(e::int(5)), None);
+        });
+        let p = pb.finish().unwrap();
+        let lints = p.lints();
+        // One warning of each kind, in statement order.
+        assert_eq!(lints.len(), 6);
+        assert!(
+            matches!(&lints[0], LintWarning::UnsignaledCond { name, .. } if name == "ghost_wait")
+        );
+        assert!(matches!(&lints[1], LintWarning::UnwaitedCond { name, .. } if name == "ghost_sig"));
+        assert!(
+            matches!(&lints[2], LintWarning::UnreceivedChan { name, .. } if name == "dead_letter")
+        );
+        assert!(matches!(&lints[3], LintWarning::UnsentChan { name, .. } if name == "silent"));
+        assert!(
+            matches!(&lints[4], LintWarning::UnreadGlobal { name, .. } if name == "write_only")
+        );
+        assert!(matches!(&lints[5], LintWarning::UnsubmittedAwait { func, .. } if func == "f"));
+    }
+
+    #[test]
+    fn lints_are_ordered_by_function_block_and_statement() {
+        use crate::builder::ProgramBuilder;
+        use crate::expr::build as e;
+        // Declare primitives in the opposite order of their first use so id
+        // order and anchor order disagree.
+        let mut pb = ProgramBuilder::new("t");
+        let late = pb.cond("late");
+        let early = pb.cond("early");
+        let f1 = pb.declare("f1", 0);
+        let f2 = pb.declare("f2", 0);
+        pb.body(f1, |b| {
+            b.wait_cond(early, Some(e::int(1)), None);
+        });
+        pb.body(f2, |b| {
+            b.wait_cond(late, Some(e::int(1)), None);
+        });
+        let p = pb.finish().unwrap();
+        let lints = p.lints();
+        assert_eq!(lints.len(), 2);
+        assert!(matches!(&lints[0], LintWarning::UnsignaledCond { name, .. } if name == "early"));
+        assert!(matches!(&lints[1], LintWarning::UnsignaledCond { name, .. } if name == "late"));
+        // Byte-stable: repeated runs render identically.
+        let render = |ws: &[LintWarning]| ws.iter().map(ToString::to_string).collect::<Vec<_>>();
+        assert_eq!(render(&p.lints()), render(&lints));
+    }
+
+    #[test]
+    fn dead_sites_lint_with_bounds_and_anchor_in_order() {
+        use crate::builder::ProgramBuilder;
+        use crate::expr::build as e;
+        let mut pb = ProgramBuilder::new("t");
+        let ghost = pb.cond("ghost");
+        let f = pb.declare("f", 0);
+        pb.body(f, |b| {
+            b.external("a.op", &[ExceptionType::Io]);
+            b.wait_cond(ghost, Some(e::int(1)), None);
+            b.external("b.op", &[ExceptionType::Io]);
+        });
+        let p = pb.finish().unwrap();
+        // a.op dead, b.op live: the DeadSite warning slots in before the
+        // cond warning because its statement comes first.
+        let lints = p.lints_with_bounds(&[Some(0), Some(3)]);
+        assert_eq!(lints.len(), 2);
+        assert!(matches!(&lints[0], LintWarning::DeadSite { desc, .. } if desc == "a.op"));
+        assert!(matches!(&lints[1], LintWarning::UnsignaledCond { .. }));
+        // No bounds info at all degrades to the syntactic suite.
+        assert_eq!(p.lints_with_bounds(&[None, None]).len(), 1);
     }
 
     #[test]

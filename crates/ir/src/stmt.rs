@@ -240,6 +240,38 @@ impl Stmt {
         }
     }
 
+    /// Returns every expression this statement evaluates, in evaluation
+    /// order. Used by the lints and the dataflow analysis to enumerate
+    /// reads without matching each variant separately.
+    pub fn exprs(&self) -> Vec<&Expr> {
+        match self {
+            Stmt::Log { args, .. } => args.iter().collect(),
+            Stmt::Assign { expr, .. }
+            | Stmt::SetGlobal { expr, .. }
+            | Stmt::PushBack { expr, .. } => vec![expr],
+            Stmt::Call { args, .. } | Stmt::Spawn { args, .. } | Stmt::Submit { args, .. } => {
+                args.iter().collect()
+            }
+            Stmt::If { cond, .. } | Stmt::While { cond, .. } => vec![cond],
+            Stmt::Return { expr } => expr.iter().collect(),
+            Stmt::Await { timeout, .. }
+            | Stmt::Recv { timeout, .. }
+            | Stmt::WaitCond { timeout, .. } => timeout.iter().collect(),
+            Stmt::Send { node, payload, .. } => vec![node, payload],
+            Stmt::Sleep { ticks } => vec![ticks],
+            Stmt::PopFront { .. }
+            | Stmt::External { .. }
+            | Stmt::ThrowNew { .. }
+            | Stmt::Rethrow
+            | Stmt::Try { .. }
+            | Stmt::Break
+            | Stmt::Continue
+            | Stmt::SignalCond { .. }
+            | Stmt::Abort { .. }
+            | Stmt::Halt => Vec::new(),
+        }
+    }
+
     /// Returns the child blocks this statement owns, with their roles.
     pub fn child_blocks(&self) -> Vec<(BlockId, crate::program::BlockRole)> {
         use crate::program::BlockRole;

@@ -82,10 +82,19 @@ struct AnalyzeRow {
     system: &'static str,
     sites_total: usize,
     sites_reachable: usize,
+    sites_bounded: usize,
     sites_inferred: usize,
     units: usize,
     nodes: usize,
     edges: usize,
+    /// Fraction of the a-priori `(site, occurrence, exception)` plan space
+    /// the static occurrence bounds prove infeasible.
+    pruned_ratio: f64,
+    /// `(site id, desc, lo, hi)` static occurrence interval per candidate site.
+    site_bounds: Vec<(u32, String, u64, Option<u64>)>,
+    /// Whether the ground-truth root-cause site is statically dead (`hi == 0`)
+    /// — always `false` if the bounds are sound.
+    gt_dead: bool,
     /// `(template text, min distance over inferred sites)` per observable.
     observables: Vec<(String, Option<u32>)>,
     timings: anduril::causal::BuildTimings,
@@ -109,19 +118,43 @@ fn analyze_case(case: &anduril::failures::FailureCase) -> AnalyzeRow {
             (text, min)
         })
         .collect();
+    let site_bounds: Vec<(u32, String, u64, Option<u64>)> = ctx
+        .candidate_sites
+        .iter()
+        .map(|&sid| {
+            let b = ctx.site_bound(sid);
+            (sid.0, program.sites[sid.index()].desc.clone(), b.lo, b.hi)
+        })
+        .collect();
+    let sites_bounded = site_bounds
+        .iter()
+        .filter(|(_, _, _, hi)| *hi != Some(0))
+        .count();
+    let gt_dead = case
+        .root_site()
+        .map(|sid| ctx.site_bound(sid).is_dead())
+        .unwrap_or(true);
     AnalyzeRow {
         id: case.id,
         ticket: case.ticket,
         system: case.system,
         sites_total: program.sites.len(),
         sites_reachable: ctx.candidate_sites.len(),
+        sites_bounded,
         sites_inferred: ctx.graph.sources().len(),
         units: ctx.units.len(),
         nodes: ctx.graph.node_count(),
         edges: ctx.graph.edge_count(),
+        pruned_ratio: ctx.pruned_plan_ratio(),
+        site_bounds,
+        gt_dead,
         observables,
         timings: ctx.timings,
-        lints: program.lints().iter().map(|w| w.to_string()).collect(),
+        lints: program
+            .lints_with_bounds(&ctx.bounds.site_his())
+            .iter()
+            .map(|w| w.to_string())
+            .collect(),
     }
 }
 
@@ -147,24 +180,39 @@ fn analyze_json(rows: &[AnalyzeRow]) -> String {
         let _ = write!(
             out,
             "    {{\"id\": \"{}\", \"ticket\": \"{}\", \"system\": \"{}\", \
-             \"sites_total\": {}, \"sites_reachable\": {}, \"sites_inferred\": {}, \
+             \"sites_total\": {}, \"sites_reachable\": {}, \"sites_bounded\": {}, \
+             \"sites_inferred\": {}, \
              \"units\": {}, \"nodes\": {}, \"edges\": {}, \
+             \"pruned_plan_ratio\": {:.4}, \"gt_dead\": {}, \
              \"timings_ns\": {{\"exception\": {}, \"slicing\": {}, \"chaining\": {}, \"total\": {}}}, \
-             \"observables\": [",
+             \"site_bounds\": [",
             json_escape(r.id),
             json_escape(r.ticket),
             json_escape(r.system),
             r.sites_total,
             r.sites_reachable,
+            r.sites_bounded,
             r.sites_inferred,
             r.units,
             r.nodes,
             r.edges,
+            r.pruned_ratio,
+            r.gt_dead,
             r.timings.exception_ns,
             r.timings.slicing_ns,
             r.timings.chaining_ns,
             r.timings.total_ns,
         );
+        for (j, (site, desc, lo, hi)) in r.site_bounds.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}{{\"site\": {site}, \"desc\": \"{}\", \"lo\": {lo}, \"hi\": {}}}",
+                if j > 0 { ", " } else { "" },
+                json_escape(desc),
+                hi.map(|h| h.to_string()).unwrap_or_else(|| "null".into()),
+            );
+        }
+        out.push_str("], \"observables\": [");
         for (j, (text, min)) in r.observables.iter().enumerate() {
             let _ = write!(
                 out,
@@ -551,15 +599,21 @@ fn render_trace_summary(path: &str, events: &[(String, Json)]) {
             .iter()
             .filter(|v| jstr(v, "note") == "retired")
             .count();
+        let bound_pruned: u64 = notes
+            .iter()
+            .filter(|v| jstr(v, "note") == "bound_pruned")
+            .map(|v| junum(v, "count"))
+            .sum();
         println!(
-            "\nLifecycle: {} retry passes, {} window growths{}, {} candidates retired",
+            "\nLifecycle: {} retry passes, {} window growths{}, {} candidates retired, {} plans bound-pruned",
             retry,
             grew.len(),
             grew.iter()
                 .max()
                 .map(|w| format!(" (max window {w})"))
                 .unwrap_or_default(),
-            retired
+            retired,
+            bound_pruned
         );
     }
 
@@ -625,6 +679,10 @@ fn render_trace_round(events: &[(String, Json)], n: u64) {
                     "  note: retired site#{} {}",
                     junum(v, "site"),
                     jstr(v, "exc")
+                ),
+                "bound_pruned" => println!(
+                    "  note: {} plans pruned by static occurrence bounds",
+                    junum(v, "count")
                 ),
                 other => println!("  note: {other}"),
             },
@@ -754,9 +812,15 @@ fn trace_report_json(events: &[(String, Json)]) -> String {
         "  \"speculation\": {{\"epochs\": {epochs}, \"slots\": {}, \"hits\": {hits}}},",
         specs.len()
     );
+    let bound_pruned: u64 = events
+        .iter()
+        .map(|(_, v)| v)
+        .filter(|v| ev_kind(v) == "note" && jstr(v, "note") == "bound_pruned")
+        .map(|v| junum(v, "count"))
+        .sum();
     let _ = writeln!(
         out,
-        "  \"notes\": {{\"retry_passes\": {}, \"window_growths\": {}, \"retired\": {}}},",
+        "  \"notes\": {{\"retry_passes\": {}, \"window_growths\": {}, \"retired\": {}, \"bound_pruned_plans\": {bound_pruned}}},",
         note_count("retry_pass"),
         note_count("window_grew"),
         note_count("retired")
@@ -873,8 +937,9 @@ fn main() {
             )
             .unwrap_or_else(|e| fail(format!("analyze: cannot format report: {e}")));
             let mut t = anduril_bench::TextTable::new(&[
-                "Case", "Ticket", "System", "Sites", "Reach", "Inferred", "Units", "Nodes",
-                "Edges", "Obs", "MinDist", "Exc us", "Slice us", "Chain us", "Total us",
+                "Case", "Ticket", "System", "Sites", "Reach", "Bound", "Inferred", "Units",
+                "Nodes", "Edges", "Pruned%", "Obs", "MinDist", "Exc us", "Slice us", "Chain us",
+                "Total us",
             ]);
             let mut last_system = "";
             for r in &rows {
@@ -894,10 +959,12 @@ fn main() {
                     },
                     r.sites_total.to_string(),
                     r.sites_reachable.to_string(),
+                    r.sites_bounded.to_string(),
                     r.sites_inferred.to_string(),
                     r.units.to_string(),
                     r.nodes.to_string(),
                     r.edges.to_string(),
+                    format!("{:.1}", 100.0 * r.pruned_ratio),
                     r.observables.len().to_string(),
                     mindist,
                     (r.timings.exception_ns / 1_000).to_string(),
@@ -912,9 +979,11 @@ fn main() {
             writeln!(
                 report,
                 "\nSites = static fault sites; Reach = reachable from the workload \
-                 roots; Inferred = causal-graph sources; Units = (site, exception) \
-                 candidates after pruning; MinDist = per-observable minimum source \
-                 distance."
+                 roots; Bound = reachable sites the occurrence bounds leave alive \
+                 (hi != 0); Inferred = causal-graph sources; Units = (site, exception) \
+                 candidates after pruning; Pruned% = plan-space fraction the static \
+                 occurrence bounds prove infeasible; MinDist = per-observable minimum \
+                 source distance."
             )
             .unwrap_or_else(|e| fail(format!("analyze: cannot format report: {e}")));
             for r in &rows {
