@@ -1,0 +1,285 @@
+//! Adaptive-vs-fixed ablation: rounds-to-reproduce with the paper's
+//! frozen observable set against adaptive observable promotion
+//! (`anduril_core::adaptive`), under degraded failure logs.
+//!
+//! Production failure logs are routinely incomplete — rotation, rate
+//! limiting, and buffered appenders drop exactly the bursty messages
+//! around a failure. This bench simulates that by stripping the
+//! *best-guidance* observable (the failure-only template nearest the
+//! fault sites) from each case's failure log before context preparation,
+//! then reproduces each case twice from the degraded context: once with
+//! the observable set frozen at preparation (the paper's design) and once
+//! with `--adaptive`-style promotion folding causal-graph interior
+//! witnesses into the live search on stall.
+//!
+//! Emits `BENCH_adaptive.json` (per-case rounds, stall/promotion counts,
+//! adaptive/fixed round ratios) and prints a summary table. `--smoke`
+//! runs a reduced round budget for CI; `--out PATH` overrides the output
+//! path.
+
+use std::fmt::Write as _;
+
+use anduril_bench::{prepare, TextTable};
+use anduril_core::trace::{StrategyNote, TraceEvent, VecTracer};
+use anduril_core::{
+    explore_traced, ExplorerConfig, FeedbackConfig, FeedbackStrategy, Reproduction, SearchContext,
+};
+use anduril_failures::all_cases;
+
+/// One failure-log entry as raw text: the `NNNNNNNN [node:thread] LEVEL -
+/// body` line plus its continuation lines (exception name, `at` frames).
+struct RawEntry {
+    lines: Vec<String>,
+    body: Option<String>,
+}
+
+/// Groups a rendered log into raw entries, preserving text verbatim.
+fn group_entries(text: &str) -> Vec<RawEntry> {
+    let mut out: Vec<RawEntry> = Vec::new();
+    for line in text.lines() {
+        let is_entry = line.len() > 9
+            && line.as_bytes()[..8].iter().all(u8::is_ascii_digit)
+            && line.as_bytes()[8] == b' ';
+        if is_entry || out.is_empty() {
+            let body = line.split_once(" - ").map(|(_, b)| b.to_string());
+            out.push(RawEntry {
+                lines: vec![line.to_string()],
+                body,
+            });
+        } else {
+            out.last_mut().unwrap().lines.push(line.to_string());
+        }
+    }
+    out
+}
+
+/// Drops every entry of `text` whose body matches the template, returning
+/// the degraded log.
+fn strip_template(text: &str, template: &anduril_ir::LogTemplate) -> String {
+    let mut out = String::new();
+    for e in group_entries(text) {
+        let hit = e
+            .body
+            .as_deref()
+            .map(|b| template.matches(b))
+            .unwrap_or(false);
+        if !hit {
+            for l in &e.lines {
+                out.push_str(l);
+                out.push('\n');
+            }
+        }
+    }
+    out
+}
+
+/// The prepared observable whose minimum graph distance over candidate
+/// sites is smallest — the strongest guidance signal, and the one the
+/// degradation removes.
+fn nearest_observable(ctx: &SearchContext) -> Option<usize> {
+    (0..ctx.observables.len())
+        .filter_map(|k| ctx.distances[k].values().min().map(|&d| (d, k)))
+        .min()
+        .map(|(_, k)| k)
+}
+
+struct CaseRun {
+    rounds: usize,
+    success: bool,
+    stalls: usize,
+    promotions: usize,
+}
+
+fn run_one(ctx: &SearchContext, oracle: &anduril_core::Oracle, cfg: &ExplorerConfig) -> CaseRun {
+    let tracer = VecTracer::new();
+    let mut strategy = FeedbackStrategy::new(FeedbackConfig::full());
+    let r: Reproduction = explore_traced(ctx, oracle, &mut strategy, cfg, None, &tracer)
+        .expect("exploration runs do not hit simulator errors");
+    let events = tracer.take();
+    let stalls = events
+        .iter()
+        .filter(|e| {
+            matches!(
+                e,
+                TraceEvent::Note {
+                    note: StrategyNote::RetryPass { .. },
+                    ..
+                }
+            )
+        })
+        .count();
+    let promotions = events
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::ObservablePromoted { .. }))
+        .count();
+    CaseRun {
+        rounds: r.rounds,
+        success: r.success,
+        stalls,
+        promotions,
+    }
+}
+
+struct Row {
+    id: &'static str,
+    degraded: bool,
+    obs_full: usize,
+    obs_degraded: usize,
+    fixed: CaseRun,
+    adaptive: CaseRun,
+}
+
+impl Row {
+    fn stalled(&self) -> bool {
+        self.fixed.stalls > 0
+    }
+
+    fn ratio(&self) -> f64 {
+        self.adaptive.rounds as f64 / self.fixed.rounds.max(1) as f64
+    }
+
+    fn improved(&self) -> bool {
+        self.stalled()
+            && (self.adaptive.rounds < self.fixed.rounds
+                || (self.adaptive.success && !self.fixed.success))
+    }
+
+    fn regressed(&self, tolerance: f64) -> bool {
+        (self.fixed.success && !self.adaptive.success)
+            || self.adaptive.rounds as f64 > self.fixed.rounds as f64 * tolerance
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_adaptive.json".to_string());
+    let max_rounds = if smoke { 300 } else { 600 };
+
+    let mut rows = Vec::new();
+    for case in all_cases() {
+        let id = case.id;
+        let oracle = case.oracle.clone();
+        let full = prepare(case);
+        let obs_full = full.ctx.observables.len();
+
+        // Strip the nearest observable's lines when another observable
+        // remains to guide the search; single-observable cases keep their
+        // log intact (the scenario needs *some* failure-only signal).
+        let (ctx, degraded, obs_degraded) = match nearest_observable(&full.ctx) {
+            Some(k) if obs_full > 1 => {
+                let program = &full.ctx.scenario.program;
+                let template = &program.templates[full.ctx.observables[k].template.index()];
+                let degraded_log = strip_template(&full.failure_log, template);
+                let ctx = SearchContext::prepare(full.case.scenario.clone(), &degraded_log, 1_000)
+                    .unwrap_or_else(|e| panic!("{id}: degraded context: {e}"));
+                let n = ctx.observables.len();
+                (ctx, true, n)
+            }
+            _ => (full.ctx, false, obs_full),
+        };
+
+        let mut cfg = ExplorerConfig {
+            max_rounds,
+            verify_replay: false,
+            ..ExplorerConfig::default()
+        };
+        // Fixed first: it must see the pristine prepared context, before
+        // the adaptive run appends promoted observables to it.
+        let fixed = run_one(&ctx, &oracle, &cfg);
+        cfg.adaptive.enabled = true;
+        let adaptive = run_one(&ctx, &oracle, &cfg);
+
+        rows.push(Row {
+            id,
+            degraded,
+            obs_full,
+            obs_degraded,
+            fixed,
+            adaptive,
+        });
+    }
+
+    let mut t = TextTable::new(&[
+        "Case", "Degr", "Obs", "Stalls", "Fixed", "Adaptive", "Promos", "Ratio",
+    ]);
+    for r in &rows {
+        let fmt_run = |c: &CaseRun| {
+            if c.success {
+                format!("{}", c.rounds)
+            } else {
+                format!("-({})", c.rounds)
+            }
+        };
+        t.row(vec![
+            r.id.to_string(),
+            if r.degraded { "yes" } else { "no" }.to_string(),
+            format!("{}->{}", r.obs_full, r.obs_degraded),
+            r.fixed.stalls.to_string(),
+            fmt_run(&r.fixed),
+            fmt_run(&r.adaptive),
+            r.adaptive.promotions.to_string(),
+            format!("{:.2}", r.ratio()),
+        ]);
+    }
+
+    let stalled = rows.iter().filter(|r| r.stalled()).count();
+    let improved = rows.iter().filter(|r| r.improved()).count();
+    let regressions = rows.iter().filter(|r| r.regressed(1.05)).count();
+
+    println!(
+        "Adaptive-vs-fixed rounds to reproduce under degraded failure logs \
+         (max {max_rounds} rounds; -(N) = not reproduced within N)"
+    );
+    print!("{}", t.render());
+    println!(
+        "{stalled} stall-prone cases; adaptive improved {improved}, \
+         regressed >1.05x on {regressions}"
+    );
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(
+        json,
+        "  \"mode\": \"{}\",",
+        if smoke { "smoke" } else { "full" }
+    );
+    let _ = writeln!(json, "  \"max_rounds\": {max_rounds},");
+    json.push_str("  \"cases\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"id\": \"{}\", \"degraded\": {}, \"observables_full\": {}, \
+             \"observables_degraded\": {}, \"stalled\": {}, \"fixed_rounds\": {}, \
+             \"fixed_success\": {}, \"fixed_stalls\": {}, \"adaptive_rounds\": {}, \
+             \"adaptive_success\": {}, \"promotions\": {}, \"ratio\": {:.4}}}",
+            r.id,
+            r.degraded,
+            r.obs_full,
+            r.obs_degraded,
+            r.stalled(),
+            r.fixed.rounds,
+            r.fixed.success,
+            r.fixed.stalls,
+            r.adaptive.rounds,
+            r.adaptive.success,
+            r.adaptive.promotions,
+            r.ratio(),
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"summary\": {{\"stalled_cases\": {stalled}, \"improved_stall_cases\": {improved}, \
+         \"regressions_above_1_05x\": {regressions}, \"meets_improvement_bar\": {}}}",
+        improved >= 2
+    );
+    json.push_str("}\n");
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("JSON written to {out_path}");
+}

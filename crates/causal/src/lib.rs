@@ -44,7 +44,7 @@ pub mod slicing;
 
 pub use dataflow::{Interval, OccurrenceBounds, RootCall};
 pub use exceptions::{analyze, ExcAnalysis, ThrowKind, ThrowPoint};
-pub use graph::{build, BuildTimings, CausalGraph, NodeKey, Observable};
+pub use graph::{build, BuildTimings, CausalGraph, NodeKey, Observable, PromotionCandidate};
 pub use reach::Reachability;
 pub use slicing::{Slicer, UseDefTables, MAX_JUMPS};
 

@@ -6,12 +6,13 @@ use std::time::{Duration, Instant};
 use anduril_ir::{ExceptionType, SiteId};
 use anduril_sim::{InjectionPlan, SimError};
 
+use crate::adaptive::{AdaptiveConfig, AdaptiveState};
 use crate::context::{FaultUnit, RoundOutcome, SearchContext};
 use crate::feedback::{FeedbackConfig, FeedbackStrategy};
 use crate::oracle::Oracle;
 use crate::scenario::Scenario;
 use crate::strategy::Strategy;
-use crate::trace::{NoopTracer, TraceEvent, Tracer};
+use crate::trace::{NoopTracer, StrategyNote, TraceEvent, Tracer};
 
 /// Explorer configuration.
 #[derive(Debug, Clone)]
@@ -30,6 +31,9 @@ pub struct ExplorerConfig {
     /// making crucial log messages disappear ("we can run ANDURIL multiple
     /// times per round and use the combined logs"). `0` disables it.
     pub extra_feedback_runs: usize,
+    /// Adaptive observable promotion (see [`crate::adaptive`]). Disabled
+    /// by default.
+    pub adaptive: AdaptiveConfig,
 }
 
 impl Default for ExplorerConfig {
@@ -39,6 +43,7 @@ impl Default for ExplorerConfig {
             base_seed: 1000,
             verify_replay: true,
             extra_feedback_runs: 0,
+            adaptive: AdaptiveConfig::default(),
         }
     }
 }
@@ -217,6 +222,7 @@ pub(crate) struct ExploreState<'a> {
     injection_requests: u64,
     decision_ns: u64,
     sim_time_total: u64,
+    adaptive: AdaptiveState,
 }
 
 impl<'a> ExploreState<'a> {
@@ -236,16 +242,37 @@ impl<'a> ExploreState<'a> {
             injection_requests: ctx.normal.injection_requests,
             decision_ns: ctx.normal.decision_ns,
             sim_time_total: ctx.normal.end_time,
+            adaptive: AdaptiveState::default(),
         }
     }
 
     /// Drains a strategy's queued lifecycle notes (always, so the queue
     /// cannot grow unbounded) and emits them tagged with `round`.
-    pub(crate) fn drain_notes(&self, strategy: &mut dyn Strategy, round: usize) {
+    ///
+    /// This is also the adaptive layer's hook point: a `retry_pass` note
+    /// signals a stall, and promotion runs here — on the trusted strategy,
+    /// at the same program point in the sequential loop and the batch
+    /// engine's merge loop — whether or not tracing is on, so traced and
+    /// untraced explorations take identical search paths.
+    pub(crate) fn drain_notes(&mut self, strategy: &mut dyn Strategy, round: usize) {
         let notes = strategy.drain_notes();
-        if self.tracer.enabled() {
-            for note in notes {
+        for note in notes {
+            let stalled_pass = match &note {
+                StrategyNote::RetryPass { pass } => Some(*pass),
+                _ => None,
+            };
+            if self.tracer.enabled() {
                 self.tracer.record(TraceEvent::Note { round, note });
+            }
+            if let Some(pass) = stalled_pass {
+                let events =
+                    self.adaptive
+                        .on_stall(&self.cfg.adaptive, self.ctx, strategy, round, pass);
+                if self.tracer.enabled() {
+                    for event in events {
+                        self.tracer.record(event);
+                    }
+                }
             }
         }
     }
@@ -351,13 +378,8 @@ impl<'a> ExploreState<'a> {
                         occurrence,
                         exc,
                         observable: ctx
-                            .observables
-                            .get(e.k_star)
-                            .map(|o| {
-                                ctx.scenario.program.templates[o.template.index()]
-                                    .text
-                                    .clone()
-                            })
+                            .observable_template(e.k_star)
+                            .map(|t| ctx.scenario.program.templates[t.index()].text.clone())
                             .unwrap_or_default(),
                         k_star: e.k_star,
                         l: e.l,
@@ -420,6 +442,13 @@ impl<'a> ExploreState<'a> {
         replay_verified: bool,
     ) -> Reproduction {
         if self.tracer.enabled() {
+            let stats = self.ctx.snapshot_stats();
+            self.tracer.record(TraceEvent::SnapshotStats {
+                hits: stats.hits,
+                misses: stats.misses,
+                resumed: stats.resumed,
+                stored: stats.stored,
+            });
             self.tracer.record(TraceEvent::ExploreEnd {
                 success,
                 rounds: self.per_round.len(),

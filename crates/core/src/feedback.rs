@@ -272,7 +272,9 @@ impl FeedbackStrategy {
     fn site_priority(&self, ctx: &SearchContext, unit: FaultUnit) -> Option<(f64, usize)> {
         let mut best: Option<(f64, usize)> = None;
         let mut sum = 0.0;
-        for (k, dists) in ctx.distances.iter().enumerate() {
+        // Merged iteration over prepared and promoted observables, so an
+        // adaptive promotion reshapes `F_i` from the next planning pass on.
+        ctx.for_each_distance(|k, dists| {
             if let Some(&l) = dists.get(&unit.site) {
                 let i_k = if self.cfg.feedback {
                     self.i_priority.get(k).copied().unwrap_or(0.0)
@@ -285,7 +287,7 @@ impl FeedbackStrategy {
                     best = Some((p, k));
                 }
             }
-        }
+        });
         match self.cfg.aggregate {
             Aggregate::Min => best,
             Aggregate::Sum => best.map(|(_, k)| (sum, k)),
@@ -331,7 +333,7 @@ impl FeedbackStrategy {
         self.last_provenance = None;
         let mut out = Vec::new();
         let mut bound_pruned = 0usize;
-        'outer: for &unit in &ctx.units {
+        'outer: for unit in ctx.all_units() {
             let insts = self.instances(ctx, unit);
             for &(occ, _) in insts {
                 if self.tried.contains(&(unit.site, unit.exc, occ)) {
@@ -371,6 +373,13 @@ impl FeedbackStrategy {
         // occurrence that missed under one seed can still satisfy the
         // oracle under another — start a fresh pass so instances pair with
         // new seeds instead of giving up while the round budget remains.
+        // Stall onset is announced before the reset, so trace consumers
+        // (and the adaptive promotion layer) see the exhausted window/pass
+        // pair independently of the retry that follows.
+        self.pending_notes.push(StrategyNote::WindowExhausted {
+            window: self.window,
+            pass: self.passes,
+        });
         self.tried.clear();
         self.window = self.cfg.initial_window;
         self.passes += 1;
@@ -410,10 +419,13 @@ impl FeedbackStrategy {
     }
 
     fn plan_prioritized_pass(&mut self, ctx: &SearchContext) -> Vec<Candidate> {
-        // Score every unit that still has untried instances.
+        // Score every unit that still has untried instances. Planning is
+        // over `all_units` (prepared plus promotion-appended), so a
+        // coverage promotion's newly connected sites are armable on the
+        // very next pass.
         let mut scored: Vec<(f64, f64, FaultUnit, Option<u32>)> = Vec::new();
         let mut bound_pruned = 0usize;
-        for &unit in &ctx.units {
+        for unit in ctx.all_units() {
             let Some((f_i, k_star)) = self.site_priority(ctx, unit) else {
                 continue;
             };
@@ -468,10 +480,7 @@ impl FeedbackStrategy {
                 occurrence: occ,
                 f_i,
                 k_star,
-                l: ctx.distances[k_star]
-                    .get(&unit.site)
-                    .copied()
-                    .unwrap_or(u32::MAX),
+                l: ctx.distance(k_star, unit.site).unwrap_or(u32::MAX),
                 i_k: if self.cfg.feedback {
                     self.i_priority.get(k_star).copied().unwrap_or(0.0)
                 } else {
@@ -501,7 +510,7 @@ impl FeedbackStrategy {
     /// rank.
     pub fn explain(&self, ctx: &SearchContext, unit: FaultUnit) -> Option<Explanation> {
         let (f_i, k_star) = self.site_priority(ctx, unit)?;
-        let l = *ctx.distances[k_star].get(&unit.site)?;
+        let l = ctx.distance(k_star, unit.site)?;
         let i_k = self.i_priority.get(k_star).copied().unwrap_or(0.0);
         Some(Explanation {
             unit,
@@ -529,7 +538,7 @@ impl Strategy for FeedbackStrategy {
 
     fn init(&mut self, ctx: &SearchContext) {
         self.window = self.cfg.initial_window;
-        self.i_priority = vec![0.0; ctx.observables.len()];
+        self.i_priority = vec![0.0; ctx.observable_count()];
         self.tried.clear();
         self.last_ranking.clear();
         self.last_armed.clear();
@@ -616,5 +625,18 @@ impl Strategy for FeedbackStrategy {
 
     fn drain_notes(&mut self) -> Vec<StrategyNote> {
         std::mem::take(&mut self.pending_notes)
+    }
+
+    fn ranked_sites(&self) -> Vec<SiteId> {
+        self.last_ranking.clone()
+    }
+
+    fn observables_appended(&mut self, _ctx: &SearchContext, total: usize) {
+        // Promoted observables start with neutral feedback; without the
+        // resize, `feedback`'s `get_mut(k)` would silently drop their
+        // presence adjustments forever.
+        if total > self.i_priority.len() {
+            self.i_priority.resize(total, 0.0);
+        }
     }
 }

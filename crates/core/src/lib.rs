@@ -23,6 +23,7 @@
 
 #![warn(missing_docs)]
 
+pub mod adaptive;
 pub mod batch;
 pub mod context;
 pub mod explorer;
@@ -32,9 +33,13 @@ pub mod scenario;
 pub mod strategy;
 pub mod trace;
 
-pub use anduril_causal::{Interval, OccurrenceBounds, RootCall};
+pub use adaptive::{AdaptiveConfig, AdaptiveState};
+pub use anduril_causal::{Interval, OccurrenceBounds, PromotionCandidate, RootCall};
 pub use batch::{explore_batched, explore_batched_traced, reproduce_batched, BatchExplorerConfig};
-pub use context::{FaultUnit, ObservableInfo, RoundOutcome, SearchContext, SnapshotStats};
+pub use context::{
+    FaultUnit, ObservableInfo, PromotedObservable, PromotedSet, RoundOutcome, SearchContext,
+    SnapshotStats,
+};
 pub use explorer::{
     explore, explore_traced, reproduce, reproduce_traced, ExplorerConfig, ReproScript,
     Reproduction, RoundRecord,

@@ -91,4 +91,22 @@ pub trait Strategy {
     fn drain_notes(&mut self) -> Vec<StrategyNote> {
         Vec::new()
     }
+
+    /// The strategy's current site ranking, best first, if it ranks sites.
+    ///
+    /// The adaptive layer reads this when a stall note surfaces, to focus
+    /// observable promotion near the sites the strategy currently believes
+    /// in (see [`crate::adaptive`]).
+    fn ranked_sites(&self) -> Vec<SiteId> {
+        Vec::new()
+    }
+
+    /// Notifies the strategy that the context's observable set grew to
+    /// `total` (prepared plus promoted) observables.
+    ///
+    /// Strategies holding per-observable state — the `I_k` priority vector
+    /// — extend it with neutral entries here, so feedback for promoted
+    /// indices lands instead of being silently dropped. Only ever called
+    /// on the trusted strategy, between rounds.
+    fn observables_appended(&mut self, _ctx: &SearchContext, _total: usize) {}
 }

@@ -103,6 +103,16 @@ pub enum StrategyNote {
         /// How many candidate plans the bounds proved infeasible.
         count: usize,
     },
+    /// The prioritized space ran dry — queued immediately before the
+    /// retry-pass reset, so stall onset is visible in traces independently
+    /// of whether the adaptive layer reacts to it.
+    WindowExhausted {
+        /// The flexible-window size at exhaustion.
+        window: usize,
+        /// The pass that just ran dry (0-based; `RetryPass` then reports
+        /// `pass + 1` completed passes).
+        pass: usize,
+    },
 }
 
 /// One typed event in the search-trace stream.
@@ -229,6 +239,52 @@ pub enum TraceEvent {
         adjust: f64,
         /// The full `I_k` vector *after* this round's adjustment.
         i_k: Vec<f64>,
+    },
+    /// A synthetic observable was promoted into the live search
+    /// (`ev: "promoted"`): the adaptive layer reacted to a stall by
+    /// instrumenting a causal-graph interior node near the current
+    /// top-ranked fault sites. Carries full provenance — the source graph
+    /// node, the retry pass that triggered it, and the spatial-distance
+    /// delta the focus site gained.
+    ObservablePromoted {
+        /// Round the promotion took effect at (it influences planning from
+        /// the next round on).
+        round: usize,
+        /// Index the new observable occupies in the grown observable set.
+        k: usize,
+        /// The witness log template's text.
+        template: String,
+        /// The focus fault site the interior node was selected near.
+        site: SiteId,
+        /// Causal-graph node id of the promoted interior node.
+        node: u32,
+        /// Human-readable description of the interior node.
+        node_desc: String,
+        /// The retry pass whose stall triggered the promotion.
+        pass: usize,
+        /// Spatial distance `L` from the focus site to the new observable.
+        l_new: u32,
+        /// The focus site's best spatial distance over the pre-existing
+        /// observables.
+        l_old: u32,
+        /// Fault units the promotion's scoped causal build newly connected
+        /// (zero for refinement promotions over the prepared graph).
+        units_added: usize,
+    },
+    /// Snapshot-cache counters at the end of exploration
+    /// (`ev: "snapshot_stats"`). Every field is volatile: sequential and
+    /// batched runs probe the cache in different orders (workers race, and
+    /// only the sequential loop replays merges through it), so the counts
+    /// are reporting-only and excluded from the deterministic stream.
+    SnapshotStats {
+        /// Prefix-cache hits (volatile).
+        hits: u64,
+        /// Prefix-cache misses (volatile).
+        misses: u64,
+        /// Simulation steps skipped by resuming from snapshots (volatile).
+        resumed: u64,
+        /// Snapshots resident at the end (volatile).
+        stored: usize,
     },
     /// The final provenance chain on success (`ev: "provenance"`): from
     /// the reproducing injection back through the observable and graph
@@ -424,7 +480,49 @@ impl TraceEvent {
                     "{{\"ev\":\"note\",\"round\":{round},\"note\":\"bound_pruned\",\
                      \"count\":{count}}}"
                 ),
+                StrategyNote::WindowExhausted { window, pass } => format!(
+                    "{{\"ev\":\"note\",\"round\":{round},\"note\":\"window_exhausted\",\
+                     \"window\":{window},\"pass\":{pass}}}"
+                ),
             },
+            TraceEvent::ObservablePromoted {
+                round,
+                k,
+                template,
+                site,
+                node,
+                node_desc,
+                pass,
+                l_new,
+                l_old,
+                units_added,
+            } => format!(
+                "{{\"ev\":\"promoted\",\"round\":{round},\"k\":{k},\"template\":\"{}\",\
+                 \"site\":{},\"node\":{node},\"node_desc\":\"{}\",\"pass\":{pass},\
+                 \"l_new\":{l_new},\"l_old\":{l_old},\"delta\":{},\
+                 \"units_added\":{units_added}}}",
+                json_escape(template),
+                site.0,
+                json_escape(node_desc),
+                *l_old as i64 - *l_new as i64
+            ),
+            TraceEvent::SnapshotStats {
+                hits,
+                misses,
+                resumed,
+                stored,
+            } => {
+                let mut s = String::from("{\"ev\":\"snapshot_stats\"");
+                if volatile {
+                    let _ = write!(
+                        s,
+                        ",\"hits\":{hits},\"misses\":{misses},\"resumed\":{resumed},\
+                         \"stored\":{stored}"
+                    );
+                }
+                s.push('}');
+                s
+            }
             TraceEvent::EpochStart { epoch, round, jobs } => {
                 format!("{{\"ev\":\"epoch\",\"epoch\":{epoch},\"round\":{round},\"jobs\":{jobs}}}")
             }
@@ -911,6 +1009,31 @@ mod tests {
                 round: 13,
                 note: StrategyNote::BoundPruned { count: 6 },
             },
+            TraceEvent::Note {
+                round: 14,
+                note: StrategyNote::WindowExhausted {
+                    window: 40,
+                    pass: 0,
+                },
+            },
+            TraceEvent::ObservablePromoted {
+                round: 14,
+                k: 3,
+                template: "wal rotated".into(),
+                site: SiteId(3),
+                node: 17,
+                node_desc: "condition @ b4:2".into(),
+                pass: 1,
+                l_new: 1,
+                l_old: 4,
+                units_added: 2,
+            },
+            TraceEvent::SnapshotStats {
+                hits: 10,
+                misses: 2,
+                resumed: 90000,
+                stored: 8,
+            },
             TraceEvent::EpochStart {
                 epoch: 0,
                 round: 0,
@@ -970,6 +1093,14 @@ mod tests {
         let end = events.last().unwrap().to_json();
         assert!(end.contains("wall_ns"));
         assert!(!events.last().unwrap().stable_json().contains("wall_ns"));
+        // Snapshot-cache counters are volatile in their entirety: the
+        // stable form degenerates to the bare event marker.
+        let stats = events
+            .iter()
+            .find(|e| matches!(e, TraceEvent::SnapshotStats { .. }))
+            .unwrap();
+        assert!(stats.to_json().contains("\"misses\":2"));
+        assert_eq!(stats.stable_json(), "{\"ev\":\"snapshot_stats\"}");
     }
 
     #[test]

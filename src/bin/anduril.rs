@@ -22,8 +22,8 @@ fn usage() -> ! {
          anduril analyze [<case>|<system>|all] [--json FILE]\n  \
          anduril reproduce <case> [--strategy NAME] [--max-rounds N] [--emit-script FILE]\n  \
          {0:21}[--threads N] [--batch N] [--trace FILE] [--engine vm|ast]\n  \
-         {0:21}[--snapshots N]\n  \
-         anduril trace <file> [--summary | --round N | --json]\n  \
+         {0:21}[--snapshots N] [--adaptive on|off]\n  \
+         anduril trace <file> [--summary | --round N | --promotions | --json]\n  \
          anduril replay <case> <script-file>\n  \
          anduril explain <case>\n\n\
          strategies: full (default), exhaustive, site-distance, site-distance-limit3,\n\
@@ -40,6 +40,13 @@ fn usage() -> ! {
          16; 0 disables). Batched rounds capture world-state snapshots so\n\
          same-seed reruns (speculation misses, replay verification) resume\n\
          mid-timeline; results are byte-identical either way\n\n\
+         --adaptive on promotes synthetic observables from causal-graph\n\
+         interior nodes when the search stalls (a retry pass begins),\n\
+         re-shaping priorities around the top-ranked sites; off (default)\n\
+         keeps the paper's frozen observable set. Feedback-strategy\n\
+         variants only; sequential and --threads runs stay byte-identical\n\n\
+         trace --promotions lists each promoted observable with its\n\
+         provenance (source graph node, trigger pass, distance delta)\n\n\
          analyze prints the static-analysis report (site reduction, graph\n\
          size, phase timings, per-observable distances) and writes the same\n\
          data as JSON (default results/analyze.json; `--json -` for stdout)",
@@ -590,6 +597,10 @@ fn render_trace_summary(path: &str, events: &[(String, Json)]) {
             .iter()
             .filter(|v| jstr(v, "note") == "retry_pass")
             .count();
+        let exhausted = notes
+            .iter()
+            .filter(|v| jstr(v, "note") == "window_exhausted")
+            .count();
         let grew: Vec<u64> = notes
             .iter()
             .filter(|v| jstr(v, "note") == "window_grew")
@@ -605,7 +616,9 @@ fn render_trace_summary(path: &str, events: &[(String, Json)]) {
             .map(|v| junum(v, "count"))
             .sum();
         println!(
-            "\nLifecycle: {} retry passes, {} window growths{}, {} candidates retired, {} plans bound-pruned",
+            "\nLifecycle: {} windows exhausted, {} retry passes, {} window growths{}, \
+             {} candidates retired, {} plans bound-pruned",
+            exhausted,
             retry,
             grew.len(),
             grew.iter()
@@ -614,6 +627,41 @@ fn render_trace_summary(path: &str, events: &[(String, Json)]) {
                 .unwrap_or_default(),
             retired,
             bound_pruned
+        );
+    }
+
+    let promos: Vec<&Json> = events
+        .iter()
+        .map(|(_, v)| v)
+        .filter(|v| ev_kind(v) == "promoted")
+        .collect();
+    if !promos.is_empty() {
+        println!(
+            "\nAdaptive promotions ({}; `--promotions` for detail)",
+            promos.len()
+        );
+        for p in &promos {
+            println!(
+                "  round {} pass {}: k = {} \"{}\" from {} (L {} -> {} at site#{})",
+                junum(p, "round"),
+                junum(p, "pass"),
+                junum(p, "k"),
+                jstr(p, "template"),
+                jstr(p, "node_desc"),
+                junum(p, "l_old"),
+                junum(p, "l_new"),
+                junum(p, "site"),
+            );
+        }
+    }
+
+    if let Some(s) = find_last("snapshot_stats") {
+        println!(
+            "\nSnapshot cache: {} hits, {} misses, {} ticks resumed, {} snapshots stored",
+            junum(s, "hits"),
+            junum(s, "misses"),
+            junum(s, "resumed"),
+            junum(s, "stored"),
         );
     }
 
@@ -674,6 +722,11 @@ fn render_trace_round(events: &[(String, Json)], n: u64) {
             }
             "note" => match jstr(v, "note") {
                 "retry_pass" => println!("  note: retry pass {} begins", junum(v, "pass")),
+                "window_exhausted" => println!(
+                    "  note: window of {} exhausted in pass {}",
+                    junum(v, "window"),
+                    junum(v, "pass")
+                ),
                 "window_grew" => println!("  note: window grew to {}", junum(v, "window")),
                 "retired" => println!(
                     "  note: retired site#{} {}",
@@ -686,6 +739,18 @@ fn render_trace_round(events: &[(String, Json)], n: u64) {
                 ),
                 other => println!("  note: {other}"),
             },
+            "promoted" => println!(
+                "  promoted: k = {} \"{}\" from node #{} ({}) — L {} -> {} at site#{} \
+                 [stall in pass {}]",
+                junum(v, "k"),
+                jstr(v, "template"),
+                junum(v, "node"),
+                jstr(v, "node_desc"),
+                junum(v, "l_old"),
+                junum(v, "l_new"),
+                junum(v, "site"),
+                junum(v, "pass")
+            ),
             "spec" => println!(
                 "  speculation: epoch {} slot {} — {}",
                 junum(v, "epoch"),
@@ -763,6 +828,56 @@ fn render_trace_round(events: &[(String, Json)], n: u64) {
     }
 }
 
+/// `anduril trace <file> --promotions`: every adaptive observable
+/// promotion with its full provenance.
+fn render_trace_promotions(events: &[(String, Json)]) {
+    let promos: Vec<&Json> = events
+        .iter()
+        .map(|(_, v)| v)
+        .filter(|v| ev_kind(v) == "promoted")
+        .collect();
+    if promos.is_empty() {
+        println!("no observable promotions in the trace (run with --adaptive on)");
+        return;
+    }
+    println!("Adaptive observable promotions ({})", promos.len());
+    let mut t = anduril_bench::TextTable::new(&[
+        "Round",
+        "Pass",
+        "k",
+        "Template",
+        "Source node",
+        "Site",
+        "L_new",
+        "L_old",
+        "Delta",
+        "Units",
+    ]);
+    for p in &promos {
+        t.row(vec![
+            junum(p, "round").to_string(),
+            junum(p, "pass").to_string(),
+            junum(p, "k").to_string(),
+            format!("\"{}\"", jstr(p, "template")),
+            format!("#{} {}", junum(p, "node"), jstr(p, "node_desc")),
+            format!("site#{}", junum(p, "site")),
+            junum(p, "l_new").to_string(),
+            junum(p, "l_old").to_string(),
+            p.get("delta")
+                .and_then(Json::as_f64)
+                .map(|d| format!("{}", d as i64))
+                .unwrap_or_else(|| "-".into()),
+            format!("+{}", junum(p, "units_added")),
+        ]);
+    }
+    print!("{}", t.render());
+    println!(
+        "(promotion at round R reshapes priorities from round R+1 on; \
+         Delta = L_old - L_new at the focus site; Units = fault units the \
+         promotion's scoped causal build newly connected)"
+    );
+}
+
 /// `anduril trace <file> --json`: the aggregate summary as one JSON
 /// document (raw event objects embedded verbatim where useful).
 fn trace_report_json(events: &[(String, Json)]) -> String {
@@ -820,11 +935,19 @@ fn trace_report_json(events: &[(String, Json)]) -> String {
         .sum();
     let _ = writeln!(
         out,
-        "  \"notes\": {{\"retry_passes\": {}, \"window_growths\": {}, \"retired\": {}, \"bound_pruned_plans\": {bound_pruned}}},",
+        "  \"notes\": {{\"retry_passes\": {}, \"windows_exhausted\": {}, \"window_growths\": {}, \"retired\": {}, \"bound_pruned_plans\": {bound_pruned}}},",
         note_count("retry_pass"),
+        note_count("window_exhausted"),
         note_count("window_grew"),
         note_count("retired")
     );
+    let promotions: Vec<String> = events
+        .iter()
+        .filter(|(_, v)| ev_kind(v) == "promoted")
+        .map(|(raw, _)| raw.trim().to_string())
+        .collect();
+    let _ = writeln!(out, "  \"promotions\": [{}],", promotions.join(", "));
+    let _ = writeln!(out, "  \"snapshot_stats\": {},", find_raw("snapshot_stats"));
     let _ = writeln!(out, "  \"provenance\": {},", find_raw("provenance"));
     let _ = writeln!(out, "  \"explore_end\": {}", find_raw("explore_end"));
     out.push_str("}\n");
@@ -1025,6 +1148,7 @@ fn main() {
             let mut trace_path: Option<String> = None;
             let mut engine: Option<anduril::sim::Engine> = None;
             let mut snapshot_capacity: Option<usize> = None;
+            let mut adaptive = false;
             let mut i = 2;
             while i < args.len() {
                 match args[i].as_str() {
@@ -1078,6 +1202,14 @@ fn main() {
                         );
                         i += 2;
                     }
+                    "--adaptive" => {
+                        adaptive = match args.get(i + 1).map(String::as_str) {
+                            Some("on") => true,
+                            Some("off") => false,
+                            _ => usage(),
+                        };
+                        i += 2;
+                    }
                     _ => usage(),
                 }
             }
@@ -1112,10 +1244,11 @@ fn main() {
                 ctx.graph.node_count(),
                 ctx.graph.edge_count()
             );
-            let cfg = ExplorerConfig {
+            let mut cfg = ExplorerConfig {
                 max_rounds,
                 ..ExplorerConfig::default()
             };
+            cfg.adaptive.enabled = adaptive;
             let batched = threads > 1 || batch_size.is_some();
             let r = if batched {
                 // The batched path speculates on a cloned strategy, so it
@@ -1184,6 +1317,7 @@ fn main() {
             enum Mode {
                 Summary,
                 Round(u64),
+                Promotions,
                 Json,
             }
             let mut mode = Mode::Summary;
@@ -1201,6 +1335,10 @@ fn main() {
                             .unwrap_or_else(|| usage());
                         mode = Mode::Round(n);
                         i += 2;
+                    }
+                    "--promotions" => {
+                        mode = Mode::Promotions;
+                        i += 1;
                     }
                     "--json" => {
                         mode = Mode::Json;
@@ -1232,6 +1370,7 @@ fn main() {
             match mode {
                 Mode::Summary => render_trace_summary(path, &events),
                 Mode::Round(n) => render_trace_round(&events, n),
+                Mode::Promotions => render_trace_promotions(&events),
                 Mode::Json => print!("{}", trace_report_json(&events)),
             }
         }

@@ -42,10 +42,11 @@
 
 pub use anduril_core::{
     explore, explore_batched, explore_batched_traced, explore_traced, reproduce, reproduce_batched,
-    reproduce_traced, BatchExplorerConfig, Combine, Explanation, ExplorerConfig, FaultUnit,
-    FeedbackConfig, FeedbackStrategy, FileTracer, Json, NoopTracer, ObservableInfo, Oracle,
-    PlanProvenance, ReproScript, Reproduction, RoundOutcome, RoundRecord, Scenario, SearchContext,
-    SnapshotStats, Strategy, StrategyNote, TraceEvent, Tracer, VecTracer,
+    reproduce_traced, AdaptiveConfig, AdaptiveState, BatchExplorerConfig, Combine, Explanation,
+    ExplorerConfig, FaultUnit, FeedbackConfig, FeedbackStrategy, FileTracer, Json, NoopTracer,
+    ObservableInfo, Oracle, PlanProvenance, PromotedObservable, PromotedSet, ReproScript,
+    Reproduction, RoundOutcome, RoundRecord, Scenario, SearchContext, SnapshotStats, Strategy,
+    StrategyNote, TraceEvent, Tracer, VecTracer,
 };
 
 /// The structured search-trace layer (re-export of `anduril-core::trace`).

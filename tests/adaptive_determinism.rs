@@ -1,0 +1,203 @@
+//! Adaptive observable promotion's determinism contract: with adaptation
+//! on, the sequential and batched (`--threads 4`) explorers emit
+//! byte-identical stable trace streams — promotions included — and with
+//! adaptation off (the default) the stream is byte-identical to a run
+//! that has no adaptive layer in play at all.
+//!
+//! The stall-prone context is manufactured the same way the
+//! `anduril-bench` adaptive ablation does: strip the nearest (strongest
+//! guidance) observable's entries from the failure log before
+//! preparation, simulating log rotation/rate limiting around the failure.
+
+use anduril::failures::case_by_id;
+use anduril::trace::{TraceEvent, VecTracer};
+use anduril::{
+    explore_batched_traced, explore_traced, BatchExplorerConfig, ExplorerConfig, FeedbackConfig,
+    FeedbackStrategy, Oracle, Scenario, SearchContext,
+};
+
+/// The degraded failure log of a case: every entry (line plus
+/// continuation lines) of the prepared context's nearest observable
+/// stripped.
+fn degraded_inputs(id: &str) -> (Scenario, Oracle, String) {
+    let case = case_by_id(id).expect("case");
+    let failure_log = case.failure_log().expect("failure log");
+    let ctx = SearchContext::prepare(case.scenario.clone(), &failure_log, 1_000).expect("context");
+    let nearest = (0..ctx.observables.len())
+        .filter_map(|k| ctx.distances[k].values().min().map(|&d| (d, k)))
+        .min()
+        .map(|(_, k)| k)
+        .expect("at least one observable");
+    let template = &ctx.scenario.program.templates[ctx.observables[nearest].template.index()];
+    let mut degraded = String::new();
+    let mut drop = false;
+    for line in failure_log.lines() {
+        let is_entry = line.len() > 9
+            && line.as_bytes()[..8].iter().all(u8::is_ascii_digit)
+            && line.as_bytes()[8] == b' ';
+        if is_entry {
+            drop = line
+                .split_once(" - ")
+                .map(|(_, body)| template.matches(body))
+                .unwrap_or(false);
+        }
+        if !drop {
+            degraded.push_str(line);
+            degraded.push('\n');
+        }
+    }
+    (case.scenario.clone(), case.oracle.clone(), degraded)
+}
+
+/// One traced exploration over a freshly prepared context (promotions
+/// mutate the context, so sharing one across runs would leak state).
+fn traced_run(
+    scenario: &Scenario,
+    oracle: &Oracle,
+    log: &str,
+    cfg: &ExplorerConfig,
+    threads: Option<usize>,
+) -> Vec<TraceEvent> {
+    let ctx = SearchContext::prepare(scenario.clone(), log, 1_000).expect("context");
+    let tracer = VecTracer::new();
+    let mut s = FeedbackStrategy::new(FeedbackConfig::full());
+    match threads {
+        None => {
+            explore_traced(&ctx, oracle, &mut s, cfg, None, &tracer).expect("explore");
+        }
+        Some(threads) => {
+            let batch = BatchExplorerConfig {
+                batch_size: 8,
+                threads,
+            };
+            explore_batched_traced(&ctx, oracle, &mut s, cfg, &batch, None, &tracer)
+                .expect("explore_batched");
+        }
+    }
+    tracer.take()
+}
+
+fn stable_lines(events: &[TraceEvent]) -> Vec<String> {
+    events
+        .iter()
+        .filter(|e| !e.is_batch_only())
+        .map(TraceEvent::stable_json)
+        .collect()
+}
+
+fn promotion_count(lines: &[String]) -> usize {
+    lines
+        .iter()
+        .filter(|l| l.contains("\"ev\":\"promoted\""))
+        .count()
+}
+
+/// With adaptation on, a stall-prone degraded case promotes — and the
+/// sequential and `threads = 4` batched streams stay byte-identical,
+/// promotion events and all post-promotion planning included.
+#[test]
+fn adaptive_streams_sequential_equals_batched() {
+    let (scenario, oracle, degraded) = degraded_inputs("f18");
+    let mut cfg = ExplorerConfig {
+        max_rounds: 300,
+        verify_replay: false,
+        ..ExplorerConfig::default()
+    };
+    cfg.adaptive.enabled = true;
+
+    let seq = stable_lines(&traced_run(&scenario, &oracle, &degraded, &cfg, None));
+    assert!(
+        promotion_count(&seq) > 0,
+        "f18-degraded: the adaptive run must actually promote"
+    );
+    let bat = stable_lines(&traced_run(&scenario, &oracle, &degraded, &cfg, Some(4)));
+    assert_eq!(
+        seq.len(),
+        bat.len(),
+        "f18-degraded: stream lengths differ (threads=4)"
+    );
+    for (i, (a, b)) in seq.iter().zip(&bat).enumerate() {
+        assert_eq!(
+            a, b,
+            "f18-degraded: stream diverges at event {i} (threads=4)"
+        );
+    }
+}
+
+/// Adaptation rescues the degraded case the frozen observable set cannot
+/// reproduce within the same round budget.
+#[test]
+fn adaptive_rescues_degraded_case() {
+    let (scenario, oracle, degraded) = degraded_inputs("f18");
+    let cfg = ExplorerConfig {
+        max_rounds: 300,
+        verify_replay: false,
+        ..ExplorerConfig::default()
+    };
+
+    let fixed = traced_run(&scenario, &oracle, &degraded, &cfg, None);
+    let fixed_success = fixed
+        .iter()
+        .any(|e| matches!(e, TraceEvent::RoundEnd { oracle: true, .. }));
+    assert!(
+        !fixed_success,
+        "f18-degraded: the frozen set should not reproduce (else this test's premise is stale)"
+    );
+
+    let mut adaptive_cfg = cfg;
+    adaptive_cfg.adaptive.enabled = true;
+    let adaptive = traced_run(&scenario, &oracle, &degraded, &adaptive_cfg, None);
+    assert!(
+        adaptive
+            .iter()
+            .any(|e| matches!(e, TraceEvent::RoundEnd { oracle: true, .. }),),
+        "f18-degraded: adaptation must rescue the search"
+    );
+
+    // The promoted observable grows the `I_k` vector: feedback events
+    // after the promotion carry the longer vector.
+    let mut promoted_at = None;
+    for (i, e) in adaptive.iter().enumerate() {
+        match e {
+            TraceEvent::ObservablePromoted { k, .. } => {
+                promoted_at = Some((i, *k));
+            }
+            TraceEvent::Feedback { i_k, .. } => {
+                if let Some((at, k)) = promoted_at {
+                    assert!(
+                        i_k.len() > k,
+                        "feedback after promotion (event {at}) must carry the grown I_k vector"
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+    assert!(promoted_at.is_some(), "adaptive run must promote");
+}
+
+/// `adaptive.enabled = false` (the default) is inert: its tuning knobs
+/// cannot influence the stream, no promotion events appear, and the
+/// default-config stream is identical to one with wildly different
+/// (disabled) adaptive settings.
+#[test]
+fn adaptive_off_is_byte_identical() {
+    let (scenario, oracle, degraded) = degraded_inputs("f18");
+    let base = ExplorerConfig {
+        max_rounds: 100,
+        verify_replay: false,
+        ..ExplorerConfig::default()
+    };
+    let mut tweaked = base.clone();
+    tweaked.adaptive.max_promotions = 999;
+    tweaked.adaptive.per_stall = 7;
+    tweaked.adaptive.focus_sites = 99;
+
+    let a = stable_lines(&traced_run(&scenario, &oracle, &degraded, &base, None));
+    let b = stable_lines(&traced_run(&scenario, &oracle, &degraded, &tweaked, None));
+    assert_eq!(
+        a, b,
+        "disabled adaptive knobs must not influence the stream"
+    );
+    assert_eq!(promotion_count(&a), 0, "no promotions with adaptation off");
+}
