@@ -162,6 +162,7 @@ impl Strategy for CrashTuner {
                 Some(InjectionPlan {
                     candidates: Vec::new(),
                     crash_at: Some(CrashPoint { stmt, occurrence }),
+                    multi_shot: false,
                 })
             }
             Mode::MetaExceptions => {

@@ -1,0 +1,336 @@
+//! Generator benchmark: rediscovery of planted ground truth on random
+//! scenarios the search was never tuned for.
+//!
+//! The 22 hand-written cases risk overfitting: every heuristic weight
+//! was validated against them. This bench generates batches of random
+//! programs with planted faults (`anduril-gen`), then measures whether
+//! the feedback-driven explorer *rediscovers* each plant — the oracle is
+//! satisfiable only through the planted site by construction, so success
+//! is exact — and how rounds-to-reproduce scale with program size.
+//! Random (FATE) and stacktrace-injection baselines run on a subset for
+//! comparison. Multi-fault cascades are generated and verified sound,
+//! and the single-injection explorer's (expected near-zero) rediscovery
+//! rate on them is reported without a bar.
+//!
+//! Every per-case pipeline runs under `catch_unwind`; the summary's
+//! `panics` count must be zero. Emits `BENCH_generator.json`; `--smoke`
+//! runs the CI-sized batch (100 single-fault + 20 multi-fault small
+//! cases), `--out PATH` overrides the output path.
+
+use std::fmt::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use anduril_baselines::{Fate, StacktraceInjector};
+use anduril_bench::{median, TextTable};
+use anduril_core::{
+    explore, ExplorerConfig, FeedbackConfig, FeedbackStrategy, SearchContext, Strategy,
+};
+use anduril_gen::{generate_one, verify_sound, GenConfig, GeneratedCase, SizeClass};
+
+/// One generated case's measurements.
+struct Row {
+    id: String,
+    size: SizeClass,
+    multi_fault: bool,
+    nodes: usize,
+    sites: usize,
+    stmts: usize,
+    sound: bool,
+    rediscovered: bool,
+    rounds: usize,
+}
+
+/// Runs one strategy on a generated case from a fresh context.
+fn explore_case(
+    gc: &GeneratedCase,
+    strategy: &mut dyn Strategy,
+    max_rounds: usize,
+) -> (bool, usize) {
+    let ctx = SearchContext::prepare(gc.case.scenario.clone(), &gc.failure_log, 1_000)
+        .unwrap_or_else(|e| panic!("{}: context: {e:?}", gc.case.id));
+    let cfg = ExplorerConfig {
+        max_rounds,
+        ..ExplorerConfig::default()
+    };
+    let gt_site = (!gc.is_multi_fault()).then(|| gc.plant[0].site);
+    let r = explore(&ctx, &gc.case.oracle, strategy, &cfg, gt_site)
+        .unwrap_or_else(|e| panic!("{}: explore: {e:?}", gc.case.id));
+    (r.success, r.rounds)
+}
+
+/// Generates + verifies + explores one case, trapping panics.
+fn run_case(cfg: &GenConfig, index: usize, max_rounds: usize) -> Result<Row, String> {
+    catch_unwind(AssertUnwindSafe(|| {
+        let gc = match generate_one(cfg, index) {
+            Ok(gc) => gc,
+            // A generation failure counts as an unsound case, not a panic.
+            Err(e) => {
+                eprintln!("gen-{index:04}: generation failed: {e}");
+                return Row {
+                    id: format!("gen-{index:04}"),
+                    size: cfg.size,
+                    multi_fault: cfg.multi_fault,
+                    nodes: 0,
+                    sites: 0,
+                    stmts: 0,
+                    sound: false,
+                    rediscovered: false,
+                    rounds: 0,
+                };
+            }
+        };
+        let sound = verify_sound(&gc).is_ok();
+        let mut strategy = FeedbackStrategy::new(FeedbackConfig::full());
+        let (rediscovered, rounds) = explore_case(&gc, &mut strategy, max_rounds);
+        Row {
+            id: gc.case.id.to_string(),
+            size: cfg.size,
+            multi_fault: cfg.multi_fault,
+            nodes: gc.nodes,
+            sites: gc.sites,
+            stmts: gc.stmts,
+            sound,
+            rediscovered,
+            rounds,
+        }
+    }))
+    .map_err(|_| format!("gen-{index:04} panicked"))
+}
+
+/// Success-rate and median-rounds aggregate for a strategy on a batch.
+struct Aggregate {
+    cases: usize,
+    rediscovered: usize,
+    median_rounds: u64,
+}
+
+fn aggregate(rows: &[&Row]) -> Aggregate {
+    let mut succeeded: Vec<u64> = rows
+        .iter()
+        .filter(|r| r.rediscovered)
+        .map(|r| r.rounds as u64)
+        .collect();
+    Aggregate {
+        cases: rows.len(),
+        rediscovered: succeeded.len(),
+        median_rounds: median(&mut succeeded),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_generator.json".to_string());
+    let seed = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xA11D_u64);
+    let max_rounds = if smoke { 400 } else { 800 };
+
+    // Batch plan: `(size, multi_fault, count)`. The smoke batch is the CI
+    // gate — at least 100 single-fault cases so the rediscovery bar is
+    // statistically meaningful — and stays all-small for wall time.
+    let batches: &[(SizeClass, bool, usize)] = if smoke {
+        &[(SizeClass::Small, false, 100), (SizeClass::Small, true, 20)]
+    } else {
+        &[
+            (SizeClass::Small, false, 120),
+            (SizeClass::Medium, false, 60),
+            (SizeClass::Large, false, 24),
+            (SizeClass::Small, true, 30),
+            (SizeClass::Medium, true, 12),
+        ]
+    };
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut panics = 0usize;
+    for &(size, multi_fault, count) in batches {
+        let cfg = GenConfig {
+            seed,
+            size,
+            multi_fault,
+        };
+        for i in 0..count {
+            match run_case(&cfg, i, max_rounds) {
+                Ok(row) => rows.push(row),
+                Err(msg) => {
+                    eprintln!("PANIC: {msg}");
+                    panics += 1;
+                }
+            }
+        }
+    }
+
+    // Baselines on a subset of the single-fault smoke batch: random
+    // search (FATE) and stacktrace injection over fresh contexts.
+    let baseline_n = if smoke { 20 } else { 40 };
+    let base_cfg = GenConfig {
+        seed,
+        size: SizeClass::Small,
+        multi_fault: false,
+    };
+    let mut baseline_aggs: Vec<(&str, Aggregate)> = Vec::new();
+    for name in ["fate", "stacktrace"] {
+        let mut brows: Vec<Row> = Vec::new();
+        for i in 0..baseline_n {
+            let r = catch_unwind(AssertUnwindSafe(|| {
+                let gc = generate_one(&base_cfg, i).expect("smoke batch regenerates");
+                let mut strategy: Box<dyn Strategy> = match name {
+                    "fate" => Box::new(Fate::new()),
+                    _ => Box::new(StacktraceInjector::new()),
+                };
+                let (rediscovered, rounds) = explore_case(&gc, strategy.as_mut(), max_rounds);
+                Row {
+                    id: gc.case.id.to_string(),
+                    size: base_cfg.size,
+                    multi_fault: false,
+                    nodes: gc.nodes,
+                    sites: gc.sites,
+                    stmts: gc.stmts,
+                    sound: true,
+                    rediscovered,
+                    rounds,
+                }
+            }));
+            match r {
+                Ok(row) => brows.push(row),
+                Err(_) => panics += 1,
+            }
+        }
+        let refs: Vec<&Row> = brows.iter().collect();
+        baseline_aggs.push((name, aggregate(&refs)));
+    }
+
+    let single: Vec<&Row> = rows.iter().filter(|r| !r.multi_fault).collect();
+    let multi: Vec<&Row> = rows.iter().filter(|r| r.multi_fault).collect();
+    let unsound = rows.iter().filter(|r| !r.sound).count();
+    let single_agg = aggregate(&single);
+    let multi_agg = aggregate(&multi);
+    let rate = if single_agg.cases > 0 {
+        single_agg.rediscovered as f64 / single_agg.cases as f64
+    } else {
+        0.0
+    };
+    let multi_rate = if multi_agg.cases > 0 {
+        multi_agg.rediscovered as f64 / multi_agg.cases as f64
+    } else {
+        0.0
+    };
+    let meets_bar = single_agg.cases >= 100 && rate >= 0.9;
+
+    // Rounds-to-reproduce vs program size (single-fault, feedback).
+    let mut t = TextTable::new(&["Size", "Cases", "Rediscovered", "MedRounds", "MedStmts"]);
+    for size in [SizeClass::Small, SizeClass::Medium, SizeClass::Large] {
+        let bucket: Vec<&Row> = single.iter().filter(|r| r.size == size).copied().collect();
+        if bucket.is_empty() {
+            continue;
+        }
+        let agg = aggregate(&bucket);
+        let mut stmts: Vec<u64> = bucket.iter().map(|r| r.stmts as u64).collect();
+        t.row(vec![
+            size.to_string(),
+            agg.cases.to_string(),
+            agg.rediscovered.to_string(),
+            agg.median_rounds.to_string(),
+            median(&mut stmts).to_string(),
+        ]);
+    }
+    println!(
+        "Planted ground-truth rediscovery on generated scenarios \
+         (feedback strategy, max {max_rounds} rounds, seed {seed:#x})"
+    );
+    print!("{}", t.render());
+    println!(
+        "single-fault: {}/{} rediscovered ({:.1}%); multi-fault: {}/{} ({:.1}%); \
+         {} unsound; {} panics",
+        single_agg.rediscovered,
+        single_agg.cases,
+        rate * 100.0,
+        multi_agg.rediscovered,
+        multi_agg.cases,
+        multi_rate * 100.0,
+        unsound,
+        panics
+    );
+    for (name, agg) in &baseline_aggs {
+        println!(
+            "baseline {name}: {}/{} rediscovered, median rounds {}",
+            agg.rediscovered, agg.cases, agg.median_rounds
+        );
+    }
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(
+        json,
+        "  \"mode\": \"{}\",",
+        if smoke { "smoke" } else { "full" }
+    );
+    let _ = writeln!(json, "  \"seed\": {seed},");
+    let _ = writeln!(json, "  \"max_rounds\": {max_rounds},");
+    json.push_str("  \"cases\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"id\": \"{}\", \"size\": \"{}\", \"multi_fault\": {}, \
+             \"nodes\": {}, \"sites\": {}, \"stmts\": {}, \"sound\": {}, \
+             \"rediscovered\": {}, \"rounds\": {}}}",
+            r.id,
+            r.size,
+            r.multi_fault,
+            r.nodes,
+            r.sites,
+            r.stmts,
+            r.sound,
+            r.rediscovered,
+            r.rounds
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"baselines\": {\n");
+    for (i, (name, agg)) in baseline_aggs.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    \"{name}\": {{\"cases\": {}, \"rediscovered\": {}, \"median_rounds\": {}}}",
+            agg.cases, agg.rediscovered, agg.median_rounds
+        );
+        json.push_str(if i + 1 < baseline_aggs.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("  },\n");
+    json.push_str("  \"summary\": {\n");
+    let _ = writeln!(json, "    \"single_fault_cases\": {},", single_agg.cases);
+    let _ = writeln!(
+        json,
+        "    \"single_fault_rediscovered\": {},",
+        single_agg.rediscovered
+    );
+    let _ = writeln!(json, "    \"rediscovery_rate\": {rate:.4},");
+    let _ = writeln!(json, "    \"median_rounds\": {},", single_agg.median_rounds);
+    let _ = writeln!(json, "    \"multi_fault_cases\": {},", multi_agg.cases);
+    let _ = writeln!(
+        json,
+        "    \"multi_fault_rediscovered\": {},",
+        multi_agg.rediscovered
+    );
+    let _ = writeln!(
+        json,
+        "    \"multi_fault_rediscovery_rate\": {multi_rate:.4},"
+    );
+    let _ = writeln!(json, "    \"unsound_cases\": {unsound},");
+    let _ = writeln!(json, "    \"panics\": {panics},");
+    let _ = writeln!(json, "    \"meets_rediscovery_bar\": {meets_bar}");
+    json.push_str("  }\n}\n");
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+    println!("wrote {out_path}");
+}

@@ -122,6 +122,7 @@ mod tests {
             }],
             trace: vec![],
             injected: None,
+            injected_all: vec![],
             crashed: false,
             site_occurrences: vec![],
             threads: vec![ThreadSnapshot {

@@ -17,6 +17,17 @@ pub mod zookeeper_cases;
 
 pub use case::{CaseError, DeeperCause, FailureCase, GroundTruth};
 
+/// Sort key giving a total, panic-free order over case ids: the paper's
+/// `fN` ids sort numerically first, anything else (e.g. a generated
+/// `gen-0042`) sorts lexicographically after them. The registry must
+/// never panic on an id shape — synthetic cases share this namespace.
+fn id_sort_key(id: &str) -> (u8, u32, String) {
+    match id.strip_prefix('f').and_then(|n| n.parse::<u32>().ok()) {
+        Some(n) => (0, n, String::new()),
+        None => (1, 0, id.to_string()),
+    }
+}
+
 /// Every implemented failure case, in paper order.
 pub fn all_cases() -> Vec<FailureCase> {
     let mut v = Vec::new();
@@ -25,7 +36,7 @@ pub fn all_cases() -> Vec<FailureCase> {
     v.extend(hbase_cases::cases());
     v.extend(kafka_cases::cases());
     v.extend(cassandra_cases::cases());
-    v.sort_by_key(|c| c.id[1..].parse::<u32>().expect("case ids are fN"));
+    v.sort_by_key(|c| id_sort_key(c.id));
     v
 }
 
@@ -34,4 +45,23 @@ pub fn case_by_id(id: &str) -> Option<FailureCase> {
     all_cases()
         .into_iter()
         .find(|c| c.id == id || c.ticket.eq_ignore_ascii_case(id))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::id_sort_key;
+
+    /// Paper ids order numerically (`f2` before `f10`), non-`fN` ids sort
+    /// lexicographically after every paper id, and no shape panics — the
+    /// old key `id[1..].parse().expect(..)` died on `gen-0042`, `f`, `""`,
+    /// and even `fx`.
+    #[test]
+    fn id_ordering_is_total_and_panic_free() {
+        let mut ids = vec!["gen-0042", "f10", "gen-0007", "f2", "fx", "", "f", "f1"];
+        ids.sort_by_key(|id| id_sort_key(id));
+        assert_eq!(
+            ids,
+            vec!["f1", "f2", "f10", "", "f", "fx", "gen-0007", "gen-0042"]
+        );
+    }
 }

@@ -25,6 +25,10 @@ fn assert_identical(tag: &str, vm: &RunResult, ast: &RunResult) {
     assert_eq!(vm.log, ast.log, "{tag}: log streams differ");
     assert_eq!(vm.trace, ast.trace, "{tag}: fault-site traces differ");
     assert_eq!(vm.injected, ast.injected, "{tag}: injected records differ");
+    assert_eq!(
+        vm.injected_all, ast.injected_all,
+        "{tag}: injection histories differ"
+    );
     assert_eq!(vm.crashed, ast.crashed, "{tag}: crash flags differ");
     assert_eq!(
         vm.site_occurrences, ast.site_occurrences,

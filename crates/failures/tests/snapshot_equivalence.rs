@@ -33,6 +33,10 @@ fn assert_identical(tag: &str, full: &RunResult, resumed: &RunResult) {
         full.injected, resumed.injected,
         "{tag}: injected records differ"
     );
+    assert_eq!(
+        full.injected_all, resumed.injected_all,
+        "{tag}: injection histories differ"
+    );
     assert_eq!(full.crashed, resumed.crashed, "{tag}: crash flags differ");
     assert_eq!(
         full.site_occurrences, resumed.site_occurrences,

@@ -1,0 +1,410 @@
+//! Fault planting, failure-log derivation, and soundness verification.
+//!
+//! The generator never *guesses* a ground truth: it plants one. A
+//! synthesized program's critical handler only misbehaves when its
+//! external site actually throws, and externals only throw when the
+//! injector fires — so the fault-free run is healthy by construction,
+//! and the failure log is *derived* by simulating the planted plan and
+//! checking the oracle against the real result. What ships in a
+//! [`GeneratedCase`] is therefore reproducible by definition, not by
+//! hope.
+
+use anduril_core::{Oracle, Scenario, SearchContext};
+use anduril_failures::FailureCase;
+use anduril_ir::{ExceptionType, SiteId};
+use anduril_sim::rng::SmallRng;
+use anduril_sim::{InjectionPlan, RunResult};
+
+use crate::grammar::{synthesize, GenProgram, SizeClass};
+
+/// Generator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct GenConfig {
+    /// Master seed; case `i` derives its own sub-seed from it.
+    pub seed: u64,
+    /// Program size class.
+    pub size: SizeClass,
+    /// Plant a two-fault cascade instead of a single fault.
+    pub multi_fault: bool,
+}
+
+impl GenConfig {
+    /// Small single-fault cases from a master seed.
+    pub fn new(seed: u64) -> GenConfig {
+        GenConfig {
+            seed,
+            size: SizeClass::Small,
+            multi_fault: false,
+        }
+    }
+}
+
+/// One planted root-cause fault: inject `exc` at the `occurrence`-th
+/// dynamic hit of `site`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlantedFault {
+    /// Static fault site.
+    pub site: SiteId,
+    /// Zero-based dynamic occurrence index under the failure seed.
+    pub occurrence: u32,
+    /// Exception type injected.
+    pub exc: ExceptionType,
+}
+
+/// A generated failure case: a [`FailureCase`] the existing explorer,
+/// baselines, analyze and trace machinery consume unchanged, plus the
+/// planted ground truth and the derived failure log.
+#[derive(Debug, Clone)]
+pub struct GeneratedCase {
+    /// The packaged case (id `gen-NNNN`).
+    pub case: FailureCase,
+    /// The planted fault(s); length 2 in multi-fault mode.
+    pub plant: Vec<PlantedFault>,
+    /// Failure log derived by simulating the planted plan.
+    pub failure_log: String,
+    /// Node count.
+    pub nodes: usize,
+    /// Function count.
+    pub funcs: usize,
+    /// Static fault-site count.
+    pub sites: usize,
+    /// Statement count.
+    pub stmts: usize,
+    /// Advisory lint warnings the program carried (expected 0).
+    pub warnings: usize,
+}
+
+impl GeneratedCase {
+    /// The injection plan that reproduces the planted failure.
+    pub fn plan(&self) -> InjectionPlan {
+        if self.plant.len() == 1 {
+            let f = self.plant[0];
+            InjectionPlan::exact(f.site, f.occurrence, f.exc)
+        } else {
+            InjectionPlan::multi(
+                self.plant
+                    .iter()
+                    .map(|f| anduril_sim::Candidate::exact(f.site, f.occurrence, f.exc))
+                    .collect(),
+            )
+        }
+    }
+
+    /// Whether this case's root cause needs two coordinated injections.
+    pub fn is_multi_fault(&self) -> bool {
+        self.plant.len() > 1
+    }
+}
+
+/// Generation errors. `Unsound` means a soundness invariant failed for
+/// this seed — a generator bug, not a user error.
+#[derive(Debug, Clone)]
+pub enum GenError {
+    /// The synthesized program failed IR validation (generator bug).
+    Ir(String),
+    /// A derivation run failed (step/time limits, internal error).
+    Sim(String),
+    /// A soundness invariant did not hold for this seed.
+    Unsound(String),
+}
+
+impl std::fmt::Display for GenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GenError::Ir(e) => write!(f, "ir error: {e}"),
+            GenError::Sim(e) => write!(f, "sim error: {e}"),
+            GenError::Unsound(e) => write!(f, "unsound case: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GenError {}
+
+/// `&'static str` for a synthesized string. Generated cases flow into
+/// [`FailureCase`], whose identity fields are `&'static str` (the 22
+/// paper cases are compile-time literals); leaking the handful of short
+/// id/description strings per generated case is deliberate and bounded
+/// by the case count.
+fn leak(s: String) -> &'static str {
+    Box::leak(s.into_boxed_str())
+}
+
+fn site_by_desc(scenario: &Scenario, desc: &str) -> Result<SiteId, GenError> {
+    scenario
+        .program
+        .sites
+        .iter()
+        .find(|s| s.desc == desc)
+        .map(|s| s.id)
+        .ok_or_else(|| GenError::Unsound(format!("planted site {desc} not in program")))
+}
+
+fn run(scenario: &Scenario, seed: u64, plan: InjectionPlan) -> Result<RunResult, GenError> {
+    scenario
+        .run(seed, plan)
+        .map_err(|e| GenError::Sim(format!("{e:?}")))
+}
+
+/// Builds the oracle for a generated program: the FATAL needle, the
+/// critical node's abort, and the root-cause handler's error needle.
+fn oracle_for(gp: &GenProgram) -> Oracle {
+    let mut parts = vec![
+        Oracle::LogContains(gp.fatal_needle.clone()),
+        Oracle::NodeAborted(gp.critical_node.clone()),
+        Oracle::LogContains(format!("{} {}", gp.error_needle, gp.critical_node)),
+    ];
+    if let Some(poison) = &gp.poison_needle {
+        parts.push(Oracle::LogContains(format!(
+            "{} {}",
+            poison, gp.critical_node
+        )));
+    }
+    Oracle::And(parts)
+}
+
+/// Plants the single fault: scans occurrences of the critical site under
+/// the failure seed until one satisfies the oracle (the phase gate makes
+/// early occurrences recoverable), mirroring `FailureCase::ground_truth`
+/// resolution so the packaged case resolves to exactly this plant.
+fn plant_single(
+    scenario: &Scenario,
+    gp: &GenProgram,
+    oracle: &Oracle,
+    failure_seed: u64,
+    normal: &RunResult,
+) -> Result<(Vec<PlantedFault>, RunResult), GenError> {
+    let site = site_by_desc(scenario, &gp.critical_site_desc)?;
+    let total = normal
+        .site_occurrences
+        .get(site.index())
+        .copied()
+        .unwrap_or(0);
+    if total == 0 {
+        return Err(GenError::Unsound(format!(
+            "critical site {} never reached fault-free",
+            gp.critical_site_desc
+        )));
+    }
+    for occ in 0..total {
+        let r = run(
+            scenario,
+            failure_seed,
+            InjectionPlan::exact(site, occ, gp.critical_exc),
+        )?;
+        if r.injected.is_some() && oracle.check(&r) {
+            let plant = vec![PlantedFault {
+                site,
+                occurrence: occ,
+                exc: gp.critical_exc,
+            }];
+            return Ok((plant, r));
+        }
+    }
+    Err(GenError::Unsound(format!(
+        "no occurrence of {} (0..{total}) satisfies the oracle",
+        gp.critical_site_desc
+    )))
+}
+
+/// Plants the two-fault cascade: picks an early occurrence for fault A
+/// (the WAL poisoner), then scans fault B occurrences until the pair
+/// fires completely and the oracle holds.
+fn plant_multi(
+    scenario: &Scenario,
+    gp: &GenProgram,
+    oracle: &Oracle,
+    failure_seed: u64,
+    normal: &RunResult,
+    rng: &mut SmallRng,
+) -> Result<(Vec<PlantedFault>, RunResult), GenError> {
+    let site_b = site_by_desc(scenario, &gp.critical_site_desc)?;
+    let desc_a = gp
+        .poison_site_desc
+        .as_deref()
+        .ok_or_else(|| GenError::Unsound("multi-fault case lacks poison site".into()))?;
+    let site_a = site_by_desc(scenario, desc_a)?;
+    let total_a = normal
+        .site_occurrences
+        .get(site_a.index())
+        .copied()
+        .unwrap_or(0);
+    let total_b = normal
+        .site_occurrences
+        .get(site_b.index())
+        .copied()
+        .unwrap_or(0);
+    if total_a == 0 || total_b == 0 {
+        return Err(GenError::Unsound(
+            "a planted multi-fault site is unreachable fault-free".into(),
+        ));
+    }
+    // Fault A early (first half of its fault-free occurrences) so B has
+    // room to land after it. The fault-free timeline is undisturbed up
+    // to A's firing, so any occ < total_a is guaranteed to fire.
+    let occ_a = (rng.random_range(0..(total_a as u64 / 2).max(1))) as u32;
+    // B's occurrence count can shift once A fires, so allow some slack
+    // past the fault-free count.
+    for occ_b in 0..(total_b + 16) {
+        let plan = InjectionPlan::multi(vec![
+            anduril_sim::Candidate::exact(site_a, occ_a, gp.poison_exc),
+            anduril_sim::Candidate::exact(site_b, occ_b, gp.critical_exc),
+        ]);
+        let r = run(scenario, failure_seed, plan)?;
+        if r.injected_all.len() == 2 && oracle.check(&r) {
+            let plant = vec![
+                PlantedFault {
+                    site: site_a,
+                    occurrence: occ_a,
+                    exc: gp.poison_exc,
+                },
+                PlantedFault {
+                    site: site_b,
+                    occurrence: occ_b,
+                    exc: gp.critical_exc,
+                },
+            ];
+            return Ok((plant, r));
+        }
+    }
+    Err(GenError::Unsound(format!(
+        "no B occurrence pairs with A@{occ_a} to satisfy the oracle"
+    )))
+}
+
+/// Generates case `index` of a batch: synthesizes a program from the
+/// derived sub-seed, plants the fault(s), derives the failure log, and
+/// packages a [`FailureCase`]. Soundness invariants checked here:
+///
+/// 1. `finish_linted` reports no errors (enforced in [`synthesize`]).
+/// 2. The fault-free run completes, satisfies neither the oracle nor
+///    kills any thread.
+/// 3. The planted plan actually fires and satisfies the oracle (its run
+///    *is* the failure log — ground truth by construction).
+pub fn generate_one(cfg: &GenConfig, index: usize) -> Result<GeneratedCase, GenError> {
+    let sub_seed = cfg.seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let mut rng = SmallRng::seed_from_u64(sub_seed);
+    let name = format!("gen-{index:04}");
+    let gp = synthesize(&mut rng, &name, cfg.size, cfg.multi_fault)
+        .map_err(|e| GenError::Ir(format!("{e:?}")))?;
+    let scenario = Scenario {
+        name: name.clone(),
+        program: gp.program.clone(),
+        topology: gp.topology.clone(),
+        config: gp.config.clone(),
+    };
+    let failure_seed = 1 + rng.random_range(0..10_000u64);
+
+    let normal = run(&scenario, failure_seed, InjectionPlan::none())?;
+    let oracle = oracle_for(&gp);
+    if oracle.check(&normal) {
+        return Err(GenError::Unsound(
+            "oracle already satisfied fault-free".into(),
+        ));
+    }
+    if normal
+        .log
+        .iter()
+        .any(|l| l.body.contains("Uncaught exception"))
+    {
+        return Err(GenError::Unsound(
+            "fault-free run killed a thread with an uncaught exception".into(),
+        ));
+    }
+
+    let (plant, failure_run) = if cfg.multi_fault {
+        plant_multi(&scenario, &gp, &oracle, failure_seed, &normal, &mut rng)?
+    } else {
+        plant_single(&scenario, &gp, &oracle, failure_seed, &normal)?
+    };
+    let failure_log = failure_run.log_text();
+
+    let case = FailureCase {
+        id: leak(name.clone()),
+        ticket: leak(format!("GEN-{}", sub_seed % 100_000)),
+        system: "generated",
+        description: leak(format!(
+            "generated {} {}: {} nodes, {} sites, fault at {}",
+            cfg.size,
+            if cfg.multi_fault {
+                "two-fault cascade"
+            } else {
+                "single fault"
+            },
+            gp.node_count(),
+            scenario.program.sites.len(),
+            gp.critical_site_desc,
+        )),
+        oracle,
+        root_site_desc: leak(gp.critical_site_desc.clone()),
+        root_exc: gp.critical_exc,
+        failure_seed,
+        deeper_causes: vec![],
+        scenario,
+    };
+
+    Ok(GeneratedCase {
+        nodes: gp.node_count(),
+        funcs: case.scenario.program.funcs.len(),
+        sites: case.scenario.program.sites.len(),
+        stmts: case.scenario.program.stmt_count(),
+        warnings: gp.warnings.len(),
+        case,
+        plant,
+        failure_log,
+    })
+}
+
+/// Generates a batch of `count` cases.
+pub fn generate(cfg: &GenConfig, count: usize) -> Result<Vec<GeneratedCase>, GenError> {
+    (0..count).map(|i| generate_one(cfg, i)).collect()
+}
+
+/// Deep soundness verification, used by the fuzz suite and the bench:
+/// the fault-free run is healthy, the planted plan replays to the
+/// oracle, and — for single-fault cases — the planted ground truth
+/// survives the search context's reachability pruning and abstract
+/// occurrence bounds (it must be discoverable, not just replayable).
+pub fn verify_sound(gc: &GeneratedCase) -> Result<(), String> {
+    if !gc
+        .case
+        .fault_free_run_is_healthy()
+        .map_err(|e| format!("fault-free run: {e}"))?
+    {
+        return Err("fault-free run unexpectedly satisfies the oracle".into());
+    }
+    let replay = gc
+        .case
+        .scenario
+        .run(gc.case.failure_seed, gc.plan())
+        .map_err(|e| format!("planted replay: {e:?}"))?;
+    if !gc.case.oracle.check(&replay) {
+        return Err("planted plan no longer satisfies the oracle".into());
+    }
+    if replay.injected_all.len() != gc.plant.len() {
+        return Err(format!(
+            "planted plan fired {} of {} faults",
+            replay.injected_all.len(),
+            gc.plant.len()
+        ));
+    }
+    let ctx = SearchContext::prepare(gc.case.scenario.clone(), &gc.failure_log, 1_000)
+        .map_err(|e| format!("context prepare: {e:?}"))?;
+    for f in &gc.plant {
+        if !ctx.occurrence_feasible(f.site, Some(f.occurrence)) {
+            return Err(format!(
+                "occurrence bounds prune planted ({:?}, {})",
+                f.site, f.occurrence
+            ));
+        }
+    }
+    if !gc.is_multi_fault() {
+        let f = gc.plant[0];
+        if !ctx.candidate_sites.contains(&f.site) {
+            return Err(format!(
+                "reachability pruning drops planted site {:?}",
+                f.site
+            ));
+        }
+    }
+    Ok(())
+}

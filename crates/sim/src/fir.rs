@@ -9,6 +9,11 @@
 //! the Explorer's flexible-window scheme (§5.2.5). The first candidate whose
 //! guard matches during the run is injected; at most one injection happens
 //! per run, matching ANDURIL's single-fault-per-round design.
+//!
+//! Plans built with [`InjectionPlan::multi`] opt out of the one-shot rule:
+//! every candidate may fire (each at most once), which is how the scenario
+//! generator replays planted *multi-fault* root causes. Search strategies
+//! never arm multi-shot plans, so round semantics are unchanged.
 
 use std::time::Instant;
 
@@ -50,6 +55,11 @@ pub struct InjectionPlan {
     /// Crash-injection point for the CrashTuner baseline: crash the current
     /// node at the given occurrence of the given meta-info access statement.
     pub crash_at: Option<CrashPoint>,
+    /// When `true`, the run does not stop injecting after the first hit:
+    /// every candidate may fire, each at most once. Used to replay planted
+    /// multi-fault root causes; `false` (the default) keeps the paper's
+    /// single-fault-per-round semantics.
+    pub multi_shot: bool,
 }
 
 /// A node-crash injection point (CrashTuner baseline).
@@ -73,6 +83,7 @@ impl InjectionPlan {
         InjectionPlan {
             candidates: vec![Candidate::exact(site, occurrence, exc)],
             crash_at: None,
+            multi_shot: false,
         }
     }
 
@@ -81,6 +92,18 @@ impl InjectionPlan {
         InjectionPlan {
             candidates,
             crash_at: None,
+            multi_shot: false,
+        }
+    }
+
+    /// A multi-shot plan: every candidate may fire, each at most once.
+    /// Replays planted multi-fault root causes (generated cascading
+    /// failures); never armed by search strategies.
+    pub fn multi(candidates: Vec<Candidate>) -> Self {
+        InjectionPlan {
+            candidates,
+            crash_at: None,
+            multi_shot: true,
         }
     }
 }
@@ -118,15 +141,21 @@ pub struct Fir {
     /// the per-request lookup is an index, not a hash.
     plan_by_site: Vec<Vec<Candidate>>,
     crash_at: Option<CrashPoint>,
+    multi_shot: bool,
     /// Occurrence counter per site.
     occ: Vec<u32>,
-    /// Occurrence counters per meta-access point. Programs have a handful
-    /// of meta points at most, so a linear scan beats hashing.
+    /// Occurrence counters per meta-access point, kept sorted by statement
+    /// so each access is a binary-search lookup. Generated programs carry
+    /// hundreds of meta points, where the old first-fit linear scan made
+    /// the per-access cost quadratic over a run.
     meta_occ: Vec<(StmtRef, u32)>,
     /// All traced site executions, in order.
     pub trace: Vec<TraceEntry>,
-    /// The injection that fired, if any.
+    /// The first injection that fired, if any.
     pub injected: Option<InjectedRecord>,
+    /// Every injection that fired, in firing order. Holds at most one
+    /// record unless the plan was multi-shot.
+    pub injected_all: Vec<InjectedRecord>,
     /// Whether a crash injection fired.
     pub crashed: bool,
     /// Total `throwIfEnabled` requests served.
@@ -149,10 +178,12 @@ impl Fir {
         Fir {
             plan_by_site,
             crash_at: plan.crash_at,
+            multi_shot: plan.multi_shot,
             occ: vec![0; n_sites],
             meta_occ: Vec::new(),
             trace: Vec::with_capacity(64),
             injected: None,
+            injected_all: Vec::new(),
             crashed: false,
             requests: 0,
             decision_ns: 0,
@@ -183,7 +214,9 @@ impl Fir {
         // one-shot injection has fired) decides nothing; reading the clock
         // around that no-op would just measure the clock. `decision_ns`
         // times only requests that actually consult a plan.
-        if self.injected.is_some() || self.plan_by_site[site.index()].is_empty() {
+        if (!self.multi_shot && self.injected.is_some())
+            || self.plan_by_site[site.index()].is_empty()
+        {
             return None;
         }
         let start = Instant::now();
@@ -199,37 +232,48 @@ impl Fir {
         time: u64,
         stack: &[FuncId],
     ) -> Option<ExceptionType> {
-        if self.injected.is_some() {
+        if !self.multi_shot && self.injected.is_some() {
             return None;
         }
         let candidates = &self.plan_by_site[site.index()];
-        let hit = candidates.iter().find(|c| {
+        let hit_idx = candidates.iter().position(|c| {
             c.occurrence.map(|o| o == occurrence).unwrap_or(true)
                 && c.stack
                     .as_ref()
                     .map(|s| stack.len() >= s.len() && &stack[..s.len()] == s.as_slice())
                     .unwrap_or(true)
         })?;
+        let hit = if self.multi_shot {
+            // Each candidate fires at most once: consume it so an
+            // any-occurrence candidate cannot fire on every execution.
+            self.plan_by_site[site.index()].remove(hit_idx)
+        } else {
+            candidates[hit_idx].clone()
+        };
         let record = InjectedRecord {
             candidate: hit.clone(),
             occurrence,
             time,
         };
         let exc = hit.exc;
-        self.injected = Some(record);
+        if self.injected.is_none() {
+            self.injected = Some(record.clone());
+        }
+        self.injected_all.push(record);
         Some(exc)
     }
 
     /// Traces one execution of a meta-info access point; returns `true` if
     /// the CrashTuner plan wants the node crashed here.
     pub fn on_meta_access(&mut self, stmt: StmtRef) -> bool {
-        let occ = match self.meta_occ.iter_mut().find(|(s, _)| *s == stmt) {
-            Some((_, o)) => o,
-            None => {
-                self.meta_occ.push((stmt, 0));
-                &mut self.meta_occ.last_mut().unwrap().1
+        let slot = match self.meta_occ.binary_search_by_key(&stmt, |&(s, _)| s) {
+            Ok(i) => i,
+            Err(i) => {
+                self.meta_occ.insert(i, (stmt, 0));
+                i
             }
         };
+        let occ = &mut self.meta_occ[slot].1;
         let current = *occ;
         *occ += 1;
         if self.crashed {
@@ -261,12 +305,12 @@ impl Fir {
 
     /// Meta-access count for one statement at this point of the run (`0`
     /// if the statement has not executed yet). Snapshot validity checks use
-    /// this to decide whether a crash point already passed.
+    /// this to decide whether a crash point already passed. The slice is
+    /// sorted by statement ([`Fir::on_meta_access`] maintains the order).
     pub(crate) fn meta_count(meta_occ: &[(StmtRef, u32)], stmt: StmtRef) -> u32 {
         meta_occ
-            .iter()
-            .find(|(s, _)| *s == stmt)
-            .map(|(_, c)| *c)
+            .binary_search_by_key(&stmt, |&(s, _)| s)
+            .map(|i| meta_occ[i].1)
             .unwrap_or(0)
     }
 
@@ -282,7 +326,12 @@ impl Fir {
         trace: Vec<TraceEntry>,
         requests: u64,
     ) {
-        debug_assert!(self.injected.is_none() && !self.crashed && self.trace.is_empty());
+        debug_assert!(
+            self.injected.is_none()
+                && self.injected_all.is_empty()
+                && !self.crashed
+                && self.trace.is_empty()
+        );
         self.occ = occ;
         self.meta_occ = meta_occ;
         self.trace = trace;
@@ -360,6 +409,60 @@ mod tests {
     }
 
     #[test]
+    fn multi_shot_plan_fires_every_candidate_once() {
+        let plan = InjectionPlan::multi(vec![
+            Candidate::exact(SiteId(0), 1, ExceptionType::Io),
+            Candidate::exact(SiteId(2), 0, ExceptionType::Socket),
+        ]);
+        let mut fir = Fir::new(3, plan);
+        assert_eq!(fir.on_site(SiteId(0), 0, 0, &[]), None);
+        assert_eq!(
+            fir.on_site(SiteId(2), 1, 0, &[]),
+            Some(ExceptionType::Socket)
+        );
+        // The second candidate still fires after the first injection...
+        assert_eq!(fir.on_site(SiteId(0), 2, 1, &[]), Some(ExceptionType::Io));
+        // ...but each candidate is consumed after firing.
+        assert_eq!(fir.on_site(SiteId(2), 3, 1, &[]), None);
+        assert_eq!(fir.injected_all.len(), 2);
+        assert_eq!(fir.injected_all[0].candidate.site, SiteId(2));
+        assert_eq!(fir.injected_all[1].candidate.site, SiteId(0));
+        // `injected` keeps the first record for single-fault consumers.
+        assert_eq!(fir.injected.as_ref().unwrap().candidate.site, SiteId(2));
+    }
+
+    #[test]
+    fn single_shot_plan_records_one_injection() {
+        let mut fir = Fir::new(2, InjectionPlan::exact(SiteId(0), 0, ExceptionType::Io));
+        assert_eq!(fir.on_site(SiteId(0), 0, 0, &[]), Some(ExceptionType::Io));
+        assert_eq!(fir.on_site(SiteId(0), 1, 1, &[]), None);
+        assert_eq!(fir.injected_all.len(), 1);
+        assert_eq!(fir.injected.as_ref().map(|r| r.occurrence), Some(0));
+    }
+
+    #[test]
+    fn meta_access_counts_are_insertion_order_independent() {
+        let a = StmtRef::new(anduril_ir::BlockId(9), 0);
+        let b = StmtRef::new(anduril_ir::BlockId(2), 3);
+        let mut fir = Fir::new(0, InjectionPlan::none());
+        // First touch the higher-sorting statement, then the lower one:
+        // the sorted-vec insert must keep lookups exact for both.
+        fir.on_meta_access(a);
+        fir.on_meta_access(b);
+        fir.on_meta_access(a);
+        fir.on_meta_access(a);
+        let counts = fir.meta_occ_clone();
+        assert_eq!(Fir::meta_count(&counts, a), 3);
+        assert_eq!(Fir::meta_count(&counts, b), 1);
+        assert_eq!(
+            Fir::meta_count(&counts, StmtRef::new(anduril_ir::BlockId(5), 5)),
+            0
+        );
+        // The snapshot clone is sorted, as `meta_count` requires.
+        assert!(counts.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
     fn meta_access_crash_point() {
         let stmt = StmtRef::new(anduril_ir::BlockId(3), 1);
         let mut fir = Fir::new(
@@ -370,6 +473,7 @@ mod tests {
                     stmt,
                     occurrence: 1,
                 }),
+                multi_shot: false,
             },
         );
         assert!(!fir.on_meta_access(stmt));

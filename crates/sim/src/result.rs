@@ -68,8 +68,12 @@ pub struct RunResult {
     pub log: Vec<LogEntry>,
     /// Every traced fault-site execution, in order.
     pub trace: Vec<TraceEntry>,
-    /// The injection that fired, if any.
+    /// The first injection that fired, if any.
     pub injected: Option<InjectedRecord>,
+    /// Every injection that fired, in firing order. Equal to `injected`
+    /// as a zero-or-one-element list unless the plan was multi-shot
+    /// ([`crate::InjectionPlan::multi`]).
+    pub injected_all: Vec<InjectedRecord>,
     /// Whether a CrashTuner-style crash injection fired.
     pub crashed: bool,
     /// Final per-site occurrence counts.

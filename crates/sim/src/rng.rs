@@ -32,9 +32,11 @@ impl SmallRng {
 
     /// Samples uniformly from a half-open range.
     ///
-    /// # Panics
-    ///
-    /// Panics if the range is empty.
+    /// An empty range (`start >= end`) deterministically returns `start`
+    /// without consuming a draw: generated programs randomize `rand_range`
+    /// bounds, so degenerate ranges are reachable inputs, not authoring
+    /// bugs, and must not panic (the old behavior was a divide-by-zero on
+    /// `next_u64() % 0`).
     pub fn random_range<T: RangeSample>(&mut self, range: Range<T>) -> T {
         T::sample(self, range)
     }
@@ -48,7 +50,9 @@ pub trait RangeSample: Sized {
 
 impl RangeSample for u64 {
     fn sample(rng: &mut SmallRng, range: Range<Self>) -> Self {
-        assert!(range.start < range.end, "empty range");
+        if range.start >= range.end {
+            return range.start;
+        }
         let span = range.end - range.start;
         range.start + rng.next_u64() % span
     }
@@ -56,7 +60,9 @@ impl RangeSample for u64 {
 
 impl RangeSample for i64 {
     fn sample(rng: &mut SmallRng, range: Range<Self>) -> Self {
-        assert!(range.start < range.end, "empty range");
+        if range.start >= range.end {
+            return range.start;
+        }
         let span = range.end.wrapping_sub(range.start) as u64;
         range.start.wrapping_add((rng.next_u64() % span) as i64)
     }
@@ -75,6 +81,22 @@ mod tests {
         }
         let mut c = SmallRng::seed_from_u64(43);
         assert_ne!(SmallRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    /// An empty range returns `start` deterministically and leaves the
+    /// generator's stream untouched (no draw is consumed), so the fix
+    /// cannot shift downstream jitter for programs that never hit it.
+    #[test]
+    #[allow(clippy::reversed_empty_ranges)] // degenerate ranges on purpose
+    fn empty_range_returns_start_without_consuming_a_draw() {
+        let mut r = SmallRng::seed_from_u64(9);
+        let mut pristine = r.clone();
+        assert_eq!(r.random_range(5u64..5), 5);
+        assert_eq!(r.random_range(7i64..7), 7);
+        // Inverted ranges are equally degenerate and take the same path.
+        assert_eq!(r.random_range(10u64..3), 10);
+        assert_eq!(r.random_range(4i64..-4), 4);
+        assert_eq!(r.next_u64(), pristine.next_u64());
     }
 
     #[test]

@@ -1120,6 +1120,7 @@ impl<'p> World<'p> {
             log: self.log,
             trace: self.fir.trace,
             injected: self.fir.injected,
+            injected_all: self.fir.injected_all,
             crashed,
             site_occurrences,
             threads,

@@ -446,6 +446,10 @@ mod tests {
         assert_eq!(a.log, b.log, "{tag}: log streams differ");
         assert_eq!(a.trace, b.trace, "{tag}: traces differ");
         assert_eq!(a.injected, b.injected, "{tag}: injected records differ");
+        assert_eq!(
+            a.injected_all, b.injected_all,
+            "{tag}: injection histories differ"
+        );
         assert_eq!(a.crashed, b.crashed, "{tag}: crash flags differ");
         assert_eq!(
             a.site_occurrences, b.site_occurrences,
@@ -534,6 +538,7 @@ mod tests {
                 stack: None,
             }],
             crash_at: None,
+            multi_shot: false,
         };
         let full = run_compiled(&program, &compiled, &topo, &cfg, plan.clone()).unwrap();
         let (resumed, info) =

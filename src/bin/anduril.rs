@@ -25,7 +25,9 @@ fn usage() -> ! {
          {0:21}[--snapshots N] [--adaptive on|off]\n  \
          anduril trace <file> [--summary | --round N | --promotions | --json]\n  \
          anduril replay <case> <script-file>\n  \
-         anduril explain <case>\n\n\
+         anduril explain <case>\n  \
+         anduril generate [--seed S] [--count N] [--size small|medium|large]\n  \
+         {0:21}[--multi-fault] [--reproduce]\n\n\
          strategies: full (default), exhaustive, site-distance, site-distance-limit3,\n\
          site-feedback, multiply, sum-aggregate, order-distance, global-diff,\n\
          fate, crashtuner, crashtuner-meta-exc, stacktrace\n\n\
@@ -49,7 +51,11 @@ fn usage() -> ! {
          provenance (source graph node, trigger pass, distance delta)\n\n\
          analyze prints the static-analysis report (site reduction, graph\n\
          size, phase timings, per-observable distances) and writes the same\n\
-         data as JSON (default results/analyze.json; `--json -` for stdout)",
+         data as JSON (default results/analyze.json; `--json -` for stdout)\n\n\
+         generate synthesizes random well-formed scenarios with a planted\n\
+         root-cause fault (ground truth correct by construction), verifies\n\
+         each is sound, and with --reproduce runs the feedback explorer on\n\
+         single-fault cases; --multi-fault plants a two-fault cascade",
         ""
     );
     std::process::exit(2);
@@ -1413,6 +1419,104 @@ fn main() {
                     occ,
                     t
                 );
+            }
+        }
+        Some("generate") => {
+            let mut seed = 1u64;
+            let mut count = 10usize;
+            let mut size = anduril::gen::SizeClass::Small;
+            let mut multi_fault = false;
+            let mut reproduce = false;
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--seed" => {
+                        seed = args
+                            .get(i + 1)
+                            .and_then(|s| s.parse().ok())
+                            .unwrap_or_else(|| usage());
+                        i += 2;
+                    }
+                    "--count" => {
+                        count = args
+                            .get(i + 1)
+                            .and_then(|s| s.parse().ok())
+                            .unwrap_or_else(|| usage());
+                        i += 2;
+                    }
+                    "--size" => {
+                        size = args
+                            .get(i + 1)
+                            .and_then(|s| anduril::gen::SizeClass::parse(s))
+                            .unwrap_or_else(|| usage());
+                        i += 2;
+                    }
+                    "--multi-fault" => {
+                        multi_fault = true;
+                        i += 1;
+                    }
+                    "--reproduce" => {
+                        reproduce = true;
+                        i += 1;
+                    }
+                    _ => usage(),
+                }
+            }
+            let cfg = anduril::gen::GenConfig {
+                seed,
+                size,
+                multi_fault,
+            };
+            println!(
+                "{:8} {:>5} {:>5} {:>5} {:>6} {:24} {:7} sound",
+                "id", "nodes", "funcs", "sites", "stmts", "planted", "seed"
+            );
+            for idx in 0..count {
+                let gc = anduril::gen::generate_one(&cfg, idx)
+                    .unwrap_or_else(|e| fail(format!("case {idx}: {e}")));
+                let planted = gc
+                    .plant
+                    .iter()
+                    .map(|f| {
+                        let desc = &gc.case.scenario.program.sites[f.site.index()].desc;
+                        format!("{desc}@{}", f.occurrence)
+                    })
+                    .collect::<Vec<_>>()
+                    .join(" + ");
+                let sound = match anduril::gen::verify_sound(&gc) {
+                    Ok(()) => "yes".to_string(),
+                    Err(e) => format!("NO ({e})"),
+                };
+                println!(
+                    "{:8} {:>5} {:>5} {:>5} {:>6} {:24} {:7} {}",
+                    gc.case.id,
+                    gc.nodes,
+                    gc.funcs,
+                    gc.sites,
+                    gc.stmts,
+                    planted,
+                    gc.case.failure_seed,
+                    sound
+                );
+                if reproduce && !gc.is_multi_fault() {
+                    let ctx =
+                        SearchContext::prepare(gc.case.scenario.clone(), &gc.failure_log, 1_000)
+                            .unwrap_or_else(|e| fail(format!("{}: context: {e}", gc.case.id)));
+                    let mut strategy = FeedbackStrategy::new(FeedbackConfig::full());
+                    let repro = explore_traced(
+                        &ctx,
+                        &gc.case.oracle,
+                        &mut strategy,
+                        &ExplorerConfig::default(),
+                        None,
+                        &NoopTracer,
+                    )
+                    .unwrap_or_else(|e| fail(format!("{}: explore: {e}", gc.case.id)));
+                    println!(
+                        "         rediscovered = {} in {} rounds",
+                        repro.success, repro.rounds
+                    );
+                }
             }
         }
         Some("replay") => {

@@ -88,3 +88,9 @@ pub mod targets {
 pub mod failures {
     pub use anduril_failures::*;
 }
+
+/// The scenario generator with planted ground truth (re-export of
+/// `anduril-gen`).
+pub mod gen {
+    pub use anduril_gen::*;
+}
